@@ -1,0 +1,151 @@
+//! Ablations behind the paper's headline claims.
+//!
+//! 1. **Bare-metal vs Linux runtime** (§I, §V): the speedup collapses
+//!    from ~50× on tiny models to ~2× on large ones because the Linux
+//!    overhead is roughly fixed per inference.
+//! 2. **Layer fusion** (our compiler's optimization vs the paper's
+//!    per-layer trace replay).
+//! 3. **Clock sweep**: Table II at 50/100/200 MHz system clocks.
+//! 4. **Storage**: bare-metal firmware vs kernel + rootfs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rvnv_bench::{compile_nv_small, format_time, print_table, table2_soc_config};
+use rvnv_compiler::{compile, CompileOptions};
+use rvnv_nn::zoo::Model;
+use rvnv_nn::Tensor;
+use rvnv_soc::baseline::LinuxRuntimeModel;
+use rvnv_soc::firmware::{Firmware, StorageFootprint};
+use rvnv_soc::soc::{Soc, SocConfig};
+
+fn ablation_baremetal_vs_linux() {
+    let baseline = LinuxRuntimeModel::esp_ariane_50mhz();
+    let mut rows = Vec::new();
+    for model in Model::NV_SMALL {
+        let net = model.build(1);
+        let artifacts = compile_nv_small(model);
+        let mut soc = Soc::new(table2_soc_config());
+        let input = Tensor::random(net.input_shape(), 5);
+        let r = soc.run_inference(&artifacts, &input).expect("run");
+        let bm_ms = r.cycles as f64 * 1000.0 / 100e6;
+        let data = artifacts.weights.total_bytes() as u64 + artifacts.input_len as u64;
+        let lx_ms =
+            baseline.latency_ms(r.cycles, artifacts.ops.len() as u64, data);
+        rows.push(vec![
+            model.name().to_string(),
+            format!("{bm_ms:.1} ms"),
+            format!("{lx_ms:.0} ms"),
+            format!("{:.1}x", lx_ms / bm_ms),
+        ]);
+    }
+    print_table(
+        "Ablation 1: bare-metal @100MHz vs Linux stack @50MHz",
+        &["Model", "Bare-metal", "Linux runtime", "Speedup"],
+        &rows,
+    );
+}
+
+fn ablation_fusion() {
+    let mut rows = Vec::new();
+    for model in [Model::LeNet5, Model::ResNet18] {
+        let net = model.build(1);
+        let input = Tensor::random(net.input_shape(), 5);
+        let mut cells = vec![model.name().to_string()];
+        for fused in [false, true] {
+            let mut opt = CompileOptions::int8();
+            opt.calib_inputs = 1;
+            if !fused {
+                opt = opt.unfused();
+            }
+            let artifacts = compile(&net, &opt).expect("compile");
+            let mut soc = Soc::new(table2_soc_config());
+            let r = soc.run_inference(&artifacts, &input).expect("run");
+            cells.push(format!(
+                "{} ({} ops)",
+                format_time(r.cycles, 100_000_000),
+                artifacts.ops.len()
+            ));
+        }
+        rows.push(cells);
+    }
+    print_table(
+        "Ablation 2: per-layer trace replay (paper flow) vs fused compiler",
+        &["Model", "Unfused (trace replay)", "Fused"],
+        &rows,
+    );
+}
+
+fn ablation_clock_sweep() {
+    let artifacts = compile_nv_small(Model::LeNet5);
+    let net = Model::LeNet5.build(1);
+    let input = Tensor::random(net.input_shape(), 5);
+    let mut rows = Vec::new();
+    for mhz in [50u64, 100, 200] {
+        let mut cfg = SocConfig::zcu102_timing_only();
+        cfg.soc_hz = mhz * 1_000_000;
+        // The DDR4 stays at 100 MHz on the board.
+        let mut soc = Soc::new(cfg);
+        let r = soc.run_inference(&artifacts, &input).expect("run");
+        rows.push(vec![
+            format!("{mhz} MHz"),
+            r.cycles.to_string(),
+            format_time(r.cycles, mhz * 1_000_000),
+        ]);
+    }
+    print_table(
+        "Ablation 3: LeNet-5 vs system clock (DDR4 fixed at 100 MHz)",
+        &["SoC clock", "Cycles", "Latency"],
+        &rows,
+    );
+}
+
+fn ablation_storage() {
+    let mut rows = Vec::new();
+    for model in Model::NV_SMALL {
+        let artifacts = compile_nv_small(model);
+        let fw = Firmware::build(&artifacts).expect("firmware");
+        let bm = StorageFootprint::bare_metal(&fw, &artifacts);
+        let lx = StorageFootprint::linux(&artifacts);
+        rows.push(vec![
+            model.name().to_string(),
+            format!("{} B", bm.software_bytes),
+            format!("{:.1} MB", lx.software_bytes as f64 / 1e6),
+            format!("{:.1} MB", bm.weight_bytes as f64 / 1e6),
+            format!("{:.0}x", lx.software_bytes as f64 / bm.software_bytes as f64),
+        ]);
+    }
+    print_table(
+        "Ablation 4: software storage, bare-metal vs Linux stack",
+        &[
+            "Model",
+            "Firmware",
+            "Kernel+rootfs",
+            "Weights (both)",
+            "Software saving",
+        ],
+        &rows,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    ablation_baremetal_vs_linux();
+    ablation_fusion();
+    ablation_clock_sweep();
+    ablation_storage();
+
+    // Criterion: the latency model itself across a parameter sweep.
+    let m = LinuxRuntimeModel::esp_ariane_50mhz();
+    c.bench_function("ablation/linux_model_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for hw in [100_000u64, 1_000_000, 10_000_000, 100_000_000] {
+                for ops in [5u64, 50, 150] {
+                    acc = acc.wrapping_add(m.total_cycles(hw, ops, 1 << 20));
+                }
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Fig. 1 / Fig. 3 — the software generation flow.
+//!
+//! Reproduces every stage of the paper's toolflow on LeNet-5 and
+//! reports what each stage produces:
+//!
+//! 1. compile the Caffe-like model (NVDLA compiler),
+//! 2. execute on the virtual platform with CSB/DBB transaction logging,
+//! 3. scrape the log into the configuration file (`write_reg`/`read_reg`),
+//! 4. extract the deduplicated weight file from DBB reads,
+//! 5. translate the configuration file to RISC-V assembly,
+//! 6. assemble to machine code.
+//!
+//! The criterion group measures the per-stage cost of the offline flow.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rvnv_bench::print_table;
+use rvnv_compiler::codegen::{generate_assembly, generate_machine_code, CodegenOptions};
+use rvnv_compiler::trace::write_config_file;
+use rvnv_compiler::vplog::{extract_config, extract_weights};
+use rvnv_compiler::{compile, CompileOptions, VirtualPlatform};
+use rvnv_nn::zoo::Model;
+use rvnv_nn::Tensor;
+use rvnv_nvdla::HwConfig;
+
+fn run_flow() {
+    let net = Model::LeNet5.build(1);
+    let opt = CompileOptions::int8();
+    let artifacts = compile(&net, &opt).expect("compile");
+    let input = Tensor::random(net.input_shape(), 42);
+    let input_bytes = artifacts.quantize_input(&input);
+
+    let mut vp = VirtualPlatform::new(HwConfig::nv_small(), 16 << 20);
+    let run = vp.run(&artifacts, &input_bytes, true).expect("vp run");
+
+    let config = extract_config(&run.log);
+    let config_text = write_config_file(&config);
+    let weights = extract_weights(&run.log);
+    let asm = generate_assembly(&config);
+    let image = generate_machine_code(&config, CodegenOptions::default()).expect("assemble");
+
+    assert_eq!(config, artifacts.commands, "scraped config == compiled config");
+
+    let rows = vec![
+        vec!["Caffe model (layers)".into(), net.layer_count().to_string()],
+        vec!["HW operations".into(), artifacts.ops.len().to_string()],
+        vec!["VP log lines".into(), run.log.entries().len().to_string()],
+        vec!["Config file commands".into(), config.len().to_string()],
+        vec!["Config file bytes".into(), config_text.len().to_string()],
+        vec!["Weight beats (deduped)".into(), weights.len().to_string()],
+        vec![
+            "Weight file bytes".into(),
+            artifacts.weights.total_bytes().to_string(),
+        ],
+        vec!["Assembly lines".into(), asm.lines().count().to_string()],
+        vec!["Machine code bytes".into(), image.len().to_string()],
+        vec!["VP cycles".into(), run.cycles.to_string()],
+    ];
+    print_table(
+        "Fig. 1/3: software generation flow on LeNet-5 (stage outputs)",
+        &["Stage output", "Value"],
+        &rows,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    run_flow();
+
+    let net = Model::LeNet5.build(1);
+    let opt = CompileOptions::int8();
+    let mut group = c.benchmark_group("fig1_toolflow");
+    group.sample_size(10);
+    group.bench_function("stage1_compile", |b| {
+        b.iter(|| compile(&net, &opt).expect("compile"))
+    });
+
+    let artifacts = compile(&net, &opt).expect("compile");
+    let input_bytes = vec![0u8; artifacts.input_len];
+    group.bench_function("stage2_vp_execute", |b| {
+        b.iter(|| {
+            let mut vp = VirtualPlatform::new(HwConfig::nv_small(), 16 << 20);
+            vp.set_functional(false);
+            vp.run(&artifacts, &input_bytes, true).expect("vp").cycles
+        })
+    });
+
+    let mut vp = VirtualPlatform::new(HwConfig::nv_small(), 16 << 20);
+    let run = vp.run(&artifacts, &input_bytes, true).expect("vp");
+    group.bench_function("stage3_scrape_config", |b| {
+        b.iter(|| extract_config(std::hint::black_box(&run.log)))
+    });
+    group.bench_function("stage4_extract_weights", |b| {
+        b.iter(|| extract_weights(std::hint::black_box(&run.log)))
+    });
+    group.bench_function("stage5_codegen_assemble", |b| {
+        b.iter(|| {
+            generate_machine_code(&artifacts.commands, CodegenOptions::default())
+                .expect("assemble")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! Fig. 2 — SoC interconnect characterization.
+//!
+//! The architecture figure has no numbers in the paper; this bench
+//! characterizes the latency of every hop it draws: program-memory
+//! fetch, AHB transfer, the AHB→APB→CSB register path, the
+//! AHB→AXI→arbiter→DRAM data path, the 64→32-bit width conversion, and
+//! arbiter contention between the core and the NVDLA DBB.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rvnv_bench::print_table;
+use rvnv_bus::ahb::AhbPort;
+use rvnv_bus::arbiter::Arbiter;
+use rvnv_bus::axi::AxiConfig;
+use rvnv_bus::bridge::{AhbToApb, AhbToAxi};
+use rvnv_bus::dram::Dram;
+use rvnv_bus::sram::Sram;
+use rvnv_bus::width::WidthConverter;
+use rvnv_bus::{AccessSize, MasterId, Request, Target};
+
+fn latency_of(target: &mut dyn Target, req: &Request) -> u64 {
+    target.access(req, 0).expect("access").done_at
+}
+
+fn characterize() {
+    let mut rows = Vec::new();
+
+    let mut sram = Sram::new(4096);
+    rows.push(vec![
+        "Program memory (BRAM) read".to_string(),
+        latency_of(&mut sram, &Request::read32(0)).to_string(),
+    ]);
+
+    let mut ahb = AhbPort::new(Sram::new(4096));
+    rows.push(vec![
+        "AHB-Lite NONSEQ transfer".to_string(),
+        latency_of(&mut ahb, &Request::read32(0)).to_string(),
+    ]);
+
+    let mut csb_path = AhbToApb::new(Sram::new(4096));
+    rows.push(vec![
+        "CSB register write (AHB->APB->CSB)".to_string(),
+        latency_of(&mut csb_path, &Request::write32(0, 1)).to_string(),
+    ]);
+
+    let mut dram_path = AhbToAxi::new(Dram::new(64 << 10, Default::default()), AxiConfig::axi32());
+    rows.push(vec![
+        "DRAM word read (AHB->AXI->MIG, row miss)".to_string(),
+        latency_of(&mut dram_path, &Request::read32(0)).to_string(),
+    ]);
+    rows.push(vec![
+        "DRAM word read (row hit)".to_string(),
+        {
+            let t0 = latency_of(&mut dram_path, &Request::read32(4));
+            let r = dram_path.access(&Request::read32(8), t0).expect("read");
+            (r.done_at - t0).to_string()
+        },
+    ]);
+
+    let mut wc = WidthConverter::dbb64_to_mem32(Sram::new(4096));
+    rows.push(vec![
+        "DBB 64-bit beat through width converter".to_string(),
+        latency_of(
+            &mut wc,
+            &Request::read(0, AccessSize::Double).with_master(MasterId::NvdlaDbb),
+        )
+        .to_string(),
+    ]);
+
+    // Arbiter contention: CPU poll colliding with a DBB burst.
+    let mut arb = Arbiter::new(Dram::new(64 << 10, Default::default()));
+    let mut buf = vec![0u8; 4096];
+    let dma_done = arb.read_block(0, &mut buf, 0).expect("dma");
+    let cpu_done = arb.access(&Request::read32(0), 1).expect("cpu").done_at;
+    rows.push(vec![
+        "DBB 4 KiB burst (cycles)".to_string(),
+        dma_done.to_string(),
+    ]);
+    rows.push(vec![
+        "CPU read arriving during that burst (wait)".to_string(),
+        arb.port_stats(MasterId::Cpu).wait_cycles.to_string(),
+    ]);
+    let _ = cpu_done;
+
+    print_table(
+        "Fig. 2: per-hop latencies of the SoC interconnect (cycles)",
+        &["Path", "Latency"],
+        &rows,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    characterize();
+    let mut group = c.benchmark_group("fig2");
+    group.bench_function("csb_register_write_path", |b| {
+        let mut path = AhbToApb::new(Sram::new(4096));
+        let mut t = 0;
+        b.iter(|| {
+            t = path.access(&Request::write32(0x8, 1), t).expect("write").done_at;
+            t
+        })
+    });
+    group.bench_function("dram_word_read_path", |b| {
+        let mut path =
+            AhbToAxi::new(Dram::new(64 << 10, Default::default()), AxiConfig::axi32());
+        let mut t = 0;
+        b.iter(|| {
+            t = path.access(&Request::read32(64), t).expect("read").done_at;
+            t
+        })
+    });
+    group.bench_function("dbb_burst_4k", |b| {
+        let mut arb = Arbiter::new(Dram::new(1 << 20, Default::default()));
+        let mut buf = vec![0u8; 4096];
+        let mut t = 0;
+        b.iter(|| {
+            t = arb.read_block(0, &mut buf, t).expect("burst");
+            t
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

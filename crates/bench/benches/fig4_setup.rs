@@ -1,0 +1,73 @@
+//! Fig. 4 — the overall test setup on the ZCU102.
+//!
+//! Reproduces the board-level sequence: the Zynq PS preloads the DRAM
+//! with the weight file and input image through the AXI SmartConnect,
+//! ownership switches to the SoC, and the SoC runs inference through
+//! the AXI interconnect / clock-domain crossing. Reports preload vs
+//! inference time and demonstrates the mutual exclusion the mux
+//! provides.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rvnv_bench::{compile_nv_small, format_time, print_table, table2_soc_config};
+use rvnv_bus::smartconnect::Side;
+use rvnv_nn::zoo::Model;
+use rvnv_nn::Tensor;
+use rvnv_soc::soc::Soc;
+use rvnv_soc::zynq::ZynqTestbench;
+
+fn run_sessions() {
+    let mut rows = Vec::new();
+    for model in [Model::LeNet5, Model::ResNet18] {
+        let net = model.build(1);
+        let artifacts = compile_nv_small(model);
+        let mut tb = ZynqTestbench::new(Soc::new(table2_soc_config()));
+        let input = Tensor::random(net.input_shape(), 3);
+        let session = tb.run(&artifacts, &input).expect("session");
+        rows.push(vec![
+            model.name().to_string(),
+            session.preload_bytes.to_string(),
+            format_time(session.preload_cycles, 100_000_000),
+            format_time(session.inference.cycles, 100_000_000),
+            session.inference.firmware_bytes.to_string(),
+        ]);
+    }
+    print_table(
+        "Fig. 4: Zynq preload + SoC inference sessions @100MHz",
+        &[
+            "Model",
+            "Preload bytes",
+            "Preload time",
+            "Inference time",
+            "Firmware bytes",
+        ],
+        &rows,
+    );
+
+    // Mutual exclusion: while the PS owns the DRAM, the SoC is locked out.
+    let soc = Soc::new(table2_soc_config());
+    soc.switch_dram_to(Side::ZynqPs);
+    let mut dram = soc.dram_path();
+    use rvnv_bus::{Request, Target};
+    let denied = dram.access(&Request::read32(0), 0);
+    println!(
+        "\nSmartConnect exclusion: SoC-side read while PS owns DRAM -> {:?}",
+        denied.err().map(|e| e.to_string())
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    run_sessions();
+    let artifacts = compile_nv_small(Model::LeNet5);
+    let net = Model::LeNet5.build(1);
+    let input = Tensor::random(net.input_shape(), 3);
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    group.bench_function("full_session_lenet5", |b| {
+        let mut tb = ZynqTestbench::new(Soc::new(table2_soc_config()));
+        b.iter(|| tb.run(&artifacts, &input).expect("session").inference.cycles)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Table I — FPGA resource utilization (AMD ZCU102).
+//!
+//! Regenerates every row of the paper's utilization table from the
+//! analytical resource model, then checks the `nv_full` finding (does
+//! not fit the ZCU102). The criterion group measures the estimator
+//! itself (it is used inside configuration sweeps).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rvnv_bench::print_table;
+use rvnv_nvdla::HwConfig;
+use rvnv_soc::resources::{self, fits_zcu102, table1, ZCU102};
+
+const PROGMEM: usize = 928 << 10; // 232 BRAM tiles, as in the paper
+
+fn print_table1() {
+    let rows = table1(&HwConfig::nv_small(), PROGMEM);
+    let header = [
+        "Major Components",
+        "CLB LUTs",
+        "CLB Regs",
+        "CARRY8",
+        "F7 Muxes",
+        "F8 Muxes",
+        "CLBs",
+        "BRAM Tiles",
+        "DSPs",
+    ];
+    let mut out: Vec<Vec<String>> = Vec::new();
+    out.push(vec![
+        "(FPGA capacity)".into(),
+        ZCU102.lut.to_string(),
+        ZCU102.regs.to_string(),
+        ZCU102.carry8.to_string(),
+        ZCU102.f7_mux.to_string(),
+        ZCU102.f8_mux.to_string(),
+        ZCU102.clb.to_string(),
+        ZCU102.bram.to_string(),
+        ZCU102.dsp.to_string(),
+    ]);
+    for r in &rows {
+        out.push(vec![
+            r.name.to_string(),
+            r.util.lut.to_string(),
+            r.util.regs.to_string(),
+            r.util.carry8.to_string(),
+            r.util.f7_mux.to_string(),
+            r.util.f8_mux.to_string(),
+            r.util.clb.to_string(),
+            r.util.bram.to_string(),
+            r.util.dsp.to_string(),
+        ]);
+    }
+    print_table(
+        "Table I: FPGA resource utilization (model; paper values in EXPERIMENTS.md)",
+        &header,
+        &out,
+    );
+
+    // The paper's nv_full observation.
+    let full = resources::nvdla(&HwConfig::nv_full());
+    println!(
+        "\nnv_full NVDLA estimate: {} LUTs vs {} available -> fits ZCU102: {}",
+        full.lut,
+        ZCU102.lut,
+        fits_zcu102(&full)
+    );
+    assert!(!fits_zcu102(&full), "paper: nv_full must not fit");
+}
+
+fn bench(c: &mut Criterion) {
+    print_table1();
+    c.bench_function("table1/estimate_nv_small", |b| {
+        b.iter(|| table1(std::hint::black_box(&HwConfig::nv_small()), PROGMEM))
+    });
+    c.bench_function("table1/estimate_nv_full", |b| {
+        b.iter(|| resources::nvdla(std::hint::black_box(&HwConfig::nv_full())))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Table II — `nv_small` SoC evaluation (FPGA implementation results).
+//!
+//! Regenerates the paper's rows: for LeNet-5, ResNet-18 and ResNet-50,
+//! the layer count, input size, model size, processing time at 100 MHz,
+//! and the Linux-stack baseline at 50 MHz ([8]). The criterion group
+//! measures the full bare-metal LeNet-5 inference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rvnv_bench::{
+    compile_nv_small, format_time, input_string, model_size_string, print_table,
+    table2_soc_config,
+};
+use rvnv_nn::zoo::Model;
+use rvnv_nn::Tensor;
+use rvnv_soc::baseline::LinuxRuntimeModel;
+use rvnv_soc::soc::Soc;
+
+/// Paper values for the comparison column.
+fn paper_row(model: Model) -> (&'static str, &'static str, &'static str) {
+    match model {
+        Model::LeNet5 => ("9", "4.8 ms", "263 ms"),
+        Model::ResNet18 => ("86", "16.2 ms", "NA"),
+        Model::ResNet50 => ("228", "1.1 s", "2.5 s"),
+        _ => ("-", "-", "-"),
+    }
+}
+
+fn run_table2() {
+    let baseline = LinuxRuntimeModel::esp_ariane_50mhz();
+    let mut rows = Vec::new();
+    for model in Model::NV_SMALL {
+        let net = model.build(1);
+        let artifacts = compile_nv_small(model);
+        let mut soc = Soc::new(table2_soc_config());
+        let input = Tensor::random(net.input_shape(), 7);
+        let result = soc
+            .run_inference(&artifacts, &input)
+            .expect("table2 inference");
+        let hz = soc.config().soc_hz;
+
+        // Baseline: same hardware cycles, plus the Linux runtime, at 50 MHz.
+        let data_bytes = artifacts.weights.total_bytes() as u64 + artifacts.input_len as u64;
+        let base_cycles =
+            baseline.total_cycles(result.cycles, artifacts.ops.len() as u64, data_bytes);
+
+        let (paper_layers, paper_t, paper_base) = paper_row(model);
+        rows.push(vec![
+            model.name().to_string(),
+            format!("{} ({paper_layers})", net.layer_count()),
+            input_string(model),
+            model_size_string(model),
+            format!("{} ({paper_t})", format_time(result.cycles, hz)),
+            format!(
+                "{} ({paper_base})",
+                format_time(base_cycles, baseline.clock_hz)
+            ),
+        ]);
+    }
+    print_table(
+        "Table II: nv_small SoC evaluation — measured (paper)",
+        &[
+            "Model",
+            "Layers",
+            "Input",
+            "Model Size",
+            "Proc. Time @100MHz",
+            "Proc. Time @50MHz [8]",
+        ],
+        &rows,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    run_table2();
+    // Criterion: the bare-metal LeNet-5 inference end to end.
+    let artifacts = compile_nv_small(Model::LeNet5);
+    let net = Model::LeNet5.build(1);
+    let input = Tensor::random(net.input_shape(), 7);
+    let mut soc = Soc::new(table2_soc_config());
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.bench_function("lenet5_bare_metal_inference", |b| {
+        b.iter(|| soc.run_inference(&artifacts, &input).expect("inference"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

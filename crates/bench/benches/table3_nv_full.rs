@@ -1,0 +1,81 @@
+//! Table III — `nv_full` evaluation (simulation results).
+//!
+//! Regenerates the paper's rows: cycle counts and processing times at
+//! 100 MHz for all six models in FP16 on the virtual platform. Runs are
+//! timing-only (the functional FP16 path is verified by the test
+//! suite); the criterion group measures the LeNet-5 VP replay.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rvnv_bench::{compile_nv_full, format_time, input_string, model_size_string, nv_full_vp_timing, print_table};
+use rvnv_compiler::VirtualPlatform;
+use rvnv_nn::zoo::Model;
+use rvnv_nvdla::HwConfig;
+
+fn paper_cycles(model: Model) -> u64 {
+    match model {
+        Model::LeNet5 => 143_188,
+        Model::ResNet18 => 324_387,
+        Model::ResNet50 => 26_565_315,
+        Model::MobileNet => 22_525_704,
+        Model::GoogLeNet => 40_889_646,
+        Model::AlexNet => 35_535_582,
+    }
+}
+
+fn run_model(model: Model) -> u64 {
+    let artifacts = compile_nv_full(model);
+    let mut vp = VirtualPlatform::with_timing(HwConfig::nv_full(), 512 << 20, nv_full_vp_timing());
+    vp.set_functional(false);
+    let input = vec![0u8; artifacts.input_len];
+    vp.run(&artifacts, &input, false).expect("vp run").cycles
+}
+
+fn run_table3() {
+    let hz = 100_000_000u64;
+    let mut rows = Vec::new();
+    for model in Model::ALL {
+        let cycles = run_model(model);
+        let paper = paper_cycles(model);
+        rows.push(vec![
+            model.name().to_string(),
+            input_string(model),
+            model_size_string(model),
+            format!("{cycles} ({paper})"),
+            format!("{} ({})", format_time(cycles, hz), format_time(paper, hz)),
+        ]);
+    }
+    print_table(
+        "Table III: nv_full simulation, FP16 — measured (paper)",
+        &[
+            "Model",
+            "Input size",
+            "Model size",
+            "Clock cycles",
+            "Proc. time @100MHz",
+        ],
+        &rows,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    run_table3();
+    let artifacts = compile_nv_full(Model::LeNet5);
+    let input = vec![0u8; artifacts.input_len];
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    group.bench_function("lenet5_nv_full_vp_replay", |b| {
+        b.iter(|| {
+            let mut vp = VirtualPlatform::with_timing(
+                HwConfig::nv_full(),
+                64 << 20,
+                nv_full_vp_timing(),
+            );
+            vp.set_functional(false);
+            vp.run(&artifacts, &input, false).expect("vp run").cycles
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Error type shared by all bus components.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by bus transactions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BusError {
+    /// No slave decodes the address.
+    DecodeError {
+        /// The offending address.
+        addr: u32,
+    },
+    /// Access crosses the end of the device or exceeds its size.
+    OutOfRange {
+        /// The offending address.
+        addr: u32,
+        /// Number of bytes requested.
+        len: usize,
+        /// Size of the device in bytes.
+        size: usize,
+    },
+    /// Address not aligned to the access size.
+    Misaligned {
+        /// The offending address.
+        addr: u32,
+        /// Required alignment in bytes.
+        align: u32,
+    },
+    /// The slave exists but rejected the access (e.g. write to ROM,
+    /// reserved register, unsupported size).
+    SlaveError {
+        /// The offending address.
+        addr: u32,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for BusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BusError::DecodeError { addr } => {
+                write!(f, "no slave decodes address {addr:#010x}")
+            }
+            BusError::OutOfRange { addr, len, size } => write!(
+                f,
+                "access of {len} bytes at {addr:#010x} exceeds device size {size:#x}"
+            ),
+            BusError::Misaligned { addr, align } => {
+                write!(f, "address {addr:#010x} not aligned to {align} bytes")
+            }
+            BusError::SlaveError { addr, reason } => {
+                write!(f, "slave error at {addr:#010x}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for BusError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = BusError::DecodeError { addr: 0xdead_0000 };
+        assert!(e.to_string().contains("0xdead0000"));
+        let e = BusError::OutOfRange {
+            addr: 0x10,
+            len: 8,
+            size: 4,
+        };
+        assert!(e.to_string().contains("8 bytes"));
+        let e = BusError::Misaligned { addr: 3, align: 4 };
+        assert!(e.to_string().contains("aligned"));
+        let e = BusError::SlaveError {
+            addr: 0,
+            reason: "write to rom",
+        };
+        assert!(e.to_string().contains("write to rom"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_err<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<BusError>();
+    }
+}

@@ -1,0 +1,211 @@
+//! Bus-fabric models for the bare-metal RISC-V + NVDLA SoC.
+//!
+//! This crate models, at transaction level with cycle-approximate timing,
+//! every interconnect component of the SoC in Fig. 2 of the paper:
+//!
+//! * [`ahb`] — the AHB-Lite protocol used by the µRISC-V core,
+//! * [`apb`] — the APB protocol in front of NVDLA's CSB adapter,
+//! * [`axi`] — AXI used by the data memory and the NVDLA data backbone (DBB),
+//! * [`bridge`] — the AHB→APB and AHB→AXI bridges,
+//! * [`width`] — the 64-bit→32-bit AXI data-width converter,
+//! * [`arbiter`] — the DRAM arbiter between the core and NVDLA's DBB,
+//! * [`decoder`] — the system-bus address decoder (NVDLA at `0x0..0xF_FFFF`,
+//!   DRAM at `0x10_0000..0x200F_FFFF`),
+//! * [`sram`] / [`dram`] — program memory and the DDR4 data memory,
+//! * [`smartconnect`] — the AXI SmartConnect mux between the Zynq PS and the SoC,
+//! * [`cdc`] — the clock-domain-crossing model for the SoC↔DDR4 boundary.
+//!
+//! # Timing model
+//!
+//! All transactions are expressed through the [`Target`] trait. A master
+//! passes its current local cycle count (`now`) and receives a
+//! [`Response`] whose `done_at` field says when the transaction completes
+//! in the master's clock domain. Shared resources (DRAM behind the
+//! [`arbiter::Arbiter`]) serialize requests with a busy-until timeline, so
+//! contention between the core and NVDLA emerges naturally.
+//!
+//! # Example
+//!
+//! ```
+//! use rvnv_bus::{Request, Target, sram::Sram};
+//!
+//! # fn main() -> Result<(), rvnv_bus::BusError> {
+//! let mut mem = Sram::new(0x1000);
+//! let done = mem.access(&Request::write32(0x10, 0xDEAD_BEEF), 0)?.done_at;
+//! let resp = mem.access(&Request::read32(0x10), done)?;
+//! assert_eq!(resp.data as u32, 0xDEAD_BEEF);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod access;
+pub mod ahb;
+pub mod apb;
+pub mod arbiter;
+pub mod axi;
+pub mod bridge;
+pub mod cdc;
+pub mod decoder;
+pub mod dram;
+pub mod error;
+pub mod smartconnect;
+pub mod sram;
+pub mod stats;
+pub mod width;
+
+pub use access::{AccessKind, AccessSize, MasterId, Request, Response};
+pub use error::BusError;
+
+/// A cycle count in some clock domain.
+pub type Cycle = u64;
+
+/// A memory-mapped transaction target (slave device).
+///
+/// `now` is the master's current cycle; the returned [`Response::done_at`]
+/// is when the transaction completes (always `>= now`). Implementations
+/// must be deterministic: the same request sequence yields the same timing.
+pub trait Target {
+    /// Perform a single (≤ 8 byte) transaction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError`] when the address decodes to nothing, the access
+    /// is misaligned, or the device rejects the access.
+    fn access(&mut self, req: &Request, now: Cycle) -> Result<Response, BusError>;
+
+    /// Read `buf.len()` bytes starting at `addr` as a burst.
+    ///
+    /// The default implementation issues one 32-bit beat per word; devices
+    /// with real burst support (DRAM) override this with amortized timing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing beat.
+    fn read_block(&mut self, addr: u32, buf: &mut [u8], now: Cycle) -> Result<Cycle, BusError> {
+        let mut t = now;
+        for (i, chunk) in buf.chunks_mut(4).enumerate() {
+            let a = addr.wrapping_add((i * 4) as u32);
+            let r = self.access(&Request::read(a, AccessSize::Word), t)?;
+            let word = (r.data as u32).to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+            t = r.done_at;
+        }
+        Ok(t)
+    }
+
+    /// Write `buf` starting at `addr` as a burst. See [`Target::read_block`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing beat.
+    fn write_block(&mut self, addr: u32, buf: &[u8], now: Cycle) -> Result<Cycle, BusError> {
+        let mut t = now;
+        for (i, chunk) in buf.chunks(4).enumerate() {
+            let a = addr.wrapping_add((i * 4) as u32);
+            let mut word = [0u8; 4];
+            word[..chunk.len()].copy_from_slice(chunk);
+            let r = self.access(
+                &Request::write(a, u64::from(u32::from_le_bytes(word)), AccessSize::Word),
+                t,
+            )?;
+            t = r.done_at;
+        }
+        Ok(t)
+    }
+}
+
+impl<T: Target + ?Sized> Target for &mut T {
+    fn access(&mut self, req: &Request, now: Cycle) -> Result<Response, BusError> {
+        (**self).access(req, now)
+    }
+    fn read_block(&mut self, addr: u32, buf: &mut [u8], now: Cycle) -> Result<Cycle, BusError> {
+        (**self).read_block(addr, buf, now)
+    }
+    fn write_block(&mut self, addr: u32, buf: &[u8], now: Cycle) -> Result<Cycle, BusError> {
+        (**self).write_block(addr, buf, now)
+    }
+}
+
+impl<T: Target + ?Sized> Target for Box<T> {
+    fn access(&mut self, req: &Request, now: Cycle) -> Result<Response, BusError> {
+        (**self).access(req, now)
+    }
+    fn read_block(&mut self, addr: u32, buf: &mut [u8], now: Cycle) -> Result<Cycle, BusError> {
+        (**self).read_block(addr, buf, now)
+    }
+    fn write_block(&mut self, addr: u32, buf: &[u8], now: Cycle) -> Result<Cycle, BusError> {
+        (**self).write_block(addr, buf, now)
+    }
+}
+
+/// A shared, thread-safe handle to a [`Target`].
+///
+/// The SoC wires several masters (the µRISC-V AHB port, the NVDLA DBB) to
+/// the same slaves; `Shared` provides cheaply clonable ownership.
+#[derive(Debug)]
+pub struct Shared<T: ?Sized>(std::sync::Arc<parking_lot::Mutex<T>>);
+
+impl<T> Shared<T> {
+    /// Wrap a target for shared ownership.
+    pub fn new(inner: T) -> Self {
+        Shared(std::sync::Arc::new(parking_lot::Mutex::new(inner)))
+    }
+
+    /// Lock and access the inner device.
+    pub fn lock(&self) -> parking_lot::MutexGuard<'_, T> {
+        self.0.lock()
+    }
+}
+
+impl<T: ?Sized> Clone for Shared<T> {
+    fn clone(&self) -> Self {
+        Shared(self.0.clone())
+    }
+}
+
+impl<T: Target + ?Sized> Target for Shared<T> {
+    fn access(&mut self, req: &Request, now: Cycle) -> Result<Response, BusError> {
+        self.0.lock().access(req, now)
+    }
+    fn read_block(&mut self, addr: u32, buf: &mut [u8], now: Cycle) -> Result<Cycle, BusError> {
+        self.0.lock().read_block(addr, buf, now)
+    }
+    fn write_block(&mut self, addr: u32, buf: &[u8], now: Cycle) -> Result<Cycle, BusError> {
+        self.0.lock().write_block(addr, buf, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sram::Sram;
+
+    #[test]
+    fn shared_is_send_and_sync() {
+        fn assert_send<T: Send>() {}
+        fn assert_sync<T: Sync>() {}
+        assert_send::<Shared<Sram>>();
+        assert_sync::<Shared<Sram>>();
+    }
+
+    #[test]
+    fn default_block_ops_round_trip() {
+        let mut mem = Sram::new(256);
+        let data: Vec<u8> = (0..64).collect();
+        let t = mem.write_block(0x20, &data, 0).unwrap();
+        assert!(t >= 16, "16 word beats must cost at least 16 cycles");
+        let mut out = vec![0u8; 64];
+        mem.read_block(0x20, &mut out, t).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn default_block_ops_handle_tail() {
+        let mut mem = Sram::new(64);
+        let data = [1u8, 2, 3, 4, 5, 6, 7];
+        mem.write_block(0, &data, 0).unwrap();
+        let mut out = [0u8; 7];
+        mem.read_block(0, &mut out, 0).unwrap();
+        assert_eq!(out, data);
+    }
+}

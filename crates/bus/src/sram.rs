@@ -1,0 +1,192 @@
+//! On-chip SRAM / block-RAM model (used for the RISC-V program memory).
+
+use crate::{AccessKind, BusError, Cycle, Request, Response, Target};
+
+/// Single-cycle on-chip memory.
+///
+/// The paper's program memory is built from FPGA block RAMs and serves one
+/// 32-bit word per cycle with no wait states; reads and writes both cost
+/// [`Sram::LATENCY`] cycles.
+#[derive(Debug, Clone)]
+pub struct Sram {
+    data: Vec<u8>,
+    read_only: bool,
+}
+
+impl Sram {
+    /// Access latency in cycles (BRAM synchronous read).
+    pub const LATENCY: Cycle = 1;
+
+    /// Create a zero-initialized RAM of `size` bytes.
+    #[must_use]
+    pub fn new(size: usize) -> Self {
+        Sram {
+            data: vec![0; size],
+            read_only: false,
+        }
+    }
+
+    /// Create a ROM pre-loaded with `image` (writes are rejected).
+    #[must_use]
+    pub fn rom(image: Vec<u8>) -> Self {
+        Sram {
+            data: image,
+            read_only: true,
+        }
+    }
+
+    /// Size in bytes.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Bulk-load `image` at byte offset `offset` (backdoor, zero cycles) —
+    /// models the simulation `$readmemh`/Zynq preload path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusError::OutOfRange`] if the image does not fit.
+    pub fn load(&mut self, offset: usize, image: &[u8]) -> Result<(), BusError> {
+        let end = offset.checked_add(image.len()).ok_or(BusError::OutOfRange {
+            addr: offset as u32,
+            len: image.len(),
+            size: self.data.len(),
+        })?;
+        if end > self.data.len() {
+            return Err(BusError::OutOfRange {
+                addr: offset as u32,
+                len: image.len(),
+                size: self.data.len(),
+            });
+        }
+        self.data[offset..end].copy_from_slice(image);
+        Ok(())
+    }
+
+    /// Backdoor view of the memory contents (no cycles consumed).
+    #[must_use]
+    pub fn bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    fn check(&self, addr: u32, len: u32) -> Result<usize, BusError> {
+        let offset = addr as usize;
+        if offset + len as usize > self.data.len() {
+            return Err(BusError::OutOfRange {
+                addr,
+                len: len as usize,
+                size: self.data.len(),
+            });
+        }
+        Ok(offset)
+    }
+}
+
+impl Target for Sram {
+    fn access(&mut self, req: &Request, now: Cycle) -> Result<Response, BusError> {
+        if !req.is_aligned() {
+            return Err(BusError::Misaligned {
+                addr: req.addr,
+                align: req.size.bytes(),
+            });
+        }
+        let n = req.size.bytes();
+        let offset = self.check(req.addr, n)?;
+        let done_at = now + Self::LATENCY;
+        match req.kind {
+            AccessKind::Read => {
+                let mut v = [0u8; 8];
+                v[..n as usize].copy_from_slice(&self.data[offset..offset + n as usize]);
+                Ok(Response {
+                    data: u64::from_le_bytes(v),
+                    done_at,
+                })
+            }
+            AccessKind::Write(d) => {
+                if self.read_only {
+                    return Err(BusError::SlaveError {
+                        addr: req.addr,
+                        reason: "write to read-only memory",
+                    });
+                }
+                let bytes = d.to_le_bytes();
+                self.data[offset..offset + n as usize].copy_from_slice(&bytes[..n as usize]);
+                Ok(Response::ack(done_at))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AccessSize;
+
+    #[test]
+    fn read_write_all_sizes() {
+        let mut m = Sram::new(64);
+        m.access(&Request::write(0, 0xA5, AccessSize::Byte), 0).unwrap();
+        m.access(&Request::write(2, 0xBEEF, AccessSize::Half), 0).unwrap();
+        m.access(&Request::write(4, 0xDEAD_BEEF, AccessSize::Word), 0).unwrap();
+        m.access(&Request::write(8, 0x0123_4567_89AB_CDEF, AccessSize::Double), 0)
+            .unwrap();
+        assert_eq!(m.access(&Request::read(0, AccessSize::Byte), 0).unwrap().data, 0xA5);
+        assert_eq!(m.access(&Request::read(2, AccessSize::Half), 0).unwrap().data, 0xBEEF);
+        assert_eq!(
+            m.access(&Request::read(4, AccessSize::Word), 0).unwrap().data,
+            0xDEAD_BEEF
+        );
+        assert_eq!(
+            m.access(&Request::read(8, AccessSize::Double), 0).unwrap().data,
+            0x0123_4567_89AB_CDEF
+        );
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut m = Sram::new(8);
+        m.access(&Request::write32(0, 0x0403_0201), 0).unwrap();
+        assert_eq!(m.bytes()[..4], [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut m = Sram::new(4);
+        let e = m.access(&Request::read32(4), 0).unwrap_err();
+        assert!(matches!(e, BusError::OutOfRange { .. }));
+        // A word read straddling the end is also rejected.
+        let e = m.access(&Request::read(2, AccessSize::Word), 0).unwrap_err();
+        assert!(matches!(e, BusError::Misaligned { .. } | BusError::OutOfRange { .. }));
+    }
+
+    #[test]
+    fn misaligned_rejected() {
+        let mut m = Sram::new(16);
+        let e = m.access(&Request::read(1, AccessSize::Word), 0).unwrap_err();
+        assert_eq!(e, BusError::Misaligned { addr: 1, align: 4 });
+    }
+
+    #[test]
+    fn rom_rejects_writes() {
+        let mut m = Sram::rom(vec![0x13, 0, 0, 0]);
+        assert_eq!(m.access(&Request::read32(0), 0).unwrap().data, 0x13);
+        let e = m.access(&Request::write32(0, 1), 0).unwrap_err();
+        assert!(matches!(e, BusError::SlaveError { .. }));
+    }
+
+    #[test]
+    fn load_backdoor() {
+        let mut m = Sram::new(8);
+        m.load(2, &[9, 8, 7]).unwrap();
+        assert_eq!(&m.bytes()[2..5], &[9, 8, 7]);
+        assert!(m.load(7, &[1, 2]).is_err());
+    }
+
+    #[test]
+    fn latency_is_one_cycle() {
+        let mut m = Sram::new(8);
+        let r = m.access(&Request::read32(0), 41).unwrap();
+        assert_eq!(r.done_at, 42);
+    }
+}

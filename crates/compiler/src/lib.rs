@@ -1,0 +1,51 @@
+//! The bare-metal NVDLA compiler toolflow (paper Fig. 1 / Fig. 3).
+//!
+//! The paper's key software contribution is a flow that turns a trained
+//! Caffe model into (a) a *configuration file* of `write_reg`/`read_reg`
+//! commands and (b) a deduplicated *weight file*, then translates the
+//! configuration file into bare-metal RISC-V assembly. This crate
+//! implements every stage:
+//!
+//! * [`compile()`] — the NVDLA compiler: fuses layers onto engines
+//!   (Conv+BN+Add+ReLU → conv pipeline + SDP, pooling → PDP, LRN → CDP),
+//!   allocates DRAM, quantizes weights (INT8 with calibration tables, or
+//!   FP16) and emits the register-command stream,
+//! * [`trace`] — the `write_reg`/`read_reg` command representation and
+//!   the textual configuration-file format,
+//! * [`vp`] — the "virtual platform": replays a compiled model on the
+//!   NVDLA model and logs `nvdla.csb_adaptor` / `nvdla.dbb_adaptor`
+//!   transactions exactly as the paper scrapes them,
+//! * [`vplog`] — the log scraper: configuration-file generation from CSB
+//!   lines and weight extraction (first-occurrence dedup) from DBB lines,
+//! * [`codegen`] — configuration file → RISC-V assembly → machine code
+//!   (via [`rvnv_riscv::assemble`]).
+//!
+//! # Example
+//!
+//! ```
+//! use rvnv_compiler::{compile, CompileOptions};
+//! use rvnv_nvdla::Precision;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let net = rvnv_nn::zoo::lenet5(1);
+//! let artifacts = compile(&net, &CompileOptions::int8())?;
+//! assert!(artifacts.commands.len() > 50);
+//! assert_eq!(artifacts.precision, Precision::Int8);
+//! let asm = rvnv_compiler::codegen::generate_assembly(&artifacts.commands);
+//! let image = rvnv_riscv::assemble(&asm)?;
+//! assert!(!image.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod codegen;
+pub mod compile;
+pub mod layout;
+pub mod trace;
+pub mod traces;
+pub mod vp;
+pub mod vplog;
+
+pub use compile::{compile, Artifacts, CompileError, CompileOptions, OpInfo};
+pub use trace::ConfigCmd;
+pub use vp::{VirtualPlatform, VpRun};

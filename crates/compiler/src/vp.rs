@@ -1,0 +1,358 @@
+//! The NVDLA virtual platform (paper Fig. 3).
+//!
+//! The real VP co-simulates QEMU and the SystemC NVDLA model; its value
+//! to the paper's flow is (a) executing a compiled network without the
+//! SoC and (b) producing the CSB/DBB transaction log that the toolflow
+//! scrapes. This module does both against our register-level model: it
+//! replays a command stream on an [`Nvdla`] whose DBB is instrumented
+//! with a beat-level logger.
+
+use std::error::Error;
+use std::fmt;
+
+use rvnv_bus::dram::{Dram, DramTiming};
+use rvnv_bus::{BusError, Cycle, Request, Target};
+use rvnv_nvdla::{HwConfig, Nvdla};
+
+use crate::compile::Artifacts;
+use crate::trace::ConfigCmd;
+use crate::vplog::VpLog;
+
+/// A DBB wrapper that logs every 64-bit beat like `nvdla.dbb_adaptor`.
+#[derive(Debug)]
+pub struct DbbLogger<T> {
+    inner: T,
+    log: VpLog,
+    enabled: bool,
+}
+
+impl<T: Target> DbbLogger<T> {
+    /// Wrap a memory; logging starts disabled.
+    pub fn new(inner: T) -> Self {
+        DbbLogger {
+            inner,
+            log: VpLog::new(),
+            enabled: false,
+        }
+    }
+
+    /// Enable/disable beat logging (large models produce huge logs).
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Take the accumulated log, leaving an empty one.
+    pub fn take_log(&mut self) -> VpLog {
+        std::mem::take(&mut self.log)
+    }
+
+    /// Access the wrapped memory.
+    pub fn inner_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+
+    fn log_block(&mut self, addr: u32, buf: &[u8], iswrite: bool) {
+        if !self.enabled {
+            return;
+        }
+        for (i, chunk) in buf.chunks(8).enumerate() {
+            let mut beat = [0u8; 8];
+            beat[..chunk.len()].copy_from_slice(chunk);
+            self.log
+                .dbb(addr + (i * 8) as u32, u64::from_le_bytes(beat), iswrite);
+        }
+    }
+}
+
+impl<T: Target> Target for DbbLogger<T> {
+    fn access(&mut self, req: &Request, now: Cycle) -> Result<rvnv_bus::Response, BusError> {
+        let resp = self.inner.access(req, now)?;
+        if self.enabled {
+            let data = req.write_data().unwrap_or(resp.data);
+            self.log.dbb(req.addr, data, req.is_write());
+        }
+        Ok(resp)
+    }
+
+    fn read_block(&mut self, addr: u32, buf: &mut [u8], now: Cycle) -> Result<Cycle, BusError> {
+        let done = self.inner.read_block(addr, buf, now)?;
+        self.log_block(addr, buf, false);
+        Ok(done)
+    }
+
+    fn write_block(&mut self, addr: u32, buf: &[u8], now: Cycle) -> Result<Cycle, BusError> {
+        let done = self.inner.write_block(addr, buf, now)?;
+        self.log_block(addr, buf, true);
+        Ok(done)
+    }
+}
+
+/// Result of one VP run.
+#[derive(Debug)]
+pub struct VpRun {
+    /// Total cycles from first command to accelerator idle.
+    pub cycles: u64,
+    /// Raw output bytes.
+    pub output: Vec<u8>,
+    /// The transaction log (empty when logging was off).
+    pub log: VpLog,
+    /// CSB commands replayed.
+    pub commands: usize,
+}
+
+/// VP failure.
+#[derive(Debug)]
+pub enum VpError {
+    /// A register command faulted.
+    Bus(BusError),
+    /// A `read_reg` expectation never became true.
+    Mismatch {
+        /// The failing command.
+        cmd: ConfigCmd,
+        /// Value observed.
+        got: u32,
+    },
+}
+
+impl fmt::Display for VpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VpError::Bus(e) => write!(f, "vp bus fault: {e}"),
+            VpError::Mismatch { cmd, got } => {
+                write!(f, "vp expectation failed: `{cmd}` observed {got:#010x}")
+            }
+        }
+    }
+}
+
+impl Error for VpError {}
+
+impl From<BusError> for VpError {
+    fn from(e: BusError) -> Self {
+        VpError::Bus(e)
+    }
+}
+
+/// The virtual platform: an NVDLA with a logged, DRAM-backed DBB.
+#[derive(Debug)]
+pub struct VirtualPlatform {
+    nvdla: Nvdla<DbbLogger<Dram>>,
+    /// CSB cost per replayed command (the VP's host-driven CSB is quick).
+    csb_interval: u64,
+}
+
+impl VirtualPlatform {
+    /// Build a VP for the given configuration with default (MIG-like)
+    /// memory timing and `mem_bytes` of DRAM.
+    #[must_use]
+    pub fn new(cfg: HwConfig, mem_bytes: usize) -> Self {
+        Self::with_timing(cfg, mem_bytes, DramTiming::mig_ddr4())
+    }
+
+    /// Build a VP with explicit memory timing (Table III `nv_full` runs
+    /// use a wider, lower-latency memory than the FPGA MIG).
+    #[must_use]
+    pub fn with_timing(cfg: HwConfig, mem_bytes: usize, timing: DramTiming) -> Self {
+        VirtualPlatform {
+            nvdla: Nvdla::new(cfg, DbbLogger::new(Dram::new(mem_bytes, timing))),
+            csb_interval: 4,
+        }
+    }
+
+    /// Disable functional computation (timing-only sweeps).
+    pub fn set_functional(&mut self, functional: bool) {
+        self.nvdla.set_functional(functional);
+    }
+
+    /// The underlying accelerator (for statistics).
+    #[must_use]
+    pub fn nvdla(&self) -> &Nvdla<DbbLogger<Dram>> {
+        &self.nvdla
+    }
+
+    /// Run a compiled model on `input` (raw quantized bytes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VpError`] on register faults or failed expectations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight image or input do not fit in VP memory.
+    pub fn run(
+        &mut self,
+        artifacts: &Artifacts,
+        input: &[u8],
+        log_transactions: bool,
+    ) -> Result<VpRun, VpError> {
+        assert_eq!(input.len(), artifacts.input_len, "input byte length");
+        // Preload weights and input (backdoor: not part of inference).
+        let dram = self.nvdla.dbb_mut().inner_mut();
+        for seg in artifacts.weights.segments() {
+            dram.load(seg.addr as usize, &seg.bytes).expect("weights fit");
+        }
+        dram.load(artifacts.input_addr as usize, input).expect("input fits");
+        self.nvdla.dbb_mut().set_enabled(log_transactions);
+
+        let mut t: u64 = 0;
+        let mut csb_log: Vec<(u32, u32, bool)> = Vec::new();
+        for cmd in &artifacts.commands {
+            match *cmd {
+                ConfigCmd::WriteReg { addr, value } => {
+                    let r = self.nvdla.access(&Request::write32(addr, value), t)?;
+                    t = r.done_at + self.csb_interval;
+                    if log_transactions {
+                        csb_log.push((addr, value, true));
+                    }
+                }
+                ConfigCmd::ReadReg { addr, mask, expect } => {
+                    // First read; if unsatisfied, the VP sleeps on the
+                    // interrupt and reads once more at completion.
+                    let r = self.nvdla.access(&Request::read32(addr), t)?;
+                    let mut got = r.data32();
+                    t = r.done_at + self.csb_interval;
+                    if got & mask != expect {
+                        let wake = self.nvdla.idle_at(t).max(t) + 1;
+                        let r2 = self.nvdla.access(&Request::read32(addr), wake)?;
+                        got = r2.data32();
+                        t = r2.done_at + self.csb_interval;
+                    }
+                    if got & mask != expect {
+                        return Err(VpError::Mismatch { cmd: *cmd, got });
+                    }
+                    if log_transactions {
+                        csb_log.push((addr, got, false));
+                    }
+                }
+            }
+        }
+        let cycles = self.nvdla.idle_at(t);
+
+        // Merge CSB lines in front of the DBB beats: command order is
+        // what the scraper needs, not interleaving fidelity.
+        let mut log = VpLog::new();
+        for (addr, data, iswrite) in csb_log {
+            log.csb(addr, data, iswrite);
+        }
+        let dbb = self.nvdla.dbb_mut().take_log();
+        for e in dbb.entries() {
+            log.dbb(e.addr, e.data, e.iswrite);
+        }
+
+        let output = self
+            .nvdla
+            .dbb_mut()
+            .inner_mut()
+            .peek(artifacts.output_addr as usize, artifacts.output_len)
+            .to_vec();
+        Ok(VpRun {
+            cycles,
+            output,
+            log,
+            commands: artifacts.commands.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{compile, CompileOptions};
+    use crate::vplog::{extract_config, extract_weights};
+    use rvnv_nn::exec::Executor;
+    use rvnv_nn::tensor::Tensor;
+    use rvnv_nn::zoo;
+
+    #[test]
+    fn lenet_runs_on_vp_and_matches_golden_argmax() {
+        let net = zoo::lenet5(7);
+        let artifacts = compile(&net, &CompileOptions::int8()).unwrap();
+        let input = Tensor::random(net.input_shape(), 99);
+        let mut vp = VirtualPlatform::new(HwConfig::nv_small(), 16 << 20);
+        let run = vp
+            .run(&artifacts, &artifacts.quantize_input(&input), false)
+            .unwrap();
+        assert!(run.cycles > 10_000, "LeNet takes real cycles: {}", run.cycles);
+
+        let got = artifacts.dequantize_output(&run.output);
+        // Golden reference: compare pre-softmax logits by argmax.
+        let exec = Executor::new(&net);
+        let all = exec.run_all(&input).unwrap();
+        let logits = &all[all.len() - 2]; // ip2, before softmax
+        assert_eq!(got.argmax(), logits.argmax(), "classification must agree");
+    }
+
+    #[test]
+    fn toolflow_round_trip_config_from_log() {
+        let net = zoo::lenet5(3);
+        let artifacts = compile(&net, &CompileOptions::int8()).unwrap();
+        let input = Tensor::random(net.input_shape(), 5);
+        let mut vp = VirtualPlatform::new(HwConfig::nv_small(), 16 << 20);
+        let run = vp
+            .run(&artifacts, &artifacts.quantize_input(&input), true)
+            .unwrap();
+        // The scraped config equals the compiled command stream.
+        let scraped = extract_config(&run.log);
+        assert_eq!(scraped, artifacts.commands);
+        // Weight extraction covers the weight image (first reads are the
+        // original weights).
+        let weights = extract_weights(&run.log);
+        assert!(!weights.is_empty());
+        let total_weight_bytes: usize = artifacts.weights.total_bytes();
+        assert!(
+            weights.len() * 8 >= total_weight_bytes,
+            "every weight byte appears in some read beat"
+        );
+    }
+
+    #[test]
+    fn vp_detects_wrong_expectation() {
+        let net = zoo::lenet5(3);
+        let mut artifacts = compile(&net, &CompileOptions::int8()).unwrap();
+        // Corrupt a poll to expect an impossible bit.
+        for c in &mut artifacts.commands {
+            if let ConfigCmd::ReadReg { mask, expect, .. } = c {
+                *mask = 1 << 31;
+                *expect = 1 << 31;
+                break;
+            }
+        }
+        let input = vec![0u8; artifacts.input_len];
+        let mut vp = VirtualPlatform::new(HwConfig::nv_small(), 16 << 20);
+        let e = vp.run(&artifacts, &input, false).unwrap_err();
+        assert!(matches!(e, VpError::Mismatch { .. }));
+    }
+
+    #[test]
+    fn fp16_on_nv_full_runs() {
+        let net = zoo::lenet5(2);
+        let artifacts = compile(&net, &CompileOptions::fp16()).unwrap();
+        let input = Tensor::random(net.input_shape(), 1);
+        let mut vp = VirtualPlatform::new(HwConfig::nv_full(), 64 << 20);
+        let run = vp
+            .run(&artifacts, &artifacts.quantize_input(&input), false)
+            .unwrap();
+        let got = artifacts.dequantize_output(&run.output);
+        let exec = Executor::new(&net);
+        let all = exec.run_all(&input).unwrap();
+        let logits = &all[all.len() - 2];
+        // FP16 is close to f32: compare values, not just argmax.
+        for (a, b) in got.data().iter().zip(logits.data()) {
+            assert!((a - b).abs() < 0.05, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn timing_only_run_is_cycle_identical() {
+        let net = zoo::lenet5(2);
+        let artifacts = compile(&net, &CompileOptions::int8()).unwrap();
+        let input = Tensor::random(net.input_shape(), 1);
+        let bytes = artifacts.quantize_input(&input);
+        let mut vp1 = VirtualPlatform::new(HwConfig::nv_small(), 16 << 20);
+        let r1 = vp1.run(&artifacts, &bytes, false).unwrap();
+        let mut vp2 = VirtualPlatform::new(HwConfig::nv_small(), 16 << 20);
+        vp2.set_functional(false);
+        let r2 = vp2.run(&artifacts, &bytes, false).unwrap();
+        assert_eq!(r1.cycles, r2.cycles);
+    }
+}

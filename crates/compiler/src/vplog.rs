@@ -1,0 +1,292 @@
+//! Virtual-platform log scraping (paper §IV-B).
+//!
+//! The VP writes one line per interface transaction:
+//!
+//! ```text
+//! nvdla.csb_adaptor: addr=0x00005008 data=0x00000001 iswrite=1
+//! nvdla.dbb_adaptor: addr=0x00000040 data=0x1122334455667788 iswrite=0
+//! ```
+//!
+//! * CSB lines become the configuration file: writes → `write_reg`,
+//!   reads → `read_reg` with the observed (expected) value; reads of the
+//!   interrupt-status register become polls.
+//! * DBB **read** lines are memory fetches — the weights; duplicates are
+//!   removed keeping the **first** occurrence (later reads of the same
+//!   address may observe activations that overwrote the region).
+
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+
+use rvnv_nvdla::regs;
+
+use crate::trace::ConfigCmd;
+
+/// One parsed VP log transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VpEntry {
+    /// CSB (register) or DBB (memory) interface.
+    pub interface: Interface,
+    /// Byte address.
+    pub addr: u32,
+    /// Data (32-bit for CSB, up to 64-bit for DBB beats).
+    pub data: u64,
+    /// The `iswrite` flag.
+    pub iswrite: bool,
+}
+
+/// Which adaptor produced a log line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interface {
+    /// Configuration space bus.
+    Csb,
+    /// Data backbone.
+    Dbb,
+}
+
+/// A complete VP log.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VpLog {
+    entries: Vec<VpEntry>,
+}
+
+impl VpLog {
+    /// An empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a CSB transaction.
+    pub fn csb(&mut self, addr: u32, data: u32, iswrite: bool) {
+        self.entries.push(VpEntry {
+            interface: Interface::Csb,
+            addr,
+            data: u64::from(data),
+            iswrite,
+        });
+    }
+
+    /// Record a DBB beat.
+    pub fn dbb(&mut self, addr: u32, data: u64, iswrite: bool) {
+        self.entries.push(VpEntry {
+            interface: Interface::Dbb,
+            addr,
+            data,
+            iswrite,
+        });
+    }
+
+    /// All entries in order.
+    #[must_use]
+    pub fn entries(&self) -> &[VpEntry] {
+        &self.entries
+    }
+
+    /// Render the textual log.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            let tag = match e.interface {
+                Interface::Csb => "nvdla.csb_adaptor",
+                Interface::Dbb => "nvdla.dbb_adaptor",
+            };
+            let width = match e.interface {
+                Interface::Csb => 8,
+                Interface::Dbb => 16,
+            };
+            out.push_str(&format!(
+                "{tag}: addr={:#010x} data={:#0w$x} iswrite={}\n",
+                e.addr,
+                e.data,
+                u8::from(e.iswrite),
+                w = width + 2,
+            ));
+        }
+        out
+    }
+
+    /// Parse a textual log, ignoring unrelated lines (the real VP log
+    /// interleaves QEMU/SystemC noise).
+    #[must_use]
+    pub fn parse(text: &str) -> Self {
+        let mut log = VpLog::new();
+        for line in text.lines() {
+            let (interface, rest) = if let Some(r) = line.trim().strip_prefix("nvdla.csb_adaptor:")
+            {
+                (Interface::Csb, r)
+            } else if let Some(r) = line.trim().strip_prefix("nvdla.dbb_adaptor:") {
+                (Interface::Dbb, r)
+            } else {
+                continue;
+            };
+            let mut addr = None;
+            let mut data = None;
+            let mut iswrite = None;
+            for tok in rest.split_whitespace() {
+                if let Some(v) = tok.strip_prefix("addr=") {
+                    addr = parse_hex(v);
+                } else if let Some(v) = tok.strip_prefix("data=") {
+                    data = parse_hex(v);
+                } else if let Some(v) = tok.strip_prefix("iswrite=") {
+                    iswrite = v.parse::<u8>().ok().map(|b| b != 0);
+                }
+            }
+            if let (Some(addr), Some(data), Some(iswrite)) = (addr, data, iswrite) {
+                log.entries.push(VpEntry {
+                    interface,
+                    addr: addr as u32,
+                    data,
+                    iswrite,
+                });
+            }
+        }
+        log
+    }
+}
+
+fn parse_hex(s: &str) -> Option<u64> {
+    let h = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")).unwrap_or(s);
+    u64::from_str_radix(h, 16).ok()
+}
+
+/// Error extracting artifacts from a log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtractError(String);
+
+impl fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "log extraction: {}", self.0)
+    }
+}
+
+impl Error for ExtractError {}
+
+/// Generate the configuration file from the CSB lines of a log
+/// (the paper's "Configuration File Generation" step).
+#[must_use]
+pub fn extract_config(log: &VpLog) -> Vec<ConfigCmd> {
+    log.entries()
+        .iter()
+        .filter(|e| e.interface == Interface::Csb)
+        .map(|e| {
+            let data = e.data as u32;
+            if e.iswrite {
+                ConfigCmd::WriteReg {
+                    addr: e.addr,
+                    value: data,
+                }
+            } else if e.addr == regs::GLB_INTR_STATUS {
+                // Interrupt-status reads are polls for the bits observed.
+                ConfigCmd::ReadReg {
+                    addr: e.addr,
+                    mask: data,
+                    expect: data,
+                }
+            } else {
+                ConfigCmd::ReadReg {
+                    addr: e.addr,
+                    mask: u32::MAX,
+                    expect: data,
+                }
+            }
+        })
+        .collect()
+}
+
+/// Extract the weight file from the DBB lines of a log: every **read**
+/// is a memory fetch; duplicate addresses keep the first occurrence
+/// (the paper's dedup rule). Returns `(addr, data)` beats sorted by
+/// address.
+#[must_use]
+pub fn extract_weights(log: &VpLog) -> Vec<(u32, u64)> {
+    let mut seen = BTreeSet::new();
+    let mut beats: Vec<(u32, u64)> = Vec::new();
+    for e in log.entries() {
+        if e.interface == Interface::Dbb && !e.iswrite && seen.insert(e.addr) {
+            beats.push((e.addr, e.data));
+        }
+    }
+    beats.sort_by_key(|&(a, _)| a);
+    beats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_text_round_trips() {
+        let mut log = VpLog::new();
+        log.csb(0x5008, 1, true);
+        log.csb(regs::GLB_INTR_STATUS, 0b11, false);
+        log.dbb(0x40, 0x1122_3344_5566_7788, false);
+        log.dbb(0x48, 0xAA, true);
+        let text = log.to_text();
+        assert!(text.contains("nvdla.csb_adaptor"));
+        assert!(text.contains("iswrite=0"));
+        let back = VpLog::parse(&text);
+        assert_eq!(back, log);
+    }
+
+    #[test]
+    fn parser_ignores_noise_lines() {
+        let text = "qemu: booting\nnvdla.csb_adaptor: addr=0x10 data=0x20 iswrite=1\nsystemc gibberish\n";
+        let log = VpLog::parse(text);
+        assert_eq!(log.entries().len(), 1);
+    }
+
+    #[test]
+    fn config_extraction_classifies_reads_and_writes() {
+        let mut log = VpLog::new();
+        log.csb(0x5008, 1, true);
+        log.csb(regs::GLB_INTR_STATUS, 0b10, false);
+        log.csb(0x0000, 0x151A0, false);
+        let cmds = extract_config(&log);
+        assert_eq!(
+            cmds[0],
+            ConfigCmd::WriteReg {
+                addr: 0x5008,
+                value: 1
+            }
+        );
+        assert_eq!(
+            cmds[1],
+            ConfigCmd::ReadReg {
+                addr: regs::GLB_INTR_STATUS,
+                mask: 0b10,
+                expect: 0b10
+            }
+        );
+        assert_eq!(
+            cmds[2],
+            ConfigCmd::ReadReg {
+                addr: 0,
+                mask: u32::MAX,
+                expect: 0x151A0
+            }
+        );
+    }
+
+    #[test]
+    fn weight_extraction_dedups_first_occurrence() {
+        let mut log = VpLog::new();
+        log.dbb(0x100, 0xAAAA, false); // weight fetch (original)
+        log.dbb(0x200, 0xBBBB, false);
+        log.dbb(0x100, 0xCCCC, false); // re-read after overwrite: dropped
+        log.dbb(0x300, 0xDDDD, true); // write: not a weight
+        let w = extract_weights(&log);
+        assert_eq!(w, vec![(0x100, 0xAAAA), (0x200, 0xBBBB)]);
+    }
+
+    #[test]
+    fn weights_sorted_by_address() {
+        let mut log = VpLog::new();
+        log.dbb(0x300, 3, false);
+        log.dbb(0x100, 1, false);
+        let w = extract_weights(&log);
+        assert_eq!(w[0].0, 0x100);
+        assert_eq!(w[1].0, 0x300);
+    }
+}

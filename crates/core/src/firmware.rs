@@ -1,0 +1,147 @@
+//! Firmware builder: compiled artifacts → program-memory image.
+//!
+//! The paper's flow loads "machine code generated from the configuration
+//! file" into block-RAM program memory (`.mem` format). This module
+//! performs the configuration-file → assembly → machine-code steps and
+//! reports the storage footprint that the bare-metal approach saves
+//! relative to a Linux image.
+
+use rvnv_compiler::codegen::{generate_assembly_with, CodegenOptions};
+use rvnv_compiler::Artifacts;
+use rvnv_riscv::asm::{assemble, AsmError, Image};
+
+/// A built firmware image plus its source assembly.
+#[derive(Debug, Clone)]
+pub struct Firmware {
+    /// The generated assembly text.
+    pub assembly: String,
+    /// The assembled flat binary.
+    pub image: Image,
+}
+
+impl Firmware {
+    /// Build firmware for compiled artifacts with default options
+    /// (poll-mode waits, `mcycle` self-timing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError`] if the generated assembly fails to assemble
+    /// (a codegen bug, not a user error).
+    pub fn build(artifacts: &Artifacts) -> Result<Self, AsmError> {
+        Self::build_with(artifacts, CodegenOptions::default())
+    }
+
+    /// Build firmware with explicit codegen options (e.g. `wfi` waits).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError`] if the generated assembly fails to assemble.
+    pub fn build_with(artifacts: &Artifacts, options: CodegenOptions) -> Result<Self, AsmError> {
+        let assembly = generate_assembly_with(&artifacts.commands, options);
+        let image = assemble(&assembly)?;
+        Ok(Firmware { assembly, image })
+    }
+
+    /// Machine-code size in bytes (the program-memory footprint).
+    #[must_use]
+    pub fn size_bytes(&self) -> usize {
+        self.image.len()
+    }
+
+    /// Render the image in Vivado `.mem` format (one 32-bit hex word per
+    /// line), as loaded into the FPGA block RAMs.
+    #[must_use]
+    pub fn to_mem_format(&self) -> String {
+        let mut out = String::new();
+        for w in self.image.words() {
+            out.push_str(&format!("{w:08x}\n"));
+        }
+        out
+    }
+}
+
+/// Storage footprint of the deployed software stack, in bytes.
+///
+/// The paper's motivation: a Linux-based flow must store a kernel, a
+/// root filesystem with the NVDLA runtime/driver and the model loadable,
+/// while the bare-metal flow stores only the machine code and the weight
+/// file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StorageFootprint {
+    /// Firmware machine code (bare-metal) or kernel+rootfs (Linux).
+    pub software_bytes: u64,
+    /// Weight file.
+    pub weight_bytes: u64,
+}
+
+impl StorageFootprint {
+    /// Typical embedded Linux stack for NVDLA (ref.\[10\]-style PetaLinux
+    /// deployments): ~4.5 MB kernel + ~28 MB rootfs with the UMD/KMD
+    /// runtime.
+    pub const LINUX_STACK_BYTES: u64 = 4_500_000 + 28_000_000;
+
+    /// Bare-metal footprint of a firmware + weight image.
+    #[must_use]
+    pub fn bare_metal(fw: &Firmware, artifacts: &Artifacts) -> Self {
+        StorageFootprint {
+            software_bytes: fw.size_bytes() as u64,
+            weight_bytes: artifacts.weights.total_bytes() as u64,
+        }
+    }
+
+    /// Linux-stack footprint for the same artifacts.
+    #[must_use]
+    pub fn linux(artifacts: &Artifacts) -> Self {
+        StorageFootprint {
+            software_bytes: Self::LINUX_STACK_BYTES,
+            weight_bytes: artifacts.weights.total_bytes() as u64,
+        }
+    }
+
+    /// Total bytes.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.software_bytes + self.weight_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvnv_compiler::{compile, CompileOptions};
+
+    #[test]
+    fn lenet_firmware_builds_and_is_small() {
+        let net = rvnv_nn::zoo::lenet5(1);
+        let artifacts = compile(&net, &CompileOptions::int8()).unwrap();
+        let fw = Firmware::build(&artifacts).unwrap();
+        assert!(fw.size_bytes() > 1000, "real program");
+        assert!(fw.size_bytes() < 64 << 10, "fits small program memory");
+        assert!(fw.assembly.contains("poll_1:"));
+    }
+
+    #[test]
+    fn mem_format_is_one_word_per_line() {
+        let net = rvnv_nn::zoo::lenet5(1);
+        let artifacts = compile(&net, &CompileOptions::int8()).unwrap();
+        let fw = Firmware::build(&artifacts).unwrap();
+        let mem = fw.to_mem_format();
+        let lines: Vec<&str> = mem.lines().collect();
+        assert_eq!(lines.len(), fw.image.words().len());
+        assert!(lines.iter().all(|l| l.len() == 8));
+    }
+
+    #[test]
+    fn bare_metal_footprint_is_orders_smaller_than_linux() {
+        let net = rvnv_nn::zoo::lenet5(1);
+        let artifacts = compile(&net, &CompileOptions::int8()).unwrap();
+        let fw = Firmware::build(&artifacts).unwrap();
+        let bm = StorageFootprint::bare_metal(&fw, &artifacts);
+        let lx = StorageFootprint::linux(&artifacts);
+        assert!(
+            lx.software_bytes > 500 * bm.software_bytes,
+            "bare metal saves >500x software storage"
+        );
+        assert_eq!(bm.weight_bytes, lx.weight_bytes);
+    }
+}

@@ -1,0 +1,178 @@
+//! Per-layer profiling report.
+//!
+//! Joins the compiler's per-op metadata ([`OpInfo`]) with the
+//! accelerator's execution timeline ([`rvnv_nvdla::OpTrace`]) into the
+//! kind of per-layer latency breakdown an FPGA team reads off an ILA —
+//! which layers dominate, how busy the accelerator was, and how much of
+//! the wall clock went to CPU-side programming gaps.
+
+use rvnv_compiler::{Artifacts, OpInfo};
+use rvnv_nvdla::OpTrace;
+
+use crate::soc::InferenceResult;
+
+/// One joined profiling row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerProfile {
+    /// Root graph-node name.
+    pub name: String,
+    /// Engine that executed it.
+    pub engine: &'static str,
+    /// Launch cycle.
+    pub start: u64,
+    /// Completion cycle.
+    pub done: u64,
+    /// MACs performed.
+    pub macs: u64,
+    /// Fused graph nodes.
+    pub fused: Vec<String>,
+}
+
+impl LayerProfile {
+    /// Operation latency in cycles.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.done - self.start
+    }
+}
+
+/// A whole-inference profile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InferenceProfile {
+    /// Per-layer rows in launch order.
+    pub layers: Vec<LayerProfile>,
+    /// Total inference cycles (reset to `ebreak`).
+    pub total_cycles: u64,
+    /// Cycles with at least one engine active.
+    pub accelerator_busy_cycles: u64,
+}
+
+impl InferenceProfile {
+    /// Join artifacts and a result into a profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result does not belong to the artifacts (different
+    /// op counts).
+    #[must_use]
+    pub fn new(artifacts: &Artifacts, result: &InferenceResult) -> Self {
+        assert_eq!(
+            artifacts.ops.len(),
+            result.timeline.len(),
+            "artifacts/result mismatch"
+        );
+        let layers = artifacts
+            .ops
+            .iter()
+            .zip(&result.timeline)
+            .map(|(op, trace): (&OpInfo, &OpTrace)| LayerProfile {
+                name: op.name.clone(),
+                engine: op.engine,
+                start: trace.start,
+                done: trace.done,
+                macs: op.macs,
+                fused: op.fused.clone(),
+            })
+            .collect::<Vec<_>>();
+        let accelerator_busy_cycles = layers.iter().map(LayerProfile::cycles).sum();
+        InferenceProfile {
+            layers,
+            total_cycles: result.cycles,
+            accelerator_busy_cycles,
+        }
+    }
+
+    /// Accelerator occupancy in percent (0–100).
+    #[must_use]
+    pub fn occupancy_percent(&self) -> u64 {
+        if self.total_cycles == 0 {
+            0
+        } else {
+            self.accelerator_busy_cycles * 100 / self.total_cycles
+        }
+    }
+
+    /// The `n` slowest layers, most expensive first.
+    #[must_use]
+    pub fn hotspots(&self, n: usize) -> Vec<&LayerProfile> {
+        let mut rows: Vec<&LayerProfile> = self.layers.iter().collect();
+        rows.sort_by_key(|l| std::cmp::Reverse(l.cycles()));
+        rows.truncate(n);
+        rows
+    }
+
+    /// Render a fixed-width report.
+    #[must_use]
+    pub fn to_report(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<22} {:<6} {:>10} {:>10} {:>12} {:>6}\n",
+            "layer", "engine", "start", "done", "cycles", "MACs%"
+        ));
+        let total_macs: u64 = self.layers.iter().map(|l| l.macs).sum::<u64>().max(1);
+        for l in &self.layers {
+            out.push_str(&format!(
+                "{:<22} {:<6} {:>10} {:>10} {:>12} {:>5}%\n",
+                l.name,
+                l.engine,
+                l.start,
+                l.done,
+                l.cycles(),
+                l.macs * 100 / total_macs
+            ));
+        }
+        out.push_str(&format!(
+            "total {} cycles, accelerator busy {} ({}% occupancy)\n",
+            self.total_cycles,
+            self.accelerator_busy_cycles,
+            self.occupancy_percent()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::soc::{Soc, SocConfig};
+    use rvnv_compiler::{compile, CompileOptions};
+    use rvnv_nn::{zoo, Tensor};
+
+    fn lenet_profile() -> InferenceProfile {
+        let net = zoo::lenet5(1);
+        let artifacts = compile(&net, &CompileOptions::int8()).unwrap();
+        let mut soc = Soc::new(SocConfig::zcu102_nv_small());
+        let input = Tensor::random(net.input_shape(), 2);
+        let result = soc.run_inference(&artifacts, &input).unwrap();
+        InferenceProfile::new(&artifacts, &result)
+    }
+
+    #[test]
+    fn profile_joins_ops_and_timeline() {
+        let p = lenet_profile();
+        assert_eq!(p.layers.len(), 6);
+        assert!(p.layers.iter().all(|l| l.done > l.start));
+        assert!(p.accelerator_busy_cycles <= p.total_cycles);
+        assert!(p.occupancy_percent() > 50, "LeNet keeps the DLA busy");
+    }
+
+    #[test]
+    fn hotspot_is_the_big_fc_layer() {
+        let p = lenet_profile();
+        let hot = p.hotspots(1);
+        assert_eq!(hot[0].name, "ip1", "the 400k-weight FC dominates");
+        // Hotspots are sorted descending.
+        let two = p.hotspots(2);
+        assert!(two[0].cycles() >= two[1].cycles());
+    }
+
+    #[test]
+    fn report_renders_every_layer() {
+        let p = lenet_profile();
+        let report = p.to_report();
+        for l in &p.layers {
+            assert!(report.contains(&l.name), "{} in report", l.name);
+        }
+        assert!(report.contains("occupancy"));
+    }
+}

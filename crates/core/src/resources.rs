@@ -1,0 +1,332 @@
+//! Analytical FPGA resource model (paper Table I).
+//!
+//! Vivado synthesis is obviously unavailable here, so Table I is
+//! reproduced with per-component cost functions. Fixed-function blocks
+//! (µRISC-V, MIG, SmartConnect) use constant costs taken from the kind
+//! of synthesis reports these IPs produce; the NVDLA cost scales with
+//! its configuration (MAC array and convolution buffer), which is what
+//! lets the model also reproduce the paper's observation that `nv_full`
+//! over-utilizes the ZCU102's LUTs.
+
+use rvnv_nvdla::HwConfig;
+
+/// One row of the utilization table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Utilization {
+    /// CLB look-up tables.
+    pub lut: u64,
+    /// CLB registers (flip-flops).
+    pub regs: u64,
+    /// CARRY8 carry chains.
+    pub carry8: u64,
+    /// F7 multiplexers.
+    pub f7_mux: u64,
+    /// F8 multiplexers.
+    pub f8_mux: u64,
+    /// Configurable logic blocks.
+    pub clb: u64,
+    /// Block-RAM tiles (36 Kb).
+    pub bram: u64,
+    /// DSP48 slices.
+    pub dsp: u64,
+}
+
+impl Utilization {
+    /// The all-zero row.
+    pub const ZERO: Utilization = Utilization {
+        lut: 0,
+        regs: 0,
+        carry8: 0,
+        f7_mux: 0,
+        f8_mux: 0,
+        clb: 0,
+        bram: 0,
+        dsp: 0,
+    };
+
+    /// Component-wise sum.
+    #[must_use]
+    pub fn plus(self, other: Utilization) -> Utilization {
+        Utilization {
+            lut: self.lut + other.lut,
+            regs: self.regs + other.regs,
+            carry8: self.carry8 + other.carry8,
+            f7_mux: self.f7_mux + other.f7_mux,
+            f8_mux: self.f8_mux + other.f8_mux,
+            clb: self.clb + other.clb,
+            bram: self.bram + other.bram,
+            dsp: self.dsp + other.dsp,
+        }
+    }
+}
+
+/// ZCU102 (XCZU9EG) device capacity — the header row of Table I.
+pub const ZCU102: Utilization = Utilization {
+    lut: 274_080,
+    regs: 548_160,
+    carry8: 34_260,
+    f7_mux: 137_040,
+    f8_mux: 68_520,
+    clb: 34_260,
+    bram: 912,
+    dsp: 2_520,
+};
+
+/// Estimate the NVDLA's resources from its hardware configuration.
+///
+/// Calibrated so `nv_small` reproduces the paper's synthesis row
+/// (74 575 LUTs, 66 BRAM, 32 DSPs); the MAC-array and CBUF terms then
+/// extrapolate to other configurations.
+#[must_use]
+pub fn nvdla(cfg: &HwConfig) -> Utilization {
+    let macs = u64::from(cfg.atomic_c * cfg.atomic_k);
+    let cbuf = u64::from(cfg.cbuf_kib);
+    // LUTs: fixed control + per-MAC datapath + CBUF interconnect.
+    let lut = 26_175 + macs * 350 + cbuf * 203;
+    let regs = 27_567 + macs * 400 + cbuf * 206;
+    Utilization {
+        lut,
+        regs,
+        carry8: lut / 48,
+        f7_mux: lut / 24,
+        f8_mux: lut / 72,
+        clb: lut / 5 + regs / 40,
+        // CBUF is built from BRAM tiles (two per 4 KiB bank) plus a
+        // couple of FIFO tiles.
+        bram: cbuf / 2 + 2,
+        dsp: macs / 2,
+    }
+}
+
+/// The µRISC-V core (fixed synthesis cost of the Codasip core).
+#[must_use]
+pub fn urisc_v() -> Utilization {
+    Utilization {
+        lut: 6_346,
+        regs: 2_767,
+        carry8: 173,
+        f7_mux: 419,
+        f8_mux: 67,
+        clb: 1_297,
+        bram: 0,
+        dsp: 4,
+    }
+}
+
+/// Program memory built from block RAM.
+#[must_use]
+pub fn program_memory(bytes: usize) -> Utilization {
+    Utilization {
+        lut: 241,
+        regs: 6,
+        carry8: 0,
+        f7_mux: 45,
+        f8_mux: 18,
+        clb: 148,
+        // One 36 Kb tile per 4 KiB.
+        bram: (bytes as u64).div_ceil(4096),
+        dsp: 0,
+    }
+}
+
+/// Glue logic of the SoC (system bus, arbiter, bridges, converter).
+#[must_use]
+pub fn soc_glue() -> Utilization {
+    Utilization {
+        lut: 824,
+        regs: 1_319,
+        carry8: 20,
+        f7_mux: 0,
+        f8_mux: 0,
+        clb: 310,
+        bram: 0,
+        dsp: 0,
+    }
+}
+
+/// The MIG DDR4 memory controller (fixed Vivado IP cost).
+#[must_use]
+pub fn mig_ddr4() -> Utilization {
+    Utilization {
+        lut: 8_651,
+        regs: 10_260,
+        carry8: 56,
+        f7_mux: 164,
+        f8_mux: 0,
+        clb: 1_754,
+        bram: 25, // reported as 25.5 tiles; we round down the half tile
+        dsp: 3,
+    }
+}
+
+/// The AXI SmartConnect (fixed Vivado IP cost).
+#[must_use]
+pub fn smartconnect() -> Utilization {
+    Utilization {
+        lut: 5_546,
+        regs: 7_860,
+        carry8: 0,
+        f7_mux: 0,
+        f8_mux: 0,
+        clb: 1_137,
+        bram: 0,
+        dsp: 0,
+    }
+}
+
+/// Glue between the SoC and the board infrastructure in Fig. 4 (AXI
+/// interconnect, reset/clock wizards).
+#[must_use]
+pub fn board_glue() -> Utilization {
+    Utilization {
+        lut: 550,
+        regs: 1_044,
+        carry8: 3,
+        f7_mux: 0,
+        f8_mux: 0,
+        clb: 245,
+        bram: 0,
+        dsp: 0,
+    }
+}
+
+/// A named report row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReportRow {
+    /// Component name as printed in Table I.
+    pub name: &'static str,
+    /// Estimated utilization.
+    pub util: Utilization,
+}
+
+/// The full Table I report for a given NVDLA configuration and program
+/// memory size.
+#[must_use]
+pub fn table1(cfg: &HwConfig, progmem_bytes: usize) -> Vec<ReportRow> {
+    let dla = nvdla(cfg);
+    let core = urisc_v();
+    let pmem = program_memory(progmem_bytes);
+    let soc = dla.plus(core).plus(pmem).plus(soc_glue());
+    let mig = mig_ddr4();
+    let sc = smartconnect();
+    let overall = soc.plus(mig).plus(sc).plus(board_glue());
+    vec![
+        ReportRow {
+            name: "Overall System Set-up (Fig. 4)",
+            util: overall,
+        },
+        ReportRow {
+            name: "MIG DDR4",
+            util: mig,
+        },
+        ReportRow {
+            name: "AXI SmartConnect",
+            util: sc,
+        },
+        ReportRow {
+            name: "Our SoC (Fig. 2)",
+            util: soc,
+        },
+        ReportRow {
+            name: "nv_small NVDLA",
+            util: dla,
+        },
+        ReportRow {
+            name: "uRISC_V core",
+            util: core,
+        },
+        ReportRow {
+            name: "Program Memory",
+            util: pmem,
+        },
+    ]
+}
+
+/// Whether a design fits the ZCU102 (the paper's `nv_full` finding:
+/// "the LUTs overutilization was quite substantial").
+#[must_use]
+pub fn fits_zcu102(u: &Utilization) -> bool {
+    u.lut <= ZCU102.lut
+        && u.regs <= ZCU102.regs
+        && u.bram <= ZCU102.bram
+        && u.dsp <= ZCU102.dsp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper Table I values for the components we model analytically.
+    #[test]
+    fn nv_small_row_matches_paper_within_tolerance() {
+        let u = nvdla(&HwConfig::nv_small());
+        let expect = Utilization {
+            lut: 74_575,
+            regs: 79_567,
+            carry8: 1_569,
+            f7_mux: 3_091,
+            f8_mux: 1_048,
+            clb: 15_734,
+            bram: 66,
+            dsp: 32,
+        };
+        let close = |got: u64, want: u64, pct: u64| {
+            let tol = want * pct / 100 + 1;
+            got.abs_diff(want) <= tol
+        };
+        assert!(close(u.lut, expect.lut, 2), "lut {} vs {}", u.lut, expect.lut);
+        assert!(close(u.regs, expect.regs, 2), "regs {} vs {}", u.regs, expect.regs);
+        assert_eq!(u.bram, expect.bram);
+        assert_eq!(u.dsp, expect.dsp);
+        assert!(close(u.carry8, expect.carry8, 10));
+        assert!(close(u.f7_mux, expect.f7_mux, 10));
+        assert!(close(u.f8_mux, expect.f8_mux, 10));
+        assert!(close(u.clb, expect.clb, 15));
+    }
+
+    #[test]
+    fn soc_row_sums_to_paper_magnitude() {
+        let rows = table1(&HwConfig::nv_small(), 928 << 10);
+        let soc = &rows[3];
+        assert_eq!(soc.name, "Our SoC (Fig. 2)");
+        // Paper: 81 986 LUTs, 83 659 regs, 298 BRAM, 36 DSP.
+        assert!(soc.util.lut.abs_diff(81_986) < 2_000, "lut {}", soc.util.lut);
+        assert!(soc.util.dsp == 36);
+        assert!(soc.util.bram.abs_diff(298) <= 4, "bram {}", soc.util.bram);
+    }
+
+    #[test]
+    fn overall_setup_fits_zcu102() {
+        let rows = table1(&HwConfig::nv_small(), 928 << 10);
+        assert!(fits_zcu102(&rows[0].util));
+        // Paper: 96 733 LUTs overall.
+        assert!(rows[0].util.lut.abs_diff(96_733) < 2_500);
+    }
+
+    #[test]
+    fn nv_full_does_not_fit() {
+        let u = nvdla(&HwConfig::nv_full());
+        assert!(!fits_zcu102(&u));
+        assert!(
+            u.lut > ZCU102.lut * 2,
+            "nv_full LUT overutilization is substantial: {}",
+            u.lut
+        );
+    }
+
+    #[test]
+    fn program_memory_brams_scale() {
+        assert_eq!(program_memory(928 << 10).bram, 232);
+        assert_eq!(program_memory(4096).bram, 1);
+        assert_eq!(program_memory(1).bram, 1);
+    }
+
+    #[test]
+    fn utilization_sum_is_componentwise() {
+        let a = urisc_v();
+        let b = smartconnect();
+        let s = a.plus(b);
+        assert_eq!(s.lut, a.lut + b.lut);
+        assert_eq!(s.clb, a.clb + b.clb);
+    }
+}

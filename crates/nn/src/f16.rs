@@ -1,0 +1,198 @@
+//! Software IEEE 754 half-precision floats.
+//!
+//! `nv_full` "additionally supports FP16 computations" (Table III runs
+//! use FP16). No half-precision crate is available offline, so this is a
+//! minimal, correctly-rounded f32↔f16 converter; arithmetic is performed
+//! in f32 and rounded through F16, which matches an accelerator whose
+//! accumulators are wider than its operands.
+
+use std::fmt;
+
+/// An IEEE 754 binary16 value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct F16(u16);
+
+impl F16 {
+    /// Positive zero.
+    pub const ZERO: F16 = F16(0);
+    /// One.
+    pub const ONE: F16 = F16(0x3C00);
+    /// Positive infinity.
+    pub const INFINITY: F16 = F16(0x7C00);
+    /// Largest finite value (65504).
+    pub const MAX: F16 = F16(0x7BFF);
+
+    /// Construct from the raw bit pattern.
+    #[must_use]
+    pub fn from_bits(bits: u16) -> Self {
+        F16(bits)
+    }
+
+    /// The raw bit pattern.
+    #[must_use]
+    pub fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Convert from f32 with round-to-nearest-even.
+    #[must_use]
+    #[allow(clippy::cast_possible_truncation)]
+    pub fn from_f32(value: f32) -> Self {
+        let bits = value.to_bits();
+        let sign = ((bits >> 16) & 0x8000) as u16;
+        let exp = ((bits >> 23) & 0xFF) as i32;
+        let frac = bits & 0x007F_FFFF;
+
+        if exp == 0xFF {
+            // Inf / NaN.
+            let payload = if frac != 0 { 0x0200 } else { 0 };
+            return F16(sign | 0x7C00 | payload);
+        }
+        // Re-bias: f32 bias 127, f16 bias 15.
+        let unbiased = exp - 127;
+        if unbiased > 15 {
+            return F16(sign | 0x7C00); // overflow -> inf
+        }
+        if unbiased >= -14 {
+            // Normal f16. Keep 10 fraction bits, round-to-nearest-even.
+            let exp16 = (unbiased + 15) as u16;
+            let mant = frac >> 13;
+            let round_bits = frac & 0x1FFF;
+            let mut h = sign | (exp16 << 10) | mant as u16;
+            if round_bits > 0x1000 || (round_bits == 0x1000 && (mant & 1) == 1) {
+                h = h.wrapping_add(1); // may carry into exponent, correctly
+            }
+            return F16(h);
+        }
+        if unbiased >= -25 {
+            // Subnormal f16.
+            let shift = (-14 - unbiased) as u32;
+            let full = 0x0080_0000 | frac; // implicit leading 1
+            let mant_shift = 13 + shift;
+            let mant = full >> mant_shift;
+            let rem = full & ((1 << mant_shift) - 1);
+            let half = 1u32 << (mant_shift - 1);
+            let mut h = sign | mant as u16;
+            if rem > half || (rem == half && (mant & 1) == 1) {
+                h = h.wrapping_add(1);
+            }
+            return F16(h);
+        }
+        F16(sign) // underflow -> signed zero
+    }
+
+    /// Convert to f32 (exact).
+    #[must_use]
+    pub fn to_f32(self) -> f32 {
+        let sign = u32::from(self.0 >> 15) << 31;
+        let exp = u32::from(self.0 >> 10) & 0x1F;
+        let frac = u32::from(self.0) & 0x3FF;
+        let bits = if exp == 0 {
+            if frac == 0 {
+                sign
+            } else {
+                // Subnormal: value = frac × 2^-24. Normalize the leading 1
+                // to bit 10, counting the shifts.
+                let mut shifts = 0u32;
+                let mut f = frac;
+                while f & 0x400 == 0 {
+                    f <<= 1;
+                    shifts += 1;
+                }
+                f &= 0x3FF;
+                let exp_field = 127 - 15 + 1 - shifts; // 2^(10-shifts-24)
+                sign | (exp_field << 23) | (f << 13)
+            }
+        } else if exp == 0x1F {
+            sign | 0x7F80_0000 | (frac << 13)
+        } else {
+            sign | ((exp + 127 - 15) << 23) | (frac << 13)
+        };
+        f32::from_bits(bits)
+    }
+
+    /// Round an f32 through f16 precision (quantize-dequantize).
+    #[must_use]
+    pub fn round_f32(value: f32) -> f32 {
+        Self::from_f32(value).to_f32()
+    }
+}
+
+impl From<F16> for f32 {
+    fn from(h: F16) -> f32 {
+        h.to_f32()
+    }
+}
+
+impl fmt::Display for F16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_values_round_trip() {
+        for v in [0.0f32, 1.0, -1.0, 0.5, 2.0, -0.25, 1024.0, 65504.0] {
+            assert_eq!(F16::round_f32(v), v, "{v} should be exact in f16");
+        }
+    }
+
+    #[test]
+    fn known_bit_patterns() {
+        assert_eq!(F16::from_f32(1.0).to_bits(), 0x3C00);
+        assert_eq!(F16::from_f32(-2.0).to_bits(), 0xC000);
+        assert_eq!(F16::from_f32(0.0).to_bits(), 0x0000);
+        assert_eq!(F16::from_f32(-0.0).to_bits(), 0x8000);
+        assert_eq!(F16::from_f32(65504.0).to_bits(), 0x7BFF);
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        assert_eq!(F16::from_f32(1e6), F16::INFINITY);
+        assert_eq!(F16::from_f32(f32::INFINITY), F16::INFINITY);
+        assert_eq!(F16::from_f32(-1e6).to_bits(), 0xFC00);
+    }
+
+    #[test]
+    fn nan_propagates() {
+        let h = F16::from_f32(f32::NAN);
+        assert!(h.to_f32().is_nan());
+    }
+
+    #[test]
+    fn subnormals_round_trip() {
+        // Smallest positive subnormal f16 = 2^-24.
+        let tiny = 2f32.powi(-24);
+        assert_eq!(F16::round_f32(tiny), tiny);
+        // Below half of it underflows to zero.
+        assert_eq!(F16::round_f32(tiny / 4.0), 0.0);
+        // Largest subnormal.
+        let sub = 2f32.powi(-14) - 2f32.powi(-24);
+        assert_eq!(F16::round_f32(sub), sub);
+    }
+
+    #[test]
+    fn rounding_is_nearest_even() {
+        // 1 + 2^-11 is exactly halfway between 1.0 and 1+2^-10;
+        // nearest-even keeps 1.0.
+        let halfway = 1.0 + 2f32.powi(-11);
+        assert_eq!(F16::round_f32(halfway), 1.0);
+        // Slightly above goes up.
+        let above = 1.0 + 2f32.powi(-11) + 2f32.powi(-16);
+        assert_eq!(F16::round_f32(above), 1.0 + 2f32.powi(-10));
+    }
+
+    #[test]
+    fn precision_loss_is_bounded() {
+        // Relative error of f16 rounding is at most 2^-11 for normals.
+        for i in 1..1000 {
+            let v = i as f32 * 0.37;
+            let r = F16::round_f32(v);
+            assert!((r - v).abs() / v <= 2f32.powi(-11) + f32::EPSILON, "{v} -> {r}");
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Caffe-prototxt rendering of a [`Network`].
+//!
+//! The paper's toolflow consumes "arbitrary Caffe neural network
+//! models"; our zoo builds the graphs programmatically. This module
+//! renders them back into deploy-prototxt text, which makes the graphs
+//! diffable against the upstream Caffe definitions and gives the
+//! examples a familiar artifact to print.
+
+use crate::graph::{Network, Op, PoolKind};
+
+fn quote(s: &str) -> String {
+    format!("\"{s}\"")
+}
+
+/// Render a network as a Caffe deploy prototxt.
+#[must_use]
+pub fn to_prototxt(net: &Network) -> String {
+    let shapes = net
+        .infer_shapes()
+        .expect("network shapes must be consistent");
+    let mut out = String::new();
+    out.push_str(&format!("name: {}\n", quote(net.name())));
+    let input = net.input_shape();
+    out.push_str(&format!(
+        "input: \"data\"\ninput_dim: 1\ninput_dim: {}\ninput_dim: {}\ninput_dim: {}\n",
+        input.c, input.h, input.w
+    ));
+    for (idx, node) in net.nodes().iter().enumerate().skip(1) {
+        let bottoms: Vec<String> = node
+            .inputs
+            .iter()
+            .map(|i| quote(&net.nodes()[i.index()].name))
+            .collect();
+        out.push_str("layer {\n");
+        out.push_str(&format!("  name: {}\n", quote(&node.name)));
+        out.push_str(&format!("  type: {}\n", quote(caffe_type(&node.op))));
+        for b in &bottoms {
+            out.push_str(&format!("  bottom: {b}\n"));
+        }
+        out.push_str(&format!("  top: {}\n", quote(&node.name)));
+        match &node.op {
+            Op::Conv2d(p) => {
+                out.push_str("  convolution_param {\n");
+                out.push_str(&format!("    num_output: {}\n", p.weights.out_c));
+                out.push_str(&format!("    kernel_size: {}\n", p.weights.kh));
+                if p.stride != 1 {
+                    out.push_str(&format!("    stride: {}\n", p.stride));
+                }
+                if p.pad != 0 {
+                    out.push_str(&format!("    pad: {}\n", p.pad));
+                }
+                if p.groups != 1 {
+                    out.push_str(&format!("    group: {}\n", p.groups));
+                }
+                out.push_str("  }\n");
+            }
+            Op::FullyConnected { out: o, .. } => {
+                out.push_str(&format!(
+                    "  inner_product_param {{\n    num_output: {o}\n  }}\n"
+                ));
+            }
+            Op::Pool { kind, k, stride, pad } => {
+                out.push_str("  pooling_param {\n");
+                out.push_str(&format!(
+                    "    pool: {}\n",
+                    match kind {
+                        PoolKind::Max => "MAX",
+                        PoolKind::Avg => "AVE",
+                    }
+                ));
+                out.push_str(&format!("    kernel_size: {k}\n    stride: {stride}\n"));
+                if *pad != 0 {
+                    out.push_str(&format!("    pad: {pad}\n"));
+                }
+                out.push_str("  }\n");
+            }
+            Op::GlobalAvgPool => {
+                out.push_str(
+                    "  pooling_param {\n    pool: AVE\n    global_pooling: true\n  }\n",
+                );
+            }
+            Op::Lrn {
+                local_size,
+                alpha,
+                beta,
+                ..
+            } => {
+                out.push_str(&format!(
+                    "  lrn_param {{\n    local_size: {local_size}\n    alpha: {alpha}\n    beta: {beta}\n  }}\n"
+                ));
+            }
+            _ => {}
+        }
+        let s = shapes[idx];
+        out.push_str(&format!("  # output: 1x{}x{}x{}\n", s.c, s.h, s.w));
+        out.push_str("}\n");
+    }
+    out
+}
+
+fn caffe_type(op: &Op) -> &'static str {
+    match op {
+        Op::Input => "Input",
+        Op::Conv2d(_) => "Convolution",
+        Op::FullyConnected { .. } => "InnerProduct",
+        Op::Pool { .. } | Op::GlobalAvgPool => "Pooling",
+        Op::Relu => "ReLU",
+        Op::BatchNorm { .. } => "BatchNorm",
+        Op::EltwiseAdd => "Eltwise",
+        Op::Concat => "Concat",
+        Op::Lrn { .. } => "LRN",
+        Op::Softmax => "Softmax",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn lenet_prototxt_has_caffe_structure() {
+        let text = to_prototxt(&zoo::lenet5(1));
+        assert!(text.starts_with("name: \"lenet-5\""));
+        assert!(text.contains("type: \"Convolution\""));
+        assert!(text.contains("num_output: 20"));
+        assert!(text.contains("kernel_size: 5"));
+        assert!(text.contains("type: \"InnerProduct\""));
+        assert!(text.contains("num_output: 500"));
+        assert!(text.contains("pool: MAX"));
+        assert!(text.contains("type: \"Softmax\""));
+        // One layer block per non-input node.
+        assert_eq!(
+            text.matches("layer {").count(),
+            zoo::lenet5(1).layer_count()
+        );
+    }
+
+    #[test]
+    fn grouped_and_padded_convs_render_params() {
+        let text = to_prototxt(&zoo::alexnet(1));
+        assert!(text.contains("group: 2"));
+        assert!(text.contains("stride: 4"));
+        assert!(text.contains("lrn_param"));
+    }
+
+    #[test]
+    fn residual_nets_render_eltwise_with_two_bottoms() {
+        let text = to_prototxt(&zoo::resnet18_cifar(1));
+        let add_block = text
+            .split("layer {")
+            .find(|b| b.contains("type: \"Eltwise\""))
+            .expect("an eltwise layer");
+        assert_eq!(add_block.matches("bottom:").count(), 2);
+    }
+
+    #[test]
+    fn output_shape_comments_match_inference() {
+        let net = zoo::lenet5(1);
+        let text = to_prototxt(&net);
+        assert!(text.contains("# output: 1x20x24x24"), "conv1 shape comment");
+        assert!(text.contains("# output: 1x10x1x1"), "logits shape comment");
+    }
+}

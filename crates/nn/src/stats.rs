@@ -1,0 +1,209 @@
+//! Model accounting: parameters, MACs and weight-file sizes.
+//!
+//! Feeds the Table II/III "Model Size" columns and the NVDLA timing
+//! model (MAC counts and per-layer data traffic).
+
+use crate::graph::{Network, Op};
+use crate::tensor::Shape;
+
+/// Numeric precision of stored weights.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Precision {
+    /// 8-bit integers (`nv_small`).
+    Int8,
+    /// 16-bit floats (`nv_full`).
+    Fp16,
+    /// 32-bit floats (Caffe model file).
+    Fp32,
+}
+
+impl Precision {
+    /// Bytes per element.
+    #[must_use]
+    pub fn bytes(self) -> usize {
+        match self {
+            Precision::Int8 => 1,
+            Precision::Fp16 => 2,
+            Precision::Fp32 => 4,
+        }
+    }
+}
+
+/// Per-layer cost numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerStats {
+    /// Node name.
+    pub name: String,
+    /// Caffe-style kind name.
+    pub kind: &'static str,
+    /// Parameter count (weights + biases).
+    pub params: usize,
+    /// Multiply-accumulate operations.
+    pub macs: u64,
+    /// Input activation elements read.
+    pub input_elems: usize,
+    /// Output activation elements written.
+    pub output_elems: usize,
+}
+
+/// Whole-model totals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelStats {
+    /// Per-layer rows in topological order (input node excluded).
+    pub layers: Vec<LayerStats>,
+    /// Total parameters.
+    pub params: usize,
+    /// Total MACs for one inference.
+    pub macs: u64,
+    /// Total activation elements moved (inputs + outputs of all layers).
+    pub activation_elems: usize,
+}
+
+impl ModelStats {
+    /// Compute statistics for a network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network's shapes are inconsistent.
+    #[must_use]
+    pub fn of(net: &Network) -> Self {
+        let shapes = net.infer_shapes().expect("network shapes must be consistent");
+        let mut layers = Vec::new();
+        for (idx, node) in net.nodes().iter().enumerate().skip(1) {
+            let out: Shape = shapes[idx];
+            let input_elems: usize = node
+                .inputs
+                .iter()
+                .map(|i| shapes[i.index()].elements())
+                .sum();
+            let (params, macs) = match &node.op {
+                Op::Conv2d(p) => {
+                    let params = p.weights.len() + p.bias.len();
+                    let macs = (p.weights.in_c * p.weights.kh * p.weights.kw) as u64
+                        * out.elements() as u64;
+                    (params, macs)
+                }
+                Op::FullyConnected {
+                    out: o, input: i, ..
+                } => (o * i + o, (o * i) as u64),
+                Op::BatchNorm { scale, shift } => {
+                    (scale.len() + shift.len(), out.elements() as u64)
+                }
+                Op::Pool { k, .. } => (0, (k * k * out.elements()) as u64),
+                Op::GlobalAvgPool => (0, input_elems as u64),
+                Op::Lrn { local_size, .. } => (0, (local_size * out.elements()) as u64),
+                Op::EltwiseAdd | Op::Relu | Op::Softmax => (0, out.elements() as u64),
+                Op::Input | Op::Concat => (0, 0),
+            };
+            layers.push(LayerStats {
+                name: node.name.clone(),
+                kind: node.op.kind_name(),
+                params,
+                macs,
+                input_elems,
+                output_elems: out.elements(),
+            });
+        }
+        let params = layers.iter().map(|l| l.params).sum();
+        let macs = layers.iter().map(|l| l.macs).sum();
+        let activation_elems = layers
+            .iter()
+            .map(|l| l.input_elems + l.output_elems)
+            .sum();
+        ModelStats {
+            layers,
+            params,
+            macs,
+            activation_elems,
+        }
+    }
+
+    /// Weight-file size in bytes at the given precision (the paper's
+    /// "Model Size" column is the Caffe fp32 file).
+    #[must_use]
+    pub fn model_bytes(&self, precision: Precision) -> usize {
+        self.params * precision.bytes()
+    }
+
+    /// Model size as a human string (MB with one decimal, or KB).
+    #[must_use]
+    pub fn model_size_string(&self, precision: Precision) -> String {
+        let bytes = self.model_bytes(precision) as f64;
+        if bytes >= 1024.0 * 1024.0 {
+            format!("{:.1} MB", bytes / (1024.0 * 1024.0))
+        } else {
+            format!("{:.1} KB", bytes / 1024.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{ConvParams, Network, PoolKind};
+    use crate::tensor::{Shape, WeightTensor};
+
+    fn sample_net() -> Network {
+        let mut net = Network::new("t", Shape::new(1, 28, 28));
+        let c1 = net
+            .add(
+                "conv1",
+                Op::Conv2d(ConvParams {
+                    weights: WeightTensor::zeros(20, 1, 5, 5),
+                    bias: vec![0.0; 20],
+                    stride: 1,
+                    pad: 0,
+                    groups: 1,
+                }),
+                &[net.input()],
+            )
+            .unwrap();
+        net.add(
+            "pool1",
+            Op::Pool {
+                kind: PoolKind::Max,
+                k: 2,
+                stride: 2,
+                pad: 0,
+            },
+            &[c1],
+        )
+        .unwrap();
+        net
+    }
+
+    #[test]
+    fn conv_macs_and_params() {
+        let stats = ModelStats::of(&sample_net());
+        let conv = &stats.layers[0];
+        assert_eq!(conv.params, 20 * 25 + 20);
+        // 24x24 outputs × 20 channels × 25 MACs each.
+        assert_eq!(conv.macs, 25 * 20 * 24 * 24);
+        assert_eq!(conv.output_elems, 20 * 24 * 24);
+    }
+
+    #[test]
+    fn precision_scales_model_bytes() {
+        let stats = ModelStats::of(&sample_net());
+        assert_eq!(
+            stats.model_bytes(Precision::Fp32),
+            stats.params * 4
+        );
+        assert_eq!(stats.model_bytes(Precision::Int8), stats.params);
+        assert_eq!(stats.model_bytes(Precision::Fp16), stats.params * 2);
+    }
+
+    #[test]
+    fn size_string_formats() {
+        let stats = ModelStats::of(&sample_net());
+        let s = stats.model_size_string(Precision::Fp32);
+        assert!(s.ends_with("KB") || s.ends_with("MB"));
+    }
+
+    #[test]
+    fn pool_has_no_params() {
+        let stats = ModelStats::of(&sample_net());
+        assert_eq!(stats.layers[1].params, 0);
+        assert!(stats.layers[1].macs > 0);
+    }
+}

@@ -1,0 +1,264 @@
+//! Convolution pipeline (CDMA → CBUF → CSC → CMAC → CACC) functional
+//! model.
+//!
+//! Computes the accumulator surface for one convolution descriptor.
+//! INT8 accumulates exactly in `i32` (as the RTL's 34-bit accumulators
+//! do) and converts to real values with the input×weight scale; FP16
+//! accumulates in f32 (the RTL uses wider-than-fp16 accumulation too).
+
+use crate::config::Precision;
+use crate::descriptor::ConvDesc;
+use rvnv_nn::F16;
+
+/// Compute the convolution accumulator as real (f32) values in NCHW
+/// output order.
+///
+/// `feature` and `weights` are the packed DRAM buffers (NCHW / OIHW at
+/// the descriptor's precision).
+///
+/// # Panics
+///
+/// Panics if the buffers are smaller than the descriptor implies.
+#[must_use]
+pub fn compute(desc: &ConvDesc, feature: &[u8], weights: &[u8]) -> Vec<f32> {
+    match desc.precision {
+        Precision::Int8 => compute_int8(desc, feature, weights),
+        Precision::Fp16 => compute_fp16(desc, feature, weights),
+    }
+}
+
+fn compute_int8(desc: &ConvDesc, feature: &[u8], weights: &[u8]) -> Vec<f32> {
+    let d = Dims::of(desc);
+    assert!(feature.len() >= d.in_elems, "feature buffer too small");
+    assert!(weights.len() >= d.wt_elems, "weight buffer too small");
+    let acc_scale = desc.in_scale * desc.wt_scale;
+    let mut out = vec![0.0f32; desc.out_elems()];
+    d.for_each_output(|oc, oy, ox, out_idx| {
+        let mut acc: i32 = 0;
+        d.for_each_tap(oc, oy, ox, |f_idx, w_idx| {
+            acc += i32::from(feature[f_idx] as i8) * i32::from(weights[w_idx] as i8);
+        });
+        out[out_idx] = acc as f32 * acc_scale;
+    });
+    out
+}
+
+fn compute_fp16(desc: &ConvDesc, feature: &[u8], weights: &[u8]) -> Vec<f32> {
+    let d = Dims::of(desc);
+    assert!(feature.len() >= d.in_elems * 2, "feature buffer too small");
+    assert!(weights.len() >= d.wt_elems * 2, "weight buffer too small");
+    let f16_at = |buf: &[u8], i: usize| -> f32 {
+        F16::from_bits(u16::from_le_bytes([buf[2 * i], buf[2 * i + 1]])).to_f32()
+    };
+    let mut out = vec![0.0f32; desc.out_elems()];
+    d.for_each_output(|oc, oy, ox, out_idx| {
+        let mut acc: f32 = 0.0;
+        d.for_each_tap(oc, oy, ox, |f_idx, w_idx| {
+            acc += f16_at(feature, f_idx) * f16_at(weights, w_idx);
+        });
+        out[out_idx] = acc;
+    });
+    out
+}
+
+/// Loop bounds shared by both precisions (indices are element indices).
+struct Dims {
+    in_w: usize,
+    in_h: usize,
+    in_per_group: usize,
+    out_w: usize,
+    out_h: usize,
+    out_c: usize,
+    out_per_group: usize,
+    kw: usize,
+    kh: usize,
+    stride: usize,
+    pad: isize,
+    in_elems: usize,
+    wt_elems: usize,
+}
+
+impl Dims {
+    fn of(desc: &ConvDesc) -> Self {
+        let groups = desc.groups as usize;
+        let in_per_group = desc.in_c as usize / groups;
+        let out_per_group = desc.out_c as usize / groups;
+        Dims {
+            in_w: desc.in_w as usize,
+            in_h: desc.in_h as usize,
+            in_per_group,
+            out_w: desc.out_w as usize,
+            out_h: desc.out_h as usize,
+            out_c: desc.out_c as usize,
+            out_per_group,
+            kw: desc.kw as usize,
+            kh: desc.kh as usize,
+            stride: desc.stride as usize,
+            pad: desc.pad as isize,
+            in_elems: (desc.in_c * desc.in_h * desc.in_w) as usize,
+            wt_elems: (desc.out_c * (desc.in_c / desc.groups) * desc.kh * desc.kw) as usize,
+        }
+    }
+
+    fn for_each_output(&self, mut f: impl FnMut(usize, usize, usize, usize)) {
+        let mut idx = 0;
+        for oc in 0..self.out_c {
+            for oy in 0..self.out_h {
+                for ox in 0..self.out_w {
+                    f(oc, oy, ox, idx);
+                    idx += 1;
+                }
+            }
+        }
+    }
+
+    /// Visit every (feature, weight) element-index pair for one output.
+    fn for_each_tap(&self, oc: usize, oy: usize, ox: usize, mut f: impl FnMut(usize, usize)) {
+        let g = oc / self.out_per_group;
+        let in_base_c = g * self.in_per_group;
+        for ic in 0..self.in_per_group {
+            let f_plane = (in_base_c + ic) * self.in_h * self.in_w;
+            let w_plane = ((oc * self.in_per_group) + ic) * self.kh * self.kw;
+            for ky in 0..self.kh {
+                let iy = (oy * self.stride + ky) as isize - self.pad;
+                if iy < 0 || iy as usize >= self.in_h {
+                    continue;
+                }
+                for kx in 0..self.kw {
+                    let ix = (ox * self.stride + kx) as isize - self.pad;
+                    if ix < 0 || ix as usize >= self.in_w {
+                        continue;
+                    }
+                    f(
+                        f_plane + iy as usize * self.in_w + ix as usize,
+                        w_plane + ky * self.kw + kx,
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Precision;
+
+    fn desc(
+        in_c: u32,
+        in_hw: u32,
+        out_c: u32,
+        k: u32,
+        stride: u32,
+        pad: u32,
+        groups: u32,
+        precision: Precision,
+    ) -> ConvDesc {
+        let out_hw = (in_hw + 2 * pad - k) / stride + 1;
+        ConvDesc {
+            src: 0,
+            in_w: in_hw,
+            in_h: in_hw,
+            in_c,
+            wt_addr: 0,
+            wt_bytes: out_c * (in_c / groups) * k * k * precision.bytes(),
+            stride,
+            pad,
+            out_w: out_hw,
+            out_h: out_hw,
+            out_c,
+            kw: k,
+            kh: k,
+            groups,
+            in_scale: 1.0,
+            wt_scale: 1.0,
+            precision,
+        }
+    }
+
+    #[test]
+    fn int8_sum_window() {
+        // 3x3 input 1..9, 2x2 kernel of ones.
+        let d = desc(1, 3, 1, 2, 1, 0, 1, Precision::Int8);
+        let feature: Vec<u8> = (1..=9i8).map(|v| v as u8).collect();
+        let weights = vec![1u8; 4];
+        let out = compute(&d, &feature, &weights);
+        assert_eq!(out, vec![12.0, 16.0, 24.0, 28.0]);
+    }
+
+    #[test]
+    fn int8_scales_applied() {
+        let mut d = desc(1, 1, 1, 1, 1, 0, 1, Precision::Int8);
+        d.in_scale = 0.5;
+        d.wt_scale = 0.25;
+        let out = compute(&d, &[4i8 as u8], &[8i8 as u8]);
+        // 4*8 = 32 raw; × 0.5×0.25 = 4.0 real.
+        assert_eq!(out, vec![4.0]);
+    }
+
+    #[test]
+    fn padding_zeros_contribute_nothing() {
+        let d = desc(1, 1, 1, 3, 1, 1, 1, Precision::Int8);
+        let out = compute(&d, &[5i8 as u8], &[1u8; 9]);
+        // Only the center tap sees data.
+        assert_eq!(out, vec![5.0]);
+    }
+
+    #[test]
+    fn grouped_convolution_separates_channels() {
+        // 2 channels, 2 groups, 1x1 kernels [2] and [3].
+        let d = desc(2, 2, 2, 1, 1, 0, 2, Precision::Int8);
+        let feature = [1u8, 1, 1, 1, 1, 1, 1, 1];
+        let weights = [2u8, 3];
+        let out = compute(&d, &feature, &weights);
+        assert_eq!(&out[..4], &[2.0; 4]);
+        assert_eq!(&out[4..], &[3.0; 4]);
+    }
+
+    #[test]
+    fn negative_int8_values() {
+        let d = desc(1, 1, 1, 1, 1, 0, 1, Precision::Int8);
+        let out = compute(&d, &[(-5i8) as u8], &[3u8]);
+        assert_eq!(out, vec![-15.0]);
+    }
+
+    #[test]
+    fn fp16_matches_f32_within_tolerance() {
+        let d = desc(2, 4, 3, 3, 1, 1, 1, Precision::Fp16);
+        // Build f16 buffers from a known pattern.
+        let fvals: Vec<f32> = (0..2 * 4 * 4).map(|i| (i as f32 * 0.125) - 1.0).collect();
+        let wvals: Vec<f32> = (0..3 * 2 * 9).map(|i| ((i % 7) as f32 - 3.0) * 0.0625).collect();
+        let fbytes = super::super::from_real(&fvals, Precision::Fp16, 1.0);
+        let wbytes = super::super::from_real(&wvals, Precision::Fp16, 1.0);
+        let out = compute(&d, &fbytes, &wbytes);
+        // Reference: exact f32 conv (values chosen representable in f16).
+        let d8 = desc(2, 4, 3, 3, 1, 1, 1, Precision::Int8);
+        let _ = d8;
+        assert_eq!(out.len(), 3 * 4 * 4);
+        // Spot check one output by direct summation.
+        let mut expect = 0.0f32;
+        for ic in 0..2 {
+            for ky in 0..3 {
+                for kx in 0..3 {
+                    let iy = 1 + ky as isize - 1;
+                    let ix = 1 + kx as isize - 1;
+                    if iy < 0 || ix < 0 || iy > 3 || ix > 3 {
+                        continue;
+                    }
+                    expect += fvals[ic * 16 + iy as usize * 4 + ix as usize]
+                        * wvals[ic * 9 + ky * 3 + kx];
+                }
+            }
+        }
+        assert!((out[5] - expect).abs() < 1e-3, "{} vs {expect}", out[5]);
+    }
+
+    #[test]
+    fn stride_subsamples() {
+        let d = desc(1, 4, 1, 2, 2, 0, 1, Precision::Int8);
+        let feature: Vec<u8> = (0..16i8).map(|v| v as u8).collect();
+        let weights = [1u8, 0, 0, 0]; // picks top-left of each window
+        let out = compute(&d, &feature, &weights);
+        assert_eq!(out, vec![0.0, 2.0, 8.0, 10.0]);
+    }
+}

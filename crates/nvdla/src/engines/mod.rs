@@ -1,0 +1,75 @@
+//! Functional engine models: pure compute kernels consumed by the
+//! register-level top ([`crate::Nvdla`]).
+
+pub mod cdp;
+pub mod conv;
+pub mod pdp;
+pub mod sdp;
+
+use crate::config::Precision;
+use rvnv_nn::F16;
+
+/// Decode a packed byte buffer into real (f32) values.
+///
+/// INT8 buffers are scaled by `scale`; FP16 buffers are exact.
+#[must_use]
+pub fn to_real(bytes: &[u8], precision: Precision, scale: f32) -> Vec<f32> {
+    match precision {
+        Precision::Int8 => bytes.iter().map(|&b| f32::from(b as i8) * scale).collect(),
+        Precision::Fp16 => bytes
+            .chunks_exact(2)
+            .map(|c| F16::from_bits(u16::from_le_bytes([c[0], c[1]])).to_f32())
+            .collect(),
+    }
+}
+
+/// Encode real values into a packed byte buffer.
+///
+/// INT8: `round(v / scale)` saturated to ±127. FP16: round-to-nearest.
+#[must_use]
+pub fn from_real(values: &[f32], precision: Precision, scale: f32) -> Vec<u8> {
+    match precision {
+        Precision::Int8 => values
+            .iter()
+            .map(|v| {
+                let q = (v / scale).round().clamp(-127.0, 127.0);
+                q as i8 as u8
+            })
+            .collect(),
+        Precision::Fp16 => values
+            .iter()
+            .flat_map(|v| F16::from_f32(*v).to_bits().to_le_bytes())
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int8_round_trip_with_scale() {
+        let vals = [0.0f32, 0.5, -0.5, 1.0, -1.0];
+        let bytes = from_real(&vals, Precision::Int8, 1.0 / 127.0);
+        let back = to_real(&bytes, Precision::Int8, 1.0 / 127.0);
+        for (a, b) in vals.iter().zip(&back) {
+            assert!((a - b).abs() < 1.0 / 127.0, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn int8_saturates() {
+        let bytes = from_real(&[10.0], Precision::Int8, 0.01);
+        assert_eq!(bytes[0] as i8, 127);
+        let bytes = from_real(&[-10.0], Precision::Int8, 0.01);
+        assert_eq!(bytes[0] as i8, -127);
+    }
+
+    #[test]
+    fn fp16_round_trip_exact_for_representable() {
+        let vals = [1.0f32, -0.5, 1024.0, 0.0];
+        let bytes = from_real(&vals, Precision::Fp16, 1.0);
+        assert_eq!(bytes.len(), 8);
+        assert_eq!(to_real(&bytes, Precision::Fp16, 1.0), vals);
+    }
+}

@@ -1,0 +1,66 @@
+//! Register-level functional + timing model of the NVIDIA Deep Learning
+//! Accelerator (NVDLA).
+//!
+//! The paper integrates the open-source NVDLA RTL (`nv_small` on the
+//! FPGA, `nv_full` in simulation) behind an APB-to-CSB adapter and a
+//! 64-bit AXI data backbone (DBB). This crate models the accelerator at
+//! the same boundary the paper's bare-metal software sees:
+//!
+//! * a CSB register window ([`regs`]) with per-engine `D_*` config
+//!   registers, `OP_ENABLE` launches and `GLB_INTR_STATUS` polling,
+//! * functional engines ([`engines`]): the convolution pipeline
+//!   (CDMA/CSC/CMAC/CACC), SDP (bias/BN/ReLU/eltwise), PDP (pooling),
+//!   CDP (LRN) and RUBIK/BDMA copies,
+//! * a dataflow-accurate timing model ([`timing`]) parameterized by the
+//!   hardware configuration ([`config::HwConfig`]),
+//! * DMA through any [`rvnv_bus::Target`], so DRAM latency, width
+//!   conversion and arbitration are inherited from the SoC's bus models.
+//!
+//! # Example
+//!
+//! Programming a pooling operation exactly as the bare-metal firmware
+//! does — register writes, then polling the interrupt status:
+//!
+//! ```
+//! use rvnv_bus::{Request, Target};
+//! use rvnv_bus::sram::Sram;
+//! use rvnv_nvdla::{config::HwConfig, regs, regs::Block, Nvdla};
+//!
+//! # fn main() -> Result<(), rvnv_bus::BusError> {
+//! let mut dla = Nvdla::new(HwConfig::nv_small(), Sram::new(4096));
+//! dla.dbb_mut().load(0x100, &[1, 5, 2, 3]).unwrap(); // 2x2 int8 plane
+//! let base = Block::Pdp.base();
+//! let mut t = 0;
+//! for (off, val) in [
+//!     (regs::PDP_SRC_ADDR, 0x100),
+//!     (regs::PDP_DST_ADDR, 0x200),
+//!     (regs::PDP_SIZE_IN, 2 | (2 << 16)),
+//!     (regs::PDP_CHANNELS, 1),
+//!     (regs::PDP_POOLING, 2 << 8 | 2 << 16), // max, k=2, stride=2
+//!     (regs::PDP_SIZE_OUT, 1 | (1 << 16)),
+//!     (regs::REG_OP_ENABLE, 1),
+//! ] {
+//!     t = dla.access(&Request::write32(base + off, val), t)?.done_at;
+//! }
+//! // Poll until the PDP interrupt bit rises.
+//! let mut status = 0;
+//! while status & (1 << 2) == 0 {
+//!     let r = dla.access(&Request::read32(regs::GLB_INTR_STATUS), t)?;
+//!     status = r.data32();
+//!     t = r.done_at + 100;
+//! }
+//! assert_eq!(dla.dbb_mut().bytes()[0x200], 5); // max of the plane
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod config;
+pub mod descriptor;
+pub mod engines;
+pub mod regs;
+pub mod timing;
+
+mod nvdla;
+
+pub use config::{HwConfig, Precision};
+pub use nvdla::{EngineStats, Nvdla, NvdlaStats, OpTrace};

@@ -1,0 +1,665 @@
+//! The µRISC-V core: fetch/decode/execute with pipeline timing.
+
+use std::error::Error;
+use std::fmt;
+
+use rvnv_bus::ahb::AhbPort;
+use rvnv_bus::{AccessSize, BusError, Request, Target};
+
+use crate::csr::CsrFile;
+use crate::decode::{decode, DecodeError};
+use crate::inst::{AluOp, BranchOp, CsrOp, Inst, MemWidth, MulOp};
+use crate::pipeline::{Pipeline, PipelineModel, PipelineStats};
+use crate::reg::{Reg, RegFile};
+
+/// Why [`Core::run`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// `ebreak` retired — the firmware's completion marker.
+    Ebreak,
+    /// `ecall` retired.
+    Ecall,
+    /// `wfi` retired with no interrupt source modeled.
+    Wfi,
+    /// The instruction budget was exhausted.
+    MaxInstructions,
+}
+
+impl fmt::Display for StopReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StopReason::Ebreak => write!(f, "ebreak"),
+            StopReason::Ecall => write!(f, "ecall"),
+            StopReason::Wfi => write!(f, "wfi"),
+            StopReason::MaxInstructions => write!(f, "instruction budget exhausted"),
+        }
+    }
+}
+
+/// Execution failure (bad fetch, illegal instruction, bus fault).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CpuError {
+    /// Instruction fetch failed.
+    FetchFault {
+        /// Faulting PC.
+        pc: u32,
+        /// Underlying bus error.
+        source: BusError,
+    },
+    /// Illegal/unsupported instruction.
+    Illegal(DecodeError),
+    /// Data access failed.
+    DataFault {
+        /// PC of the faulting load/store.
+        pc: u32,
+        /// Data address.
+        addr: u32,
+        /// Underlying bus error.
+        source: BusError,
+    },
+}
+
+impl fmt::Display for CpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CpuError::FetchFault { pc, source } => {
+                write!(f, "instruction fetch fault at pc {pc:#010x}: {source}")
+            }
+            CpuError::Illegal(e) => write!(f, "{e}"),
+            CpuError::DataFault { pc, addr, source } => write!(
+                f,
+                "data access fault at pc {pc:#010x}, address {addr:#010x}: {source}"
+            ),
+        }
+    }
+}
+
+impl Error for CpuError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CpuError::FetchFault { source, .. } | CpuError::DataFault { source, .. } => {
+                Some(source)
+            }
+            CpuError::Illegal(e) => Some(e),
+        }
+    }
+}
+
+impl From<DecodeError> for CpuError {
+    fn from(e: DecodeError) -> Self {
+        CpuError::Illegal(e)
+    }
+}
+
+/// The µRISC-V core with separate instruction and data ports.
+///
+/// `I` is the program memory (block RAM in the paper), `D` the system
+/// bus through which both the NVDLA CSB window and the DRAM are reached.
+#[derive(Debug)]
+pub struct Core<I, D> {
+    imem: AhbPort<I>,
+    dmem: AhbPort<D>,
+    pc: u32,
+    regs: RegFile,
+    csrs: CsrFile,
+    pipeline: Pipeline,
+    cycle: u64,
+    retired: u64,
+}
+
+impl<I: Target, D: Target> Core<I, D> {
+    /// Create a core with PC at 0 and the default pipeline model.
+    pub fn new(imem: I, dmem: D) -> Self {
+        Self::with_model(imem, dmem, PipelineModel::micro_riscv())
+    }
+
+    /// Create a core with an explicit pipeline timing model.
+    pub fn with_model(imem: I, dmem: D, model: PipelineModel) -> Self {
+        Core {
+            imem: AhbPort::new(imem),
+            dmem: AhbPort::new(dmem),
+            pc: 0,
+            regs: RegFile::new(),
+            csrs: CsrFile::new(),
+            pipeline: Pipeline::new(model),
+            cycle: 0,
+            retired: 0,
+        }
+    }
+
+    /// Current program counter.
+    #[must_use]
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Set the program counter (reset vector).
+    pub fn set_pc(&mut self, pc: u32) {
+        self.pc = pc;
+    }
+
+    /// Current core-clock cycle.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Advance the core clock without executing instructions — the
+    /// platform uses this to model a `wfi` sleep until a wake event
+    /// (e.g. the NVDLA interrupt). No-op if `to` is in the past.
+    pub fn advance_cycle(&mut self, to: u64) {
+        self.cycle = self.cycle.max(to);
+    }
+
+    /// Retired instruction count.
+    #[must_use]
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Read an architectural register.
+    #[must_use]
+    pub fn read_reg(&self, r: Reg) -> u32 {
+        self.regs.read(r)
+    }
+
+    /// Write an architectural register.
+    pub fn write_reg(&mut self, r: Reg, value: u32) {
+        self.regs.write(r, value);
+    }
+
+    /// Pipeline statistics.
+    #[must_use]
+    pub fn pipeline_stats(&self) -> PipelineStats {
+        self.pipeline.stats()
+    }
+
+    /// The data port (backdoor, e.g. for inspecting the bus).
+    pub fn dmem_mut(&mut self) -> &mut D {
+        self.dmem.downstream_mut()
+    }
+
+    /// The instruction memory (backdoor, e.g. for loading firmware).
+    pub fn imem_mut(&mut self) -> &mut I {
+        self.imem.downstream_mut()
+    }
+
+    fn data_access(
+        &mut self,
+        addr: u32,
+        width: MemWidth,
+        write: Option<u32>,
+    ) -> Result<(u32, u64), CpuError> {
+        let size = AccessSize::from_bytes(width.bytes()).expect("mem widths are 1/2/4");
+        let req = match write {
+            Some(v) => Request::write(addr, u64::from(v), size),
+            None => Request::read(addr, size),
+        };
+        let resp = self
+            .dmem
+            .access(&req, self.cycle)
+            .map_err(|source| CpuError::DataFault {
+                pc: self.pc,
+                addr,
+                source,
+            })?;
+        let wait = (resp.done_at - self.cycle).saturating_sub(1);
+        Ok((resp.data as u32, wait))
+    }
+
+    /// Execute one instruction; returns `Some(reason)` if it halted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpuError`] on fetch faults, illegal instructions or data
+    /// bus faults. The core is left at the faulting PC.
+    pub fn step(&mut self) -> Result<Option<StopReason>, CpuError> {
+        // IF
+        let fetch = self
+            .imem
+            .access(&Request::read32(self.pc), self.cycle)
+            .map_err(|source| CpuError::FetchFault {
+                pc: self.pc,
+                source,
+            })?;
+        let fetch_wait = (fetch.done_at - self.cycle).saturating_sub(1);
+        let word = fetch.data as u32;
+
+        // ID
+        let inst = decode(word, self.pc)?;
+
+        // EX + MEM
+        let mut next_pc = self.pc.wrapping_add(4);
+        let mut mem_wait = 0u64;
+        let mut stop = None;
+        match inst {
+            Inst::Lui { rd, imm } => self.regs.write(rd, imm),
+            Inst::Auipc { rd, imm } => self.regs.write(rd, self.pc.wrapping_add(imm)),
+            Inst::Jal { rd, offset } => {
+                self.regs.write(rd, next_pc);
+                next_pc = self.pc.wrapping_add(offset as u32);
+            }
+            Inst::Jalr { rd, rs1, offset } => {
+                let target = self.regs.read(rs1).wrapping_add(offset as u32) & !1;
+                self.regs.write(rd, next_pc);
+                next_pc = target;
+            }
+            Inst::Branch {
+                op,
+                rs1,
+                rs2,
+                offset,
+            } => {
+                let a = self.regs.read(rs1);
+                let b = self.regs.read(rs2);
+                let take = match op {
+                    BranchOp::Eq => a == b,
+                    BranchOp::Ne => a != b,
+                    BranchOp::Lt => (a as i32) < (b as i32),
+                    BranchOp::Ge => (a as i32) >= (b as i32),
+                    BranchOp::Ltu => a < b,
+                    BranchOp::Geu => a >= b,
+                };
+                if take {
+                    next_pc = self.pc.wrapping_add(offset as u32);
+                }
+            }
+            Inst::Load {
+                width,
+                rd,
+                rs1,
+                offset,
+            } => {
+                let addr = self.regs.read(rs1).wrapping_add(offset as u32);
+                let (raw, wait) = self.data_access(addr, width, None)?;
+                mem_wait = wait;
+                let value = match width {
+                    MemWidth::Byte => raw as u8 as i8 as i32 as u32,
+                    MemWidth::ByteU => u32::from(raw as u8),
+                    MemWidth::Half => raw as u16 as i16 as i32 as u32,
+                    MemWidth::HalfU => u32::from(raw as u16),
+                    MemWidth::Word => raw,
+                };
+                self.regs.write(rd, value);
+            }
+            Inst::Store {
+                width,
+                rs1,
+                rs2,
+                offset,
+            } => {
+                let addr = self.regs.read(rs1).wrapping_add(offset as u32);
+                let value = self.regs.read(rs2);
+                let (_, wait) = self.data_access(addr, width, Some(value))?;
+                mem_wait = wait;
+            }
+            Inst::AluImm { op, rd, rs1, imm } => {
+                let a = self.regs.read(rs1);
+                self.regs.write(rd, alu(op, a, imm as u32));
+            }
+            Inst::Alu { op, rd, rs1, rs2 } => {
+                let a = self.regs.read(rs1);
+                let b = self.regs.read(rs2);
+                self.regs.write(rd, alu(op, a, b));
+            }
+            Inst::Mul { op, rd, rs1, rs2 } => {
+                let a = self.regs.read(rs1);
+                let b = self.regs.read(rs2);
+                self.regs.write(rd, muldiv(op, a, b));
+            }
+            Inst::Fence => {}
+            Inst::Ecall => stop = Some(StopReason::Ecall),
+            Inst::Ebreak => stop = Some(StopReason::Ebreak),
+            Inst::Wfi => stop = Some(StopReason::Wfi),
+            Inst::Mret => {
+                next_pc = self.csrs.read(crate::csr::MEPC);
+            }
+            Inst::Csr { op, rd, rs1, csr } => {
+                self.csrs.cycle = self.cycle;
+                self.csrs.instret = self.retired;
+                let old = self.csrs.read(csr);
+                let operand = self.regs.read(rs1);
+                let new = match op {
+                    CsrOp::Rw => Some(operand),
+                    CsrOp::Rs => (rs1 != crate::reg::ZERO).then_some(old | operand),
+                    CsrOp::Rc => (rs1 != crate::reg::ZERO).then_some(old & !operand),
+                };
+                if let Some(v) = new {
+                    self.csrs.write(csr, v);
+                }
+                self.regs.write(rd, old);
+            }
+            Inst::CsrImm { op, rd, imm, csr } => {
+                self.csrs.cycle = self.cycle;
+                self.csrs.instret = self.retired;
+                let old = self.csrs.read(csr);
+                let operand = u32::from(imm);
+                let new = match op {
+                    CsrOp::Rw => Some(operand),
+                    CsrOp::Rs => (imm != 0).then_some(old | operand),
+                    CsrOp::Rc => (imm != 0).then_some(old & !operand),
+                };
+                if let Some(v) = new {
+                    self.csrs.write(csr, v);
+                }
+                self.regs.write(rd, old);
+            }
+        }
+
+        let taken = next_pc != self.pc.wrapping_add(4);
+        self.cycle += self.pipeline.retire(&inst, taken, fetch_wait, mem_wait);
+        self.retired += 1;
+        self.pc = next_pc;
+        Ok(stop)
+    }
+
+    /// Run until a halt condition or `max_instructions` retire.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`CpuError`].
+    pub fn run(&mut self, max_instructions: u64) -> Result<StopReason, CpuError> {
+        for _ in 0..max_instructions {
+            if let Some(stop) = self.step()? {
+                return Ok(stop);
+            }
+        }
+        Ok(StopReason::MaxInstructions)
+    }
+}
+
+fn alu(op: AluOp, a: u32, b: u32) -> u32 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Sll => a.wrapping_shl(b & 0x1F),
+        AluOp::Slt => u32::from((a as i32) < (b as i32)),
+        AluOp::Sltu => u32::from(a < b),
+        AluOp::Xor => a ^ b,
+        AluOp::Srl => a.wrapping_shr(b & 0x1F),
+        AluOp::Sra => ((a as i32).wrapping_shr(b & 0x1F)) as u32,
+        AluOp::Or => a | b,
+        AluOp::And => a & b,
+    }
+}
+
+fn muldiv(op: MulOp, a: u32, b: u32) -> u32 {
+    match op {
+        MulOp::Mul => a.wrapping_mul(b),
+        MulOp::Mulh => ((i64::from(a as i32) * i64::from(b as i32)) >> 32) as u32,
+        MulOp::Mulhsu => ((i64::from(a as i32).wrapping_mul(i64::from(b) as i64)) >> 32) as u32,
+        MulOp::Mulhu => ((u64::from(a) * u64::from(b)) >> 32) as u32,
+        MulOp::Div => {
+            if b == 0 {
+                u32::MAX
+            } else if a == 0x8000_0000 && b == u32::MAX {
+                a
+            } else {
+                ((a as i32) / (b as i32)) as u32
+            }
+        }
+        MulOp::Divu => {
+            if b == 0 {
+                u32::MAX
+            } else {
+                a / b
+            }
+        }
+        MulOp::Rem => {
+            if b == 0 {
+                a
+            } else if a == 0x8000_0000 && b == u32::MAX {
+                0
+            } else {
+                ((a as i32) % (b as i32)) as u32
+            }
+        }
+        MulOp::Remu => {
+            if b == 0 {
+                a
+            } else {
+                a % b
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+    use crate::reg::{A0, A1, T0, T1};
+    use rvnv_bus::sram::Sram;
+
+    fn program(insts: &[Inst]) -> Sram {
+        let mut bytes = Vec::new();
+        for i in insts {
+            bytes.extend_from_slice(&encode(i).to_le_bytes());
+        }
+        Sram::rom(bytes)
+    }
+
+    fn run_insts(insts: &[Inst]) -> Core<Sram, Sram> {
+        let mut core = Core::new(program(insts), Sram::new(4096));
+        core.run(10_000).unwrap();
+        core
+    }
+
+    #[test]
+    fn arithmetic_program() {
+        let core = run_insts(&[
+            Inst::AluImm {
+                op: AluOp::Add,
+                rd: A0,
+                rs1: crate::reg::ZERO,
+                imm: 40,
+            },
+            Inst::AluImm {
+                op: AluOp::Add,
+                rd: A1,
+                rs1: crate::reg::ZERO,
+                imm: 2,
+            },
+            Inst::Alu {
+                op: AluOp::Add,
+                rd: A0,
+                rs1: A0,
+                rs2: A1,
+            },
+            Inst::Ebreak,
+        ]);
+        assert_eq!(core.read_reg(A0), 42);
+        assert_eq!(core.retired(), 4);
+    }
+
+    #[test]
+    fn memory_round_trip_and_sign_extension() {
+        let core = run_insts(&[
+            // a0 = 0x180 (data area), store 0xFFFF_FF80 as byte, load back.
+            Inst::AluImm {
+                op: AluOp::Add,
+                rd: A0,
+                rs1: crate::reg::ZERO,
+                imm: 0x180,
+            },
+            Inst::AluImm {
+                op: AluOp::Add,
+                rd: T0,
+                rs1: crate::reg::ZERO,
+                imm: -128,
+            },
+            Inst::Store {
+                width: MemWidth::Byte,
+                rs1: A0,
+                rs2: T0,
+                offset: 0,
+            },
+            Inst::Load {
+                width: MemWidth::Byte,
+                rd: T1,
+                rs1: A0,
+                offset: 0,
+            },
+            Inst::Load {
+                width: MemWidth::ByteU,
+                rd: A1,
+                rs1: A0,
+                offset: 0,
+            },
+            Inst::Ebreak,
+        ]);
+        assert_eq!(core.read_reg(T1), 0xFFFF_FF80);
+        assert_eq!(core.read_reg(A1), 0x80);
+    }
+
+    #[test]
+    fn loop_counts_and_branches() {
+        // t0 = 10; loop: t0--; bne t0, zero, loop; ebreak
+        let core = run_insts(&[
+            Inst::AluImm {
+                op: AluOp::Add,
+                rd: T0,
+                rs1: crate::reg::ZERO,
+                imm: 10,
+            },
+            Inst::AluImm {
+                op: AluOp::Add,
+                rd: T0,
+                rs1: T0,
+                imm: -1,
+            },
+            Inst::Branch {
+                op: BranchOp::Ne,
+                rs1: T0,
+                rs2: crate::reg::ZERO,
+                offset: -4,
+            },
+            Inst::Ebreak,
+        ]);
+        assert_eq!(core.read_reg(T0), 0);
+        assert_eq!(core.retired(), 1 + 2 * 10 + 1);
+        // 9 taken branches × penalty 2 are visible in the stats.
+        assert_eq!(core.pipeline_stats().branch_stalls, 18);
+    }
+
+    #[test]
+    fn div_by_zero_follows_spec() {
+        let core = run_insts(&[
+            Inst::AluImm {
+                op: AluOp::Add,
+                rd: A0,
+                rs1: crate::reg::ZERO,
+                imm: 7,
+            },
+            Inst::Mul {
+                op: MulOp::Div,
+                rd: A1,
+                rs1: A0,
+                rs2: crate::reg::ZERO,
+            },
+            Inst::Mul {
+                op: MulOp::Rem,
+                rd: T0,
+                rs1: A0,
+                rs2: crate::reg::ZERO,
+            },
+            Inst::Ebreak,
+        ]);
+        assert_eq!(core.read_reg(A1), u32::MAX);
+        assert_eq!(core.read_reg(T0), 7);
+    }
+
+    #[test]
+    fn mcycle_csr_reads_advance() {
+        let core = run_insts(&[
+            Inst::Csr {
+                op: CsrOp::Rs,
+                rd: A0,
+                rs1: crate::reg::ZERO,
+                csr: crate::csr::MCYCLE,
+            },
+            Inst::AluImm {
+                op: AluOp::Add,
+                rd: T0,
+                rs1: crate::reg::ZERO,
+                imm: 1,
+            },
+            Inst::Csr {
+                op: CsrOp::Rs,
+                rd: A1,
+                rs1: crate::reg::ZERO,
+                csr: crate::csr::MCYCLE,
+            },
+            Inst::Ebreak,
+        ]);
+        assert!(core.read_reg(A1) > core.read_reg(A0));
+    }
+
+    #[test]
+    fn fetch_fault_reports_pc() {
+        let mut core = Core::new(Sram::rom(vec![0x13, 0, 0, 0]), Sram::new(64));
+        core.set_pc(0x1000);
+        let e = core.step().unwrap_err();
+        assert!(matches!(e, CpuError::FetchFault { pc: 0x1000, .. }));
+    }
+
+    #[test]
+    fn data_fault_reports_address() {
+        let mut core = Core::new(
+            program(&[Inst::Load {
+                width: MemWidth::Word,
+                rd: A0,
+                rs1: crate::reg::ZERO,
+                offset: 0x7FF,
+            }]),
+            Sram::new(64),
+        );
+        let e = core.run(10).unwrap_err();
+        assert!(matches!(e, CpuError::DataFault { .. }));
+    }
+
+    #[test]
+    fn instruction_budget() {
+        // Infinite loop: jal zero, 0.
+        let mut core = Core::new(
+            program(&[Inst::Jal {
+                rd: crate::reg::ZERO,
+                offset: 0,
+            }]),
+            Sram::new(64),
+        );
+        assert_eq!(core.run(100).unwrap(), StopReason::MaxInstructions);
+        assert_eq!(core.retired(), 100);
+    }
+
+    #[test]
+    fn mmio_poll_loop_sees_bus_latency() {
+        // Polling DRAM-backed status: cycles per iteration exceed the
+        // SRAM-only case because of wait states.
+        let prog = [
+            Inst::Load {
+                width: MemWidth::Word,
+                rd: T0,
+                rs1: crate::reg::ZERO,
+                offset: 0x100,
+            },
+            Inst::Branch {
+                op: BranchOp::Eq,
+                rs1: T0,
+                rs2: crate::reg::ZERO,
+                offset: -4,
+            },
+            Inst::Ebreak,
+        ];
+        let mut slow = Core::new(
+            program(&prog),
+            rvnv_bus::dram::Dram::new(4096, Default::default()),
+        );
+        // Never becomes nonzero; run a fixed number of instructions.
+        slow.run(20).unwrap();
+        let mut fast = Core::new(program(&prog), Sram::new(4096));
+        fast.run(20).unwrap();
+        assert!(slow.cycle() > 2 * fast.cycle());
+        assert!(slow.pipeline_stats().mem_stalls > 0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Machine-mode control and status registers.
+//!
+//! Bare-metal firmware has no OS clock, so it times itself with the
+//! `mcycle`/`minstret` counters — the mechanism our generated programs
+//! use to report per-layer latencies.
+
+use std::collections::BTreeMap;
+
+/// CSR address of `mstatus`.
+pub const MSTATUS: u16 = 0x300;
+/// CSR address of `mtvec`.
+pub const MTVEC: u16 = 0x305;
+/// CSR address of `mscratch`.
+pub const MSCRATCH: u16 = 0x340;
+/// CSR address of `mepc`.
+pub const MEPC: u16 = 0x341;
+/// CSR address of `mcause`.
+pub const MCAUSE: u16 = 0x342;
+/// CSR address of `mcycle` (low 32 bits).
+pub const MCYCLE: u16 = 0xB00;
+/// CSR address of `minstret` (low 32 bits).
+pub const MINSTRET: u16 = 0xB02;
+/// CSR address of `mcycleh` (high 32 bits).
+pub const MCYCLEH: u16 = 0xB80;
+/// CSR address of `minstreth` (high 32 bits).
+pub const MINSTRETH: u16 = 0xB82;
+/// CSR address of `mhartid` (read-only zero: single hart).
+pub const MHARTID: u16 = 0xF14;
+
+/// The CSR file.
+///
+/// `mcycle`/`minstret` shadow the core's performance counters and are
+/// refreshed by the core before each CSR read.
+#[derive(Debug, Clone, Default)]
+pub struct CsrFile {
+    regs: BTreeMap<u16, u32>,
+    /// 64-bit cycle counter, maintained by the core.
+    pub cycle: u64,
+    /// 64-bit retired-instruction counter, maintained by the core.
+    pub instret: u64,
+}
+
+impl CsrFile {
+    /// A fresh CSR file with all registers zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Read a CSR. Unimplemented CSRs read as zero (matching the
+    /// permissive behaviour of small embedded cores).
+    #[must_use]
+    pub fn read(&self, csr: u16) -> u32 {
+        match csr {
+            MCYCLE => self.cycle as u32,
+            MCYCLEH => (self.cycle >> 32) as u32,
+            MINSTRET => self.instret as u32,
+            MINSTRETH => (self.instret >> 32) as u32,
+            MHARTID => 0,
+            _ => self.regs.get(&csr).copied().unwrap_or(0),
+        }
+    }
+
+    /// Write a CSR. Writes to the hardwired counters and `mhartid` are
+    /// ignored; everything else is stored.
+    pub fn write(&mut self, csr: u16, value: u32) {
+        match csr {
+            MCYCLE | MCYCLEH | MINSTRET | MINSTRETH | MHARTID => {}
+            _ => {
+                self.regs.insert(csr, value);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_shadow_core_state() {
+        let mut f = CsrFile::new();
+        f.cycle = 0x1_2345_6789;
+        f.instret = 77;
+        assert_eq!(f.read(MCYCLE), 0x2345_6789);
+        assert_eq!(f.read(MCYCLEH), 1);
+        assert_eq!(f.read(MINSTRET), 77);
+        assert_eq!(f.read(MINSTRETH), 0);
+    }
+
+    #[test]
+    fn counter_writes_ignored() {
+        let mut f = CsrFile::new();
+        f.write(MCYCLE, 999);
+        assert_eq!(f.read(MCYCLE), 0);
+    }
+
+    #[test]
+    fn scratch_registers_round_trip() {
+        let mut f = CsrFile::new();
+        f.write(MSCRATCH, 0xABCD);
+        f.write(MEPC, 0x8000_0000);
+        assert_eq!(f.read(MSCRATCH), 0xABCD);
+        assert_eq!(f.read(MEPC), 0x8000_0000);
+    }
+
+    #[test]
+    fn unimplemented_reads_zero() {
+        let f = CsrFile::new();
+        assert_eq!(f.read(0x7C0), 0);
+        assert_eq!(f.read(MHARTID), 0);
+    }
+}

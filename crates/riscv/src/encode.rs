@@ -1,0 +1,293 @@
+//! RV32IM + Zicsr instruction encoder (the assembler back-end).
+
+use crate::inst::{AluOp, BranchOp, CsrOp, Inst, MemWidth, MulOp};
+use crate::reg::Reg;
+
+#[inline]
+fn r(reg: Reg) -> u32 {
+    u32::from(reg.index())
+}
+
+fn enc_r(funct7: u32, rs2: Reg, rs1: Reg, funct3: u32, rd: Reg, opcode: u32) -> u32 {
+    (funct7 << 25) | (r(rs2) << 20) | (r(rs1) << 15) | (funct3 << 12) | (r(rd) << 7) | opcode
+}
+
+fn enc_i(imm: i32, rs1: Reg, funct3: u32, rd: Reg, opcode: u32) -> u32 {
+    ((imm as u32 & 0xFFF) << 20) | (r(rs1) << 15) | (funct3 << 12) | (r(rd) << 7) | opcode
+}
+
+fn enc_s(imm: i32, rs2: Reg, rs1: Reg, funct3: u32, opcode: u32) -> u32 {
+    let imm = imm as u32;
+    ((imm & 0xFE0) << 20)
+        | (r(rs2) << 20)
+        | (r(rs1) << 15)
+        | (funct3 << 12)
+        | ((imm & 0x1F) << 7)
+        | opcode
+}
+
+fn enc_b(offset: i32, rs2: Reg, rs1: Reg, funct3: u32, opcode: u32) -> u32 {
+    let imm = offset as u32;
+    (((imm >> 12) & 1) << 31)
+        | (((imm >> 5) & 0x3F) << 25)
+        | (r(rs2) << 20)
+        | (r(rs1) << 15)
+        | (funct3 << 12)
+        | (((imm >> 1) & 0xF) << 8)
+        | (((imm >> 11) & 1) << 7)
+        | opcode
+}
+
+fn enc_u(imm: u32, rd: Reg, opcode: u32) -> u32 {
+    (imm & 0xFFFF_F000) | (r(rd) << 7) | opcode
+}
+
+fn enc_j(offset: i32, rd: Reg, opcode: u32) -> u32 {
+    let imm = offset as u32;
+    (((imm >> 20) & 1) << 31)
+        | (((imm >> 1) & 0x3FF) << 21)
+        | (((imm >> 11) & 1) << 20)
+        | (((imm >> 12) & 0xFF) << 12)
+        | (r(rd) << 7)
+        | opcode
+}
+
+fn alu_funct3(op: AluOp) -> u32 {
+    match op {
+        AluOp::Add | AluOp::Sub => 0b000,
+        AluOp::Sll => 0b001,
+        AluOp::Slt => 0b010,
+        AluOp::Sltu => 0b011,
+        AluOp::Xor => 0b100,
+        AluOp::Srl | AluOp::Sra => 0b101,
+        AluOp::Or => 0b110,
+        AluOp::And => 0b111,
+    }
+}
+
+/// Encode a decoded instruction back to its 32-bit word.
+///
+/// Together with [`crate::decode::decode`] this forms an exact round trip
+/// for all canonical encodings (property-tested).
+#[must_use]
+pub fn encode(inst: &Inst) -> u32 {
+    match *inst {
+        Inst::Lui { rd, imm } => enc_u(imm, rd, 0b011_0111),
+        Inst::Auipc { rd, imm } => enc_u(imm, rd, 0b001_0111),
+        Inst::Jal { rd, offset } => enc_j(offset, rd, 0b110_1111),
+        Inst::Jalr { rd, rs1, offset } => enc_i(offset, rs1, 0b000, rd, 0b110_0111),
+        Inst::Branch {
+            op,
+            rs1,
+            rs2,
+            offset,
+        } => {
+            let f3 = match op {
+                BranchOp::Eq => 0b000,
+                BranchOp::Ne => 0b001,
+                BranchOp::Lt => 0b100,
+                BranchOp::Ge => 0b101,
+                BranchOp::Ltu => 0b110,
+                BranchOp::Geu => 0b111,
+            };
+            enc_b(offset, rs2, rs1, f3, 0b110_0011)
+        }
+        Inst::Load {
+            width,
+            rd,
+            rs1,
+            offset,
+        } => {
+            let f3 = match width {
+                MemWidth::Byte => 0b000,
+                MemWidth::Half => 0b001,
+                MemWidth::Word => 0b010,
+                MemWidth::ByteU => 0b100,
+                MemWidth::HalfU => 0b101,
+            };
+            enc_i(offset, rs1, f3, rd, 0b000_0011)
+        }
+        Inst::Store {
+            width,
+            rs1,
+            rs2,
+            offset,
+        } => {
+            let f3 = match width {
+                MemWidth::Byte | MemWidth::ByteU => 0b000,
+                MemWidth::Half | MemWidth::HalfU => 0b001,
+                MemWidth::Word => 0b010,
+            };
+            enc_s(offset, rs2, rs1, f3, 0b010_0011)
+        }
+        Inst::AluImm { op, rd, rs1, imm } => {
+            let f3 = alu_funct3(op);
+            match op {
+                AluOp::Sll | AluOp::Srl => enc_i(imm & 0x1F, rs1, f3, rd, 0b001_0011),
+                AluOp::Sra => enc_i((imm & 0x1F) | 0x400, rs1, f3, rd, 0b001_0011),
+                // `subi` does not exist; Sub must not appear as AluImm.
+                AluOp::Sub => panic!("subi is not encodable"),
+                _ => enc_i(imm, rs1, f3, rd, 0b001_0011),
+            }
+        }
+        Inst::Alu { op, rd, rs1, rs2 } => {
+            let f7 = match op {
+                AluOp::Sub | AluOp::Sra => 0b010_0000,
+                _ => 0b000_0000,
+            };
+            enc_r(f7, rs2, rs1, alu_funct3(op), rd, 0b011_0011)
+        }
+        Inst::Mul { op, rd, rs1, rs2 } => {
+            let f3 = match op {
+                MulOp::Mul => 0b000,
+                MulOp::Mulh => 0b001,
+                MulOp::Mulhsu => 0b010,
+                MulOp::Mulhu => 0b011,
+                MulOp::Div => 0b100,
+                MulOp::Divu => 0b101,
+                MulOp::Rem => 0b110,
+                MulOp::Remu => 0b111,
+            };
+            enc_r(0b000_0001, rs2, rs1, f3, rd, 0b011_0011)
+        }
+        Inst::Fence => 0x0FF0_000F,
+        Inst::Ecall => 0x0000_0073,
+        Inst::Ebreak => 0x0010_0073,
+        Inst::Mret => 0x3020_0073,
+        Inst::Wfi => 0x1050_0073,
+        Inst::Csr { op, rd, rs1, csr } => {
+            let f3 = match op {
+                CsrOp::Rw => 0b001,
+                CsrOp::Rs => 0b010,
+                CsrOp::Rc => 0b011,
+            };
+            (u32::from(csr) << 20) | (r(rs1) << 15) | (f3 << 12) | (r(rd) << 7) | 0b111_0011
+        }
+        Inst::CsrImm { op, rd, imm, csr } => {
+            let f3 = match op {
+                CsrOp::Rw => 0b101,
+                CsrOp::Rs => 0b110,
+                CsrOp::Rc => 0b111,
+            };
+            (u32::from(csr) << 20)
+                | (u32::from(imm & 0x1F) << 15)
+                | (f3 << 12)
+                | (r(rd) << 7)
+                | 0b111_0011
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::decode;
+    use crate::reg::{A0, RA, SP, T0, ZERO};
+
+    #[test]
+    fn encode_matches_known_words() {
+        assert_eq!(
+            encode(&Inst::AluImm {
+                op: AluOp::Add,
+                rd: SP,
+                rs1: SP,
+                imm: -16
+            }),
+            0xFF01_0113
+        );
+        assert_eq!(
+            encode(&Inst::Jal { rd: RA, offset: 8 }),
+            0x0080_00EF
+        );
+        assert_eq!(encode(&Inst::Ebreak), 0x0010_0073);
+    }
+
+    #[test]
+    fn round_trip_representative_set() {
+        let insts = [
+            Inst::Lui {
+                rd: A0,
+                imm: 0xDEAD_B000,
+            },
+            Inst::Auipc { rd: T0, imm: 0x1000 },
+            Inst::Jal {
+                rd: ZERO,
+                offset: -2048,
+            },
+            Inst::Jalr {
+                rd: RA,
+                rs1: A0,
+                offset: 44,
+            },
+            Inst::Branch {
+                op: BranchOp::Geu,
+                rs1: T0,
+                rs2: A0,
+                offset: 4094,
+            },
+            Inst::Load {
+                width: MemWidth::HalfU,
+                rd: T0,
+                rs1: SP,
+                offset: -1,
+            },
+            Inst::Store {
+                width: MemWidth::Byte,
+                rs1: SP,
+                rs2: T0,
+                offset: 2047,
+            },
+            Inst::AluImm {
+                op: AluOp::Sra,
+                rd: A0,
+                rs1: A0,
+                imm: 31,
+            },
+            Inst::Alu {
+                op: AluOp::Sub,
+                rd: A0,
+                rs1: T0,
+                rs2: SP,
+            },
+            Inst::Mul {
+                op: MulOp::Remu,
+                rd: A0,
+                rs1: A0,
+                rs2: T0,
+            },
+            Inst::Fence,
+            Inst::Ecall,
+            Inst::Ebreak,
+            Inst::Mret,
+            Inst::Wfi,
+            Inst::Csr {
+                op: CsrOp::Rw,
+                rd: A0,
+                rs1: T0,
+                csr: 0x341,
+            },
+            Inst::CsrImm {
+                op: CsrOp::Rc,
+                rd: ZERO,
+                imm: 31,
+                csr: 0x300,
+            },
+        ];
+        for inst in insts {
+            let word = encode(&inst);
+            let back = decode(word, 0).unwrap_or_else(|e| panic!("{inst:?}: {e}"));
+            assert_eq!(back, inst, "word {word:#010x}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "subi")]
+    fn sub_immediate_is_rejected() {
+        let _ = encode(&Inst::AluImm {
+            op: AluOp::Sub,
+            rd: A0,
+            rs1: A0,
+            imm: 1,
+        });
+    }
+}

@@ -1,0 +1,259 @@
+//! 4-stage pipeline timing model (IF → ID → EX → WB).
+//!
+//! The Codasip µRISC-V is a 4-stage in-order pipeline. We model its
+//! timing per retired instruction: one cycle of base throughput plus
+//! stalls from the classic small-core hazards. The constants are chosen
+//! for a 4-stage organization: a taken control transfer flushes the two
+//! younger stages, a load's data arrives one stage too late for an
+//! immediately dependent consumer, and the iterative divider blocks EX.
+
+use crate::inst::{Inst, MulOp};
+use crate::reg::Reg;
+
+/// Stall/penalty cycle constants of the 4-stage pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineModel {
+    /// Cycles lost on a taken branch/jump (IF+ID flush).
+    pub branch_penalty: u64,
+    /// Cycles lost when an instruction consumes the value loaded by the
+    /// immediately preceding load.
+    pub load_use_penalty: u64,
+    /// Extra EX cycles for a multiply (beyond the base cycle).
+    pub mul_extra: u64,
+    /// Extra EX cycles for a divide/remainder (iterative divider).
+    pub div_extra: u64,
+}
+
+impl PipelineModel {
+    /// The µRISC-V-like default.
+    #[must_use]
+    pub fn micro_riscv() -> Self {
+        PipelineModel {
+            branch_penalty: 2,
+            load_use_penalty: 1,
+            mul_extra: 1,
+            div_extra: 16,
+        }
+    }
+}
+
+impl Default for PipelineModel {
+    fn default() -> Self {
+        Self::micro_riscv()
+    }
+}
+
+/// Cycle accounting, split by cause.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Retired instructions.
+    pub retired: u64,
+    /// Base throughput cycles (== retired).
+    pub base_cycles: u64,
+    /// Cycles lost to taken control transfers.
+    pub branch_stalls: u64,
+    /// Cycles lost to load-use hazards.
+    pub load_use_stalls: u64,
+    /// Extra cycles in the multiplier/divider.
+    pub muldiv_stalls: u64,
+    /// Cycles waiting on instruction fetch (bus wait states).
+    pub fetch_stalls: u64,
+    /// Cycles waiting on data memory (bus wait states).
+    pub mem_stalls: u64,
+}
+
+impl PipelineStats {
+    /// Total cycles consumed.
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.base_cycles
+            + self.branch_stalls
+            + self.load_use_stalls
+            + self.muldiv_stalls
+            + self.fetch_stalls
+            + self.mem_stalls
+    }
+
+    /// Cycles per instruction ×1000 (fixed point, 0 when idle).
+    #[must_use]
+    pub fn cpi_milli(&self) -> u64 {
+        if self.retired == 0 {
+            0
+        } else {
+            self.total_cycles() * 1000 / self.retired
+        }
+    }
+}
+
+/// The pipeline hazard tracker.
+#[derive(Debug, Clone, Default)]
+pub struct Pipeline {
+    model: PipelineModel,
+    stats: PipelineStats,
+    /// Destination of the previous instruction if it was a load.
+    pending_load: Option<Reg>,
+}
+
+impl Pipeline {
+    /// A pipeline with the given timing model.
+    #[must_use]
+    pub fn new(model: PipelineModel) -> Self {
+        Pipeline {
+            model,
+            stats: PipelineStats::default(),
+            pending_load: None,
+        }
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> PipelineStats {
+        self.stats
+    }
+
+    /// The timing model in use.
+    #[must_use]
+    pub fn model(&self) -> PipelineModel {
+        self.model
+    }
+
+    /// Account for one retired instruction and return the cycles it
+    /// consumed.
+    ///
+    /// * `taken` — whether a control transfer redirected the PC,
+    /// * `fetch_wait` — bus wait states seen by IF beyond the pipelined
+    ///   single cycle,
+    /// * `mem_wait` — bus wait states seen by a load/store beyond one.
+    pub fn retire(&mut self, inst: &Inst, taken: bool, fetch_wait: u64, mem_wait: u64) -> u64 {
+        let mut cycles = 1;
+        self.stats.retired += 1;
+        self.stats.base_cycles += 1;
+        self.stats.fetch_stalls += fetch_wait;
+        self.stats.mem_stalls += mem_wait;
+        cycles += fetch_wait + mem_wait;
+
+        // Load-use hazard against the previous instruction.
+        if let Some(load_rd) = self.pending_load.take() {
+            let (s1, s2) = inst.sources();
+            if s1 == Some(load_rd) || s2 == Some(load_rd) {
+                self.stats.load_use_stalls += self.model.load_use_penalty;
+                cycles += self.model.load_use_penalty;
+            }
+        }
+
+        if taken {
+            self.stats.branch_stalls += self.model.branch_penalty;
+            cycles += self.model.branch_penalty;
+        }
+
+        if let Inst::Mul { op, .. } = inst {
+            let extra = match op {
+                MulOp::Mul | MulOp::Mulh | MulOp::Mulhsu | MulOp::Mulhu => self.model.mul_extra,
+                MulOp::Div | MulOp::Divu | MulOp::Rem | MulOp::Remu => self.model.div_extra,
+            };
+            self.stats.muldiv_stalls += extra;
+            cycles += extra;
+        }
+
+        if let Inst::Load { rd, .. } = inst {
+            self.pending_load = Some(*rd);
+        }
+
+        cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{AluOp, MemWidth};
+    use crate::reg::{A0, A1, T0};
+
+    fn add(rd: Reg, rs1: Reg) -> Inst {
+        Inst::AluImm {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            imm: 1,
+        }
+    }
+
+    #[test]
+    fn straight_line_code_is_cpi_one() {
+        let mut p = Pipeline::new(PipelineModel::micro_riscv());
+        for _ in 0..100 {
+            assert_eq!(p.retire(&add(A0, A0), false, 0, 0), 1);
+        }
+        assert_eq!(p.stats().cpi_milli(), 1000);
+    }
+
+    #[test]
+    fn taken_branch_flushes_two_stages() {
+        let mut p = Pipeline::new(PipelineModel::micro_riscv());
+        let b = Inst::Branch {
+            op: crate::inst::BranchOp::Eq,
+            rs1: A0,
+            rs2: A1,
+            offset: -4,
+        };
+        assert_eq!(p.retire(&b, true, 0, 0), 3);
+        assert_eq!(p.retire(&b, false, 0, 0), 1, "not-taken branch is free");
+        assert_eq!(p.stats().branch_stalls, 2);
+    }
+
+    #[test]
+    fn load_use_hazard_stalls_once() {
+        let mut p = Pipeline::new(PipelineModel::micro_riscv());
+        let ld = Inst::Load {
+            width: MemWidth::Word,
+            rd: T0,
+            rs1: A0,
+            offset: 0,
+        };
+        p.retire(&ld, false, 0, 0);
+        // Consumer of t0 immediately after the load stalls.
+        assert_eq!(p.retire(&add(A0, T0), false, 0, 0), 2);
+        // A later consumer does not.
+        p.retire(&ld, false, 0, 0);
+        p.retire(&add(A1, A0), false, 0, 0);
+        assert_eq!(p.retire(&add(A0, T0), false, 0, 0), 1);
+        assert_eq!(p.stats().load_use_stalls, 1);
+    }
+
+    #[test]
+    fn divider_blocks_longer_than_multiplier() {
+        let mut p = Pipeline::new(PipelineModel::micro_riscv());
+        let mul = Inst::Mul {
+            op: MulOp::Mul,
+            rd: A0,
+            rs1: A0,
+            rs2: A1,
+        };
+        let div = Inst::Mul {
+            op: MulOp::Div,
+            rd: A0,
+            rs1: A0,
+            rs2: A1,
+        };
+        let c_mul = p.retire(&mul, false, 0, 0);
+        let c_div = p.retire(&div, false, 0, 0);
+        assert!(c_div > c_mul);
+        assert_eq!(c_div, 17);
+    }
+
+    #[test]
+    fn bus_waits_accumulate() {
+        let mut p = Pipeline::new(PipelineModel::micro_riscv());
+        let ld = Inst::Load {
+            width: MemWidth::Word,
+            rd: T0,
+            rs1: A0,
+            offset: 0,
+        };
+        assert_eq!(p.retire(&ld, false, 2, 30), 33);
+        let s = p.stats();
+        assert_eq!(s.fetch_stalls, 2);
+        assert_eq!(s.mem_stalls, 30);
+        assert_eq!(s.total_cycles(), 33);
+    }
+}

@@ -1,0 +1,81 @@
+//! Configuration explorer: `nv_small` vs `nv_full` across the model zoo.
+//!
+//! The paper's conclusion claims the SoC "has the flexibility to
+//! support nv_full by modifying parameters such as the AXI interface
+//! width". This example sweeps both configurations over all six models
+//! on the virtual platform (timing-only), prints the speedups, and
+//! checks each configuration against the ZCU102 resource budget.
+//!
+//! ```sh
+//! cargo run --release --example config_explorer
+//! ```
+
+use rvnv_bus::dram::DramTiming;
+use rvnv_compiler::{compile, CompileOptions, VirtualPlatform};
+use rvnv_nn::zoo::Model;
+use rvnv_nvdla::{HwConfig, Precision};
+use rvnv_soc::resources;
+
+fn vp_cycles(model: Model, hw: &HwConfig, precision: Precision) -> Option<u64> {
+    let mut opt = match precision {
+        Precision::Int8 => CompileOptions::int8(),
+        Precision::Fp16 => CompileOptions::fp16(),
+    };
+    opt.hw = hw.clone();
+    opt.calib_inputs = usize::from(precision == Precision::Int8);
+    let artifacts = compile(&model.build(1), &opt).ok()?;
+    let timing = DramTiming {
+        cas: 6,
+        rcd: 6,
+        rp: 6,
+        controller: 4,
+        row_bytes: 2048,
+        bytes_per_beat: 4,
+    };
+    let mut vp = VirtualPlatform::with_timing(hw.clone(), 512 << 20, timing);
+    vp.set_functional(false);
+    let input = vec![0u8; artifacts.input_len];
+    Some(vp.run(&artifacts, &input, false).ok()?.cycles)
+}
+
+fn main() {
+    let small = HwConfig::nv_small();
+    let full = HwConfig::nv_full();
+
+    println!("model           nv_small(int8)    nv_full(fp16)     speedup");
+    // INT8 calibration needs a golden run; keep the heavyweight models
+    // timing-only on the small config by skipping calibration-expensive
+    // ones (the paper's nv_small flow also only covers the small set).
+    for model in Model::ALL {
+        let small_cycles = if Model::NV_SMALL.contains(&model) {
+            vp_cycles(model, &small, Precision::Int8)
+        } else {
+            None // no INT8 calibration tables — the paper's limitation
+        };
+        let full_cycles = vp_cycles(model, &full, Precision::Fp16);
+        let s = small_cycles.map_or("no calib".to_string(), |c| c.to_string());
+        let f = full_cycles.map_or("-".to_string(), |c| c.to_string());
+        let ratio = match (small_cycles, full_cycles) {
+            (Some(a), Some(b)) if b > 0 => format!("{:.1}x", a as f64 / b as f64),
+            _ => "-".to_string(),
+        };
+        println!("{:<15} {:<17} {:<17} {}", model.name(), s, f, ratio);
+    }
+
+    println!("\nZCU102 fit check:");
+    for hw in [&small, &full] {
+        let u = resources::nvdla(hw);
+        println!(
+            "  {:<9} {:>7} LUTs, {:>4} BRAM, {:>4} DSP -> fits: {}",
+            hw.name,
+            u.lut,
+            u.bram,
+            u.dsp,
+            resources::fits_zcu102(&u)
+        );
+    }
+    println!(
+        "\n(The paper: nv_full 'is an enormous design and does not fit on most \
+         FPGAs, including the ZCU102'.)"
+    );
+}

@@ -1,0 +1,111 @@
+//! Edge-deployment scenario: ResNet-18 (CIFAR) on the `nv_small` SoC.
+//!
+//! This is the paper's motivating use case — a resource-constrained
+//! edge device classifying camera frames without an OS. The example
+//! runs a batch of frames, reports per-engine utilization, arbiter
+//! contention and the storage budget versus a Linux deployment.
+//!
+//! ```sh
+//! cargo run --release --example edge_deployment
+//! ```
+
+use rvnv_compiler::{compile, CompileOptions};
+use rvnv_nn::exec::Executor;
+use rvnv_nn::{zoo, Tensor};
+use rvnv_nvdla::regs::Block;
+use rvnv_soc::baseline::LinuxRuntimeModel;
+use rvnv_soc::firmware::{Firmware, StorageFootprint};
+use rvnv_soc::soc::{Soc, SocConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let net = zoo::resnet18_cifar(2024);
+    // Trace-replay flow, as the paper deploys it.
+    let options = CompileOptions::int8().unfused();
+    let artifacts = compile(&net, &options)?;
+    let fw = Firmware::build(&artifacts)?;
+    println!(
+        "ResNet-18 (CIFAR): {} layers -> {} hardware ops, firmware {} B, weights {} B",
+        net.layer_count(),
+        artifacts.ops.len(),
+        fw.size_bytes(),
+        artifacts.weights.total_bytes()
+    );
+
+    let mut soc = Soc::new(SocConfig::zcu102_nv_small());
+    let golden = Executor::new(&net);
+    let frames = 5;
+    let mut agree = 0;
+    let mut total_cycles = 0u64;
+    let mut last = None;
+    for frame in 0..frames {
+        let input = Tensor::random(net.input_shape(), 1000 + frame);
+        let result = soc.run_firmware(&artifacts, &artifacts.quantize_input(&input), &fw)?;
+        let all = golden.run_all(&input)?;
+        let logits = &all[all.len() - 2];
+        if result.output.argmax() == logits.argmax() {
+            agree += 1;
+        }
+        total_cycles += result.cycles;
+        println!(
+            "frame {frame}: class {} ({:.2} ms, golden class {})",
+            result.output.argmax(),
+            result.latency_ms(100_000_000),
+            logits.argmax()
+        );
+        last = Some(result);
+    }
+    let result = last.expect("ran at least one frame");
+    println!(
+        "\nINT8 vs golden-f32 agreement: {agree}/{frames} frames \
+         (disagreements are quantization noise on synthetic weights)"
+    );
+    println!(
+        "throughput: {:.1} frames/s @100 MHz",
+        frames as f64 / (total_cycles as f64 / 100e6)
+    );
+
+    // Per-layer hotspots from the joined profile.
+    let profile = rvnv_soc::profile::InferenceProfile::new(&artifacts, &result);
+    println!(
+        "\naccelerator occupancy {}%; three hottest layers:",
+        profile.occupancy_percent()
+    );
+    for l in profile.hotspots(3) {
+        println!("  {:<18} {:<5} {:>9} cycles", l.name, l.engine, l.cycles());
+    }
+
+    println!("\nper-engine activity (last frame):");
+    for block in [Block::Cacc, Block::Sdp, Block::Pdp] {
+        let e = result.nvdla.engine(block);
+        println!(
+            "  {:5} ops {:3}  compute cycles {:>9}  dma r/w {:>9}/{:>9} B",
+            block.name(),
+            e.ops,
+            e.compute_cycles,
+            e.dma_read_bytes,
+            e.dma_write_bytes
+        );
+    }
+    println!(
+        "core: {} instructions, {} cycles stalled on memory, {} cycles at the arbiter",
+        result.instructions, result.pipeline.mem_stalls, result.cpu_arbiter_wait
+    );
+
+    // Deployment budget.
+    let bm = StorageFootprint::bare_metal(&fw, &artifacts);
+    let lx = StorageFootprint::linux(&artifacts);
+    println!(
+        "\nstorage: bare-metal {} B software vs Linux {} B — {}x smaller",
+        bm.software_bytes,
+        lx.software_bytes,
+        lx.software_bytes / bm.software_bytes.max(1)
+    );
+    let baseline = LinuxRuntimeModel::esp_ariane_50mhz();
+    let data = artifacts.weights.total_bytes() as u64 + artifacts.input_len as u64;
+    println!(
+        "latency:  bare-metal {:.1} ms vs Linux-stack {:.0} ms",
+        result.latency_ms(100_000_000),
+        baseline.latency_ms(result.cycles, artifacts.ops.len() as u64, data)
+    );
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! Quickstart: compile LeNet-5 and run one bare-metal inference on the
+//! co-simulated SoC, then check the result against the golden executor.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use rvnv_compiler::{compile, CompileOptions};
+use rvnv_nn::exec::Executor;
+use rvnv_nn::{zoo, Tensor};
+use rvnv_soc::soc::{Soc, SocConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Build the model (deterministic synthetic weights).
+    let net = zoo::lenet5(42);
+    println!("model: {} ({} layers)", net.name(), net.layer_count());
+
+    // 2. Compile for nv_small INT8: calibration, fusion, DRAM layout,
+    //    register-command stream, weight file.
+    let artifacts = compile(&net, &CompileOptions::int8())?;
+    println!(
+        "compiled: {} hardware ops, {} register writes, {} weight bytes",
+        artifacts.ops.len(),
+        artifacts.reg_writes(),
+        artifacts.weights.total_bytes()
+    );
+
+    // 3. Build the ZCU102-like SoC and run the bare-metal flow:
+    //    PS preload -> SmartConnect switch -> firmware executes from
+    //    program memory, programming NVDLA via load/store.
+    let mut soc = Soc::new(SocConfig::zcu102_nv_small());
+    let input = Tensor::random(net.input_shape(), 7);
+    let result = soc.run_inference(&artifacts, &input)?;
+    println!(
+        "inference: {} cycles = {:.2} ms @100 MHz ({} instructions, firmware {} B)",
+        result.cycles,
+        result.latency_ms(100_000_000),
+        result.instructions,
+        result.firmware_bytes,
+    );
+
+    // 4. Verify against the golden f32 executor (pre-softmax logits).
+    let all = Executor::new(&net).run_all(&input)?;
+    let logits = &all[all.len() - 2];
+    println!(
+        "classification: NVDLA says {}, golden executor says {} -> {}",
+        result.output.argmax(),
+        logits.argmax(),
+        if result.output.argmax() == logits.argmax() {
+            "MATCH"
+        } else {
+            "MISMATCH"
+        }
+    );
+
+    // 5. Where did the cycles go?
+    let p = result.pipeline;
+    println!(
+        "core: {} retired, CPI(milli) {}, mem stalls {}, branch stalls {}",
+        p.retired,
+        p.cpi_milli(),
+        p.mem_stalls,
+        p.branch_stalls
+    );
+    println!(
+        "nvdla: {} ops, {} MACs, {} DMA bytes",
+        result.nvdla.total_ops(),
+        result.nvdla.total_macs(),
+        result.nvdla.total_dma_bytes()
+    );
+    Ok(())
+}

@@ -1,0 +1,232 @@
+//! `rv-nvdla` — command-line front end for the bare-metal RISC-V + NVDLA
+//! SoC toolflow.
+//!
+//! ```text
+//! rv-nvdla compile <model> [--fp16] [--unfused] [--out DIR]
+//! rv-nvdla run     <model> [--fp16] [--unfused] [--wfi] [--timing-only]
+//! rv-nvdla traces
+//! rv-nvdla resources
+//! rv-nvdla models
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rv_nvdla::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("compile") => cmd_compile(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("traces") => cmd_traces(),
+        Some("resources") => cmd_resources(),
+        Some("models") => cmd_models(),
+        _ => {
+            eprintln!(
+                "usage: rv-nvdla <compile|run|traces|resources|models> [options]\n\
+                 \n\
+                 compile <model> [--fp16] [--unfused] [--out DIR]\n\
+                 \tCompile a zoo model; write config file, weight .bin,\n\
+                 \tassembly and program-memory .mem image.\n\
+                 run <model> [--fp16] [--unfused] [--wfi] [--timing-only]\n\
+                 \tRun one bare-metal inference on the co-simulated SoC.\n\
+                 traces\n\
+                 \tRun the standard NVDLA validation traces as firmware.\n\
+                 resources\n\
+                 \tPrint the Table I resource model for nv_small/nv_full.\n\
+                 models\n\
+                 \tList the model zoo."
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type AnyError = Box<dyn std::error::Error>;
+
+fn find_model(name: &str) -> Result<Model, AnyError> {
+    Model::ALL
+        .into_iter()
+        .find(|m| m.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown model `{name}`; try `rv-nvdla models`").into())
+}
+
+fn parse_options(args: &[String]) -> Result<(Model, CompileOptions, bool, bool), AnyError> {
+    let model_name = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or("missing model name")?;
+    let model = find_model(model_name)?;
+    let fp16 = args.iter().any(|a| a == "--fp16");
+    let mut opt = if fp16 {
+        CompileOptions::fp16()
+    } else {
+        let mut o = CompileOptions::int8();
+        o.calib_inputs = 1;
+        o
+    };
+    if args.iter().any(|a| a == "--unfused") {
+        opt = opt.unfused();
+    }
+    let wfi = args.iter().any(|a| a == "--wfi");
+    let timing_only = args.iter().any(|a| a == "--timing-only");
+    Ok((model, opt, wfi, timing_only))
+}
+
+fn cmd_compile(args: &[String]) -> Result<(), AnyError> {
+    let (model, opt, _, _) = parse_options(args)?;
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or_else(|| PathBuf::from("."), PathBuf::from);
+    std::fs::create_dir_all(&out_dir)?;
+
+    let net = model.build(1);
+    let artifacts = compile(&net, &opt)?;
+    let fw = Firmware::build(&artifacts)?;
+    let stem = model.name().to_lowercase().replace('-', "");
+
+    let config_path = out_dir.join(format!("{stem}.cfg"));
+    std::fs::write(&config_path, write_config_file(&artifacts.commands))?;
+    let weights_path = out_dir.join(format!("{stem}_weights.bin"));
+    std::fs::write(&weights_path, artifacts.weights.to_bin())?;
+    let asm_path = out_dir.join(format!("{stem}.s"));
+    std::fs::write(&asm_path, &fw.assembly)?;
+    let mem_path = out_dir.join(format!("{stem}.mem"));
+    std::fs::write(&mem_path, fw.to_mem_format())?;
+
+    println!(
+        "{}: {} ops, {} commands -> {}, {}, {}, {}",
+        model.name(),
+        artifacts.ops.len(),
+        artifacts.commands.len(),
+        config_path.display(),
+        weights_path.display(),
+        asm_path.display(),
+        mem_path.display()
+    );
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), AnyError> {
+    let (model, opt, wfi, timing_only) = parse_options(args)?;
+    let net = model.build(1);
+    let artifacts = compile(&net, &opt)?;
+    let mut config = if timing_only {
+        SocConfig::zcu102_timing_only()
+    } else {
+        SocConfig::zcu102_nv_small()
+    };
+    config.hw = opt.hw.clone();
+    let mut soc = Soc::new(config);
+    let input = Tensor::random(net.input_shape(), 7);
+    let codegen = CodegenOptions {
+        wait_mode: if wfi { WaitMode::Wfi } else { WaitMode::Poll },
+        ..CodegenOptions::default()
+    };
+    let fw = Firmware::build_with(&artifacts, codegen)?;
+    let result = soc.run_firmware(&artifacts, &artifacts.quantize_input(&input), &fw)?;
+    println!(
+        "{}: {} cycles = {:.2} ms @100 MHz | {} instructions | firmware {} B | class {}",
+        model.name(),
+        result.cycles,
+        result.latency_ms(100_000_000),
+        result.instructions,
+        result.firmware_bytes,
+        result.output.argmax()
+    );
+    println!("per-op timeline (first 8):");
+    for op in result.timeline.iter().take(8) {
+        println!(
+            "  {:8} {:>9} .. {:>9}  ({} cycles)",
+            op.block.name(),
+            op.start,
+            op.done,
+            op.done - op.start
+        );
+    }
+    Ok(())
+}
+
+fn cmd_traces() -> Result<(), AnyError> {
+    for trace in rvnv_compiler::traces::all() {
+        let asm = rvnv_compiler::codegen::generate_assembly(&trace.commands);
+        let image = rvnv_riscv::assemble(&asm)?;
+        let fw = Firmware {
+            assembly: asm,
+            image,
+        };
+        // Minimal artifacts shell for the harness.
+        let net = rv_nvdla::prelude::Model::LeNet5.build(1);
+        let mut opt = CompileOptions::int8();
+        opt.calib_inputs = 1;
+        let mut artifacts = compile(&net, &opt)?;
+        artifacts.commands = trace.commands.clone();
+        artifacts.weights = trace.preload.clone();
+        artifacts.input_len = 0;
+        artifacts.output_len = 0;
+        artifacts.output_shape = rvnv_nn::Shape::new(0, 0, 0);
+
+        let mut soc = Soc::new(SocConfig::zcu102_nv_small());
+        let result = soc.run_firmware(&artifacts, &[], &fw)?;
+        let mut ok = true;
+        for (addr, bytes) in &trace.expect {
+            ok &= soc.dram_peek(*addr, bytes.len()) == *bytes;
+        }
+        println!(
+            "trace {:12} {} ({} commands, {} cycles)",
+            trace.name,
+            if ok { "PASS" } else { "FAIL" },
+            trace.commands.len(),
+            result.cycles
+        );
+        if !ok {
+            return Err(format!("trace {} failed", trace.name).into());
+        }
+    }
+    Ok(())
+}
+
+fn cmd_resources() -> Result<(), AnyError> {
+    use rvnv_soc::resources;
+    for cfg in [rvnv_nvdla::HwConfig::nv_small(), rvnv_nvdla::HwConfig::nv_full()] {
+        let u = resources::nvdla(&cfg);
+        println!(
+            "{:9} LUT {:>7}  Regs {:>7}  BRAM {:>4}  DSP {:>5}  fits ZCU102: {}",
+            cfg.name,
+            u.lut,
+            u.regs,
+            u.bram,
+            u.dsp,
+            resources::fits_zcu102(&u)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_models() -> Result<(), AnyError> {
+    for m in Model::ALL {
+        let net = m.build(1);
+        let nv_small = if Model::NV_SMALL.contains(&m) {
+            "nv_small+nv_full"
+        } else {
+            "nv_full only"
+        };
+        println!(
+            "{:10} input {:10} layers {:4} ({nv_small})",
+            m.name(),
+            net.input_shape().to_string(),
+            net.layer_count()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,214 @@
+//! Cross-crate integration tests: the complete bare-metal flow from a
+//! layer graph to verified SoC output.
+
+use rvnv_compiler::codegen::{generate_machine_code, CodegenOptions};
+use rvnv_compiler::trace::{parse_config_file, write_config_file};
+use rvnv_compiler::{compile, CompileOptions};
+use rvnv_nn::exec::Executor;
+use rvnv_nn::graph::{Network, Op, PoolKind};
+use rvnv_nn::tensor::{Shape, WeightTensor};
+use rvnv_nn::{zoo, Tensor};
+use rvnv_nvdla::HwConfig;
+use rvnv_soc::firmware::Firmware;
+use rvnv_soc::soc::{Soc, SocConfig};
+
+/// A network exercising every NVDLA engine and compiler path: fused
+/// conv+BN+ReLU, a residual eltwise, max pooling, concat with both
+/// redirection and a RUBIK copy, LRN (CDP), average pooling, a fully
+/// connected layer and a CPU-side softmax.
+fn kitchen_sink() -> Network {
+    let mut net = Network::new("kitchen-sink", Shape::new(4, 8, 8));
+    let x = net.input();
+    let conv = |o: usize, i: usize, k: usize, pad: usize, seed: u64| {
+        Op::Conv2d(rvnv_nn::graph::ConvParams {
+            weights: WeightTensor::random(o, i, k, k, seed),
+            bias: vec![0.01; o],
+            stride: 1,
+            pad,
+            groups: 1,
+        })
+    };
+    let c1 = net.add("c1", conv(8, 4, 3, 1, 1), &[x]).unwrap();
+    let bn1 = net
+        .add(
+            "bn1",
+            Op::BatchNorm {
+                scale: vec![0.9; 8],
+                shift: vec![0.05; 8],
+            },
+            &[c1],
+        )
+        .unwrap();
+    let r1 = net.add("r1", Op::Relu, &[bn1]).unwrap();
+    // Residual block on r1.
+    let c2 = net.add("c2", conv(8, 8, 3, 1, 2), &[r1]).unwrap();
+    let add = net.add("add", Op::EltwiseAdd, &[c2, r1]).unwrap();
+    let r2 = net.add("r2", Op::Relu, &[add]).unwrap();
+    // Branches into a concat; r1 has other consumers, forcing a copy.
+    let pa = net.add("pa", conv(4, 8, 1, 0, 3), &[r2]).unwrap();
+    let pool_b = net
+        .add(
+            "pool_b",
+            Op::Pool {
+                kind: PoolKind::Max,
+                k: 3,
+                stride: 1,
+                pad: 1,
+            },
+            &[r2],
+        )
+        .unwrap();
+    let pb = net.add("pb", conv(4, 8, 1, 0, 4), &[pool_b]).unwrap();
+    let cat = net.add("cat", Op::Concat, &[pa, pb, r1]).unwrap();
+    let lrn = net
+        .add(
+            "lrn",
+            Op::Lrn {
+                local_size: 5,
+                alpha: 1e-4,
+                beta: 0.75,
+                k: 1.0,
+            },
+            &[cat],
+        )
+        .unwrap();
+    let ap = net
+        .add(
+            "ap",
+            Op::Pool {
+                kind: PoolKind::Avg,
+                k: 2,
+                stride: 2,
+                pad: 0,
+            },
+            &[lrn],
+        )
+        .unwrap();
+    let fc = net
+        .add(
+            "fc",
+            Op::FullyConnected {
+                weights: WeightTensor::random(10, 16 * 4 * 4, 1, 1, 5)
+                    .data()
+                    .to_vec(),
+                out: 10,
+                input: 16 * 4 * 4,
+                bias: vec![0.0; 10],
+            },
+            &[ap],
+        )
+        .unwrap();
+    net.add("prob", Op::Softmax, &[fc]).unwrap();
+    net
+}
+
+#[test]
+fn kitchen_sink_fp16_on_nv_full_soc_matches_golden() {
+    let net = kitchen_sink();
+    let artifacts = compile(&net, &CompileOptions::fp16()).expect("compile");
+    // All engines appear.
+    let engines: std::collections::BTreeSet<&str> =
+        artifacts.ops.iter().map(|o| o.engine).collect();
+    for e in ["conv", "pdp", "cdp", "rubik"] {
+        assert!(engines.contains(e), "missing engine {e}: {engines:?}");
+    }
+
+    let mut config = SocConfig::zcu102_nv_small();
+    config.hw = HwConfig::nv_full();
+    let mut soc = Soc::new(config);
+    let input = Tensor::random(net.input_shape(), 77);
+    let result = soc.run_inference(&artifacts, &input).expect("inference");
+
+    // Compare pre-softmax logits against the golden executor.
+    let all = Executor::new(&net).run_all(&input).expect("golden");
+    let logits = &all[all.len() - 2];
+    for (i, (a, b)) in result.output.data().iter().zip(logits.data()).enumerate() {
+        assert!(
+            (a - b).abs() < 0.05,
+            "logit {i}: nvdla {a} vs golden {b}"
+        );
+    }
+}
+
+#[test]
+fn kitchen_sink_int8_argmax_agrees() {
+    let net = kitchen_sink();
+    let artifacts = compile(&net, &CompileOptions::int8()).expect("compile");
+    let mut soc = Soc::new(SocConfig::zcu102_nv_small());
+    let input = Tensor::random(net.input_shape(), 123);
+    let result = soc.run_inference(&artifacts, &input).expect("inference");
+    let all = Executor::new(&net).run_all(&input).expect("golden");
+    let logits = &all[all.len() - 2];
+    assert_eq!(result.output.argmax(), logits.argmax());
+}
+
+#[test]
+fn config_file_text_round_trip_runs_identically() {
+    let net = zoo::lenet5(9);
+    let artifacts = compile(&net, &CompileOptions::int8()).expect("compile");
+    // Serialize the configuration file to text and parse it back — the
+    // paper's on-disk artifact.
+    let text = write_config_file(&artifacts.commands);
+    let parsed = parse_config_file(&text).expect("parse");
+    assert_eq!(parsed, artifacts.commands);
+
+    // Build firmware from the parsed file and run it.
+    let image = generate_machine_code(&parsed, CodegenOptions::default()).expect("assemble");
+    let asm = rvnv_compiler::codegen::generate_assembly(&parsed);
+    let fw = Firmware { assembly: asm, image };
+    let input = Tensor::random(net.input_shape(), 4);
+    let input_bytes = artifacts.quantize_input(&input);
+    let mut soc = Soc::new(SocConfig::zcu102_nv_small());
+    let via_file = soc.run_firmware(&artifacts, &input_bytes, &fw).expect("file path");
+    let direct = soc.run_inference(&artifacts, &input).expect("direct path");
+    assert_eq!(via_file.cycles, direct.cycles);
+    assert_eq!(via_file.raw_output, direct.raw_output);
+}
+
+#[test]
+fn repeated_runs_are_deterministic() {
+    let net = zoo::lenet5(1);
+    let artifacts = compile(&net, &CompileOptions::int8()).expect("compile");
+    let input = Tensor::random(net.input_shape(), 5);
+    let mut soc = Soc::new(SocConfig::zcu102_nv_small());
+    let a = soc.run_inference(&artifacts, &input).expect("run 1");
+    let b = soc.run_inference(&artifacts, &input).expect("run 2");
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.instructions, b.instructions);
+    assert_eq!(a.raw_output, b.raw_output);
+}
+
+#[test]
+fn fused_and_unfused_agree_functionally() {
+    let net = zoo::lenet5(33);
+    let input = Tensor::random(net.input_shape(), 6);
+    let fused = compile(&net, &CompileOptions::int8()).expect("fused");
+    let unfused = compile(&net, &CompileOptions::int8().unfused()).expect("unfused");
+    assert!(unfused.ops.len() >= fused.ops.len());
+    let mut soc = Soc::new(SocConfig::zcu102_nv_small());
+    let a = soc.run_inference(&fused, &input).expect("fused run");
+    let b = soc.run_inference(&unfused, &input).expect("unfused run");
+    assert_eq!(a.output.argmax(), b.output.argmax());
+    assert!(
+        b.cycles >= a.cycles,
+        "per-layer replay ({}) is never faster than fusion ({})",
+        b.cycles,
+        a.cycles
+    );
+}
+
+#[test]
+fn resnet18_int8_runs_functionally_on_the_soc() {
+    let net = zoo::resnet18_cifar(3);
+    let mut opt = CompileOptions::int8();
+    opt.calib_inputs = 2;
+    let artifacts = compile(&net, &opt).expect("compile");
+    let mut soc = Soc::new(SocConfig::zcu102_nv_small());
+    let input = Tensor::random(net.input_shape(), 8);
+    let result = soc.run_inference(&artifacts, &input).expect("inference");
+    assert_eq!(result.output.shape().c, 10);
+    // Deep INT8 chains drift on synthetic weights; require sane output,
+    // not bit-exact classification.
+    assert!(result.output.data().iter().all(|v| v.is_finite()));
+    assert!(result.cycles > 100_000);
+}

@@ -1,0 +1,268 @@
+//! Property-based tests on core data structures and invariants.
+
+use proptest::prelude::*;
+
+use rvnv_bus::dram::{Dram, DramTiming};
+use rvnv_bus::sram::Sram;
+use rvnv_bus::{Request, Target};
+use rvnv_compiler::layout::{Allocator, WeightImage};
+use rvnv_compiler::trace::{parse_config_file, write_config_file, ConfigCmd};
+use rvnv_nn::quant::QuantScale;
+use rvnv_nn::tensor::{Shape, Tensor};
+use rvnv_nn::F16;
+use rvnv_riscv::inst::{AluOp, BranchOp, CsrOp, Inst, MemWidth, MulOp};
+use rvnv_riscv::reg::Reg;
+use rvnv_riscv::{decode, encode};
+
+fn reg_strategy() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg::new)
+}
+
+fn inst_strategy() -> impl Strategy<Value = Inst> {
+    let alu_op = prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sll),
+        Just(AluOp::Slt),
+        Just(AluOp::Sltu),
+        Just(AluOp::Xor),
+        Just(AluOp::Srl),
+        Just(AluOp::Sra),
+        Just(AluOp::Or),
+        Just(AluOp::And),
+    ];
+    let alu_rr = prop_oneof![alu_op.clone(), Just(AluOp::Sub)];
+    let mul_op = prop_oneof![
+        Just(MulOp::Mul),
+        Just(MulOp::Mulh),
+        Just(MulOp::Mulhsu),
+        Just(MulOp::Mulhu),
+        Just(MulOp::Div),
+        Just(MulOp::Divu),
+        Just(MulOp::Rem),
+        Just(MulOp::Remu),
+    ];
+    let branch_op = prop_oneof![
+        Just(BranchOp::Eq),
+        Just(BranchOp::Ne),
+        Just(BranchOp::Lt),
+        Just(BranchOp::Ge),
+        Just(BranchOp::Ltu),
+        Just(BranchOp::Geu),
+    ];
+    let width = prop_oneof![
+        Just(MemWidth::Byte),
+        Just(MemWidth::ByteU),
+        Just(MemWidth::Half),
+        Just(MemWidth::HalfU),
+        Just(MemWidth::Word),
+    ];
+    let store_width = prop_oneof![
+        Just(MemWidth::Byte),
+        Just(MemWidth::Half),
+        Just(MemWidth::Word),
+    ];
+    let csr_op = prop_oneof![Just(CsrOp::Rw), Just(CsrOp::Rs), Just(CsrOp::Rc)];
+    prop_oneof![
+        (reg_strategy(), any::<u32>()).prop_map(|(rd, v)| Inst::Lui {
+            rd,
+            imm: v & 0xFFFF_F000
+        }),
+        (reg_strategy(), any::<u32>()).prop_map(|(rd, v)| Inst::Auipc {
+            rd,
+            imm: v & 0xFFFF_F000
+        }),
+        (reg_strategy(), (-(1i32 << 20)..(1i32 << 20)))
+            .prop_map(|(rd, o)| Inst::Jal { rd, offset: o & !1 }),
+        (reg_strategy(), reg_strategy(), -2048i32..2048)
+            .prop_map(|(rd, rs1, offset)| Inst::Jalr { rd, rs1, offset }),
+        (branch_op, reg_strategy(), reg_strategy(), -4096i32..4096).prop_map(
+            |(op, rs1, rs2, o)| Inst::Branch {
+                op,
+                rs1,
+                rs2,
+                offset: o & !1
+            }
+        ),
+        (width, reg_strategy(), reg_strategy(), -2048i32..2048).prop_map(
+            |(width, rd, rs1, offset)| Inst::Load {
+                width,
+                rd,
+                rs1,
+                offset
+            }
+        ),
+        (store_width, reg_strategy(), reg_strategy(), -2048i32..2048).prop_map(
+            |(width, rs1, rs2, offset)| Inst::Store {
+                width,
+                rs1,
+                rs2,
+                offset
+            }
+        ),
+        (alu_op.clone(), reg_strategy(), reg_strategy(), -2048i32..2048).prop_map(
+            |(op, rd, rs1, imm)| {
+                let imm = if matches!(op, AluOp::Sll | AluOp::Srl | AluOp::Sra) {
+                    imm & 0x1F
+                } else {
+                    imm
+                };
+                Inst::AluImm { op, rd, rs1, imm }
+            }
+        ),
+        (alu_rr, reg_strategy(), reg_strategy(), reg_strategy())
+            .prop_map(|(op, rd, rs1, rs2)| Inst::Alu { op, rd, rs1, rs2 }),
+        (mul_op, reg_strategy(), reg_strategy(), reg_strategy())
+            .prop_map(|(op, rd, rs1, rs2)| Inst::Mul { op, rd, rs1, rs2 }),
+        (csr_op, reg_strategy(), reg_strategy(), any::<u16>()).prop_map(
+            |(op, rd, rs1, c)| Inst::Csr {
+                op,
+                rd,
+                rs1,
+                csr: c & 0xFFF
+            }
+        ),
+        Just(Inst::Ecall),
+        Just(Inst::Ebreak),
+        Just(Inst::Fence),
+        Just(Inst::Mret),
+        Just(Inst::Wfi),
+    ]
+}
+
+proptest! {
+    /// Every encodable instruction decodes back to itself.
+    #[test]
+    fn riscv_encode_decode_round_trip(inst in inst_strategy()) {
+        let word = encode(&inst);
+        let back = decode(word, 0).expect("canonical encodings decode");
+        prop_assert_eq!(back, inst);
+    }
+
+    /// `li` materializes any 32-bit constant exactly.
+    #[test]
+    fn assembler_li_materializes_any_value(value in any::<u32>()) {
+        let src = format!("li a0, 0x{value:08x}\nebreak");
+        let image = rvnv_riscv::assemble(&src).expect("assembles");
+        let mut core = rvnv_riscv::Core::new(
+            rvnv_bus::sram::Sram::rom(image.bytes()),
+            rvnv_bus::sram::Sram::new(64),
+        );
+        core.run(10).expect("runs");
+        prop_assert_eq!(core.read_reg(rvnv_riscv::reg::A0), value);
+    }
+
+    /// Quantize/dequantize error never exceeds half a step (within the
+    /// calibrated range).
+    #[test]
+    fn quantization_error_bounded(max_abs in 0.01f32..1000.0, frac in -1.0f32..1.0) {
+        let scale = QuantScale::from_max_abs(max_abs);
+        let v = max_abs * frac;
+        let r = scale.dequantize(scale.quantize(v));
+        prop_assert!((r - v).abs() <= scale.scale / 2.0 + 1e-6);
+    }
+
+    /// SRAM stores and loads arbitrary byte strings.
+    #[test]
+    fn sram_round_trips(data in proptest::collection::vec(any::<u8>(), 1..256),
+                        word_offset in 0usize..16) {
+        let offset = word_offset * 4; // block transfers are word-aligned
+        let mut mem = Sram::new(512);
+        mem.write_block(offset as u32, &data, 0).expect("write");
+        let mut out = vec![0u8; data.len()];
+        mem.read_block(offset as u32, &mut out, 0).expect("read");
+        prop_assert_eq!(out, data);
+    }
+
+    /// DRAM timing is monotonic: completion never precedes issue, and
+    /// consecutive transactions never complete out of order.
+    #[test]
+    fn dram_time_is_monotonic(addrs in proptest::collection::vec(0u32..4096, 1..32)) {
+        let mut d = Dram::new(8192, DramTiming::mig_ddr4());
+        let mut t = 0u64;
+        for a in addrs {
+            let r = d.access(&Request::read32(a & !3), t).expect("read");
+            prop_assert!(r.done_at > t);
+            t = r.done_at;
+        }
+    }
+
+    /// Allocator never hands out overlapping or unaligned regions.
+    #[test]
+    fn allocator_regions_disjoint(sizes in proptest::collection::vec(0u32..5000, 1..64)) {
+        let mut alloc = Allocator::new(0x40, 1 << 20);
+        let mut prev_end = 0u64;
+        for s in sizes {
+            let a = alloc.alloc(s).expect("fits");
+            prop_assert_eq!(a % rvnv_compiler::layout::ALLOC_ALIGN, 0);
+            prop_assert!(u64::from(a) >= prev_end);
+            prev_end = u64::from(a) + u64::from(s);
+        }
+    }
+
+    /// Weight-image `.bin` serialization round trips.
+    #[test]
+    fn weight_image_round_trips(
+        segs in proptest::collection::vec(
+            (0u32..1_000_000, proptest::collection::vec(any::<u8>(), 0..64)),
+            0..8,
+        )
+    ) {
+        let mut img = WeightImage::new();
+        for (addr, bytes) in segs {
+            img.push(addr, bytes);
+        }
+        let back = WeightImage::from_bin(&img.to_bin()).expect("parse");
+        prop_assert_eq!(back, img);
+    }
+
+    /// Configuration files survive text round trips.
+    #[test]
+    fn config_file_round_trips(
+        cmds in proptest::collection::vec(
+            prop_oneof![
+                (any::<u32>(), any::<u32>())
+                    .prop_map(|(addr, value)| ConfigCmd::WriteReg { addr, value }),
+                (any::<u32>(), any::<u32>(), any::<u32>())
+                    .prop_map(|(addr, mask, expect)| ConfigCmd::ReadReg { addr, mask, expect }),
+            ],
+            0..64,
+        )
+    ) {
+        let text = write_config_file(&cmds);
+        prop_assert_eq!(parse_config_file(&text).expect("parse"), cmds);
+    }
+
+    /// Tensor NCHW indexing agrees with the flat layout.
+    #[test]
+    fn tensor_indexing_is_consistent(c in 1usize..4, h in 1usize..6, w in 1usize..6) {
+        let shape = Shape::new(c, h, w);
+        let t = Tensor::random(shape, 1);
+        for ci in 0..c {
+            for hi in 0..h {
+                for wi in 0..w {
+                    let flat = (ci * h + hi) * w + wi;
+                    prop_assert_eq!(t.at(ci, hi, wi), t.data()[flat]);
+                }
+            }
+        }
+    }
+
+    /// f16→f32→f16 is the identity for every non-NaN bit pattern.
+    #[test]
+    fn f16_f32_f16_identity(bits in any::<u16>()) {
+        let h = F16::from_bits(bits);
+        let f = h.to_f32();
+        prop_assume!(!f.is_nan());
+        prop_assert_eq!(F16::from_f32(f).to_bits(), bits);
+    }
+
+    /// f32→f16 rounding error is within half a ULP of the f16 grid for
+    /// in-range normal values.
+    #[test]
+    fn f16_rounding_bounded(v in -60000.0f32..60000.0) {
+        prop_assume!(v.abs() >= 6.2e-5); // stay out of the subnormal range
+        let r = F16::round_f32(v);
+        let rel = ((r - v) / v).abs();
+        prop_assert!(rel <= 2f32.powi(-11) + f32::EPSILON, "{v} -> {r}");
+    }
+}
