@@ -28,8 +28,7 @@ fn ablation_baremetal_vs_linux() {
         let r = soc.run_inference(&artifacts, &input).expect("run");
         let bm_ms = r.cycles as f64 * 1000.0 / 100e6;
         let data = artifacts.weights.total_bytes() as u64 + artifacts.input_len as u64;
-        let lx_ms =
-            baseline.latency_ms(r.cycles, artifacts.ops.len() as u64, data);
+        let lx_ms = baseline.latency_ms(r.cycles, artifacts.ops.len() as u64, data);
         rows.push(vec![
             model.name().to_string(),
             format!("{bm_ms:.1} ms"),
@@ -110,7 +109,10 @@ fn ablation_storage() {
             format!("{} B", bm.software_bytes),
             format!("{:.1} MB", lx.software_bytes as f64 / 1e6),
             format!("{:.1} MB", bm.weight_bytes as f64 / 1e6),
-            format!("{:.0}x", lx.software_bytes as f64 / bm.software_bytes as f64),
+            format!(
+                "{:.0}x",
+                lx.software_bytes as f64 / bm.software_bytes as f64
+            ),
         ]);
     }
     print_table(

@@ -38,7 +38,10 @@ fn run_flow() {
     let asm = generate_assembly(&config);
     let image = generate_machine_code(&config, CodegenOptions::default()).expect("assemble");
 
-    assert_eq!(config, artifacts.commands, "scraped config == compiled config");
+    assert_eq!(
+        config, artifacts.commands,
+        "scraped config == compiled config"
+    );
 
     let rows = vec![
         vec!["Caffe model (layers)".into(), net.layer_count().to_string()],
@@ -93,8 +96,7 @@ fn bench(c: &mut Criterion) {
     });
     group.bench_function("stage5_codegen_assemble", |b| {
         b.iter(|| {
-            generate_machine_code(&artifacts.commands, CodegenOptions::default())
-                .expect("assemble")
+            generate_machine_code(&artifacts.commands, CodegenOptions::default()).expect("assemble")
         })
     });
     group.finish();

@@ -47,14 +47,11 @@ fn characterize() {
         "DRAM word read (AHB->AXI->MIG, row miss)".to_string(),
         latency_of(&mut dram_path, &Request::read32(0)).to_string(),
     ]);
-    rows.push(vec![
-        "DRAM word read (row hit)".to_string(),
-        {
-            let t0 = latency_of(&mut dram_path, &Request::read32(4));
-            let r = dram_path.access(&Request::read32(8), t0).expect("read");
-            (r.done_at - t0).to_string()
-        },
-    ]);
+    rows.push(vec!["DRAM word read (row hit)".to_string(), {
+        let t0 = latency_of(&mut dram_path, &Request::read32(4));
+        let r = dram_path.access(&Request::read32(8), t0).expect("read");
+        (r.done_at - t0).to_string()
+    }]);
 
     let mut wc = WidthConverter::dbb64_to_mem32(Sram::new(4096));
     rows.push(vec![
@@ -95,13 +92,15 @@ fn bench(c: &mut Criterion) {
         let mut path = AhbToApb::new(Sram::new(4096));
         let mut t = 0;
         b.iter(|| {
-            t = path.access(&Request::write32(0x8, 1), t).expect("write").done_at;
+            t = path
+                .access(&Request::write32(0x8, 1), t)
+                .expect("write")
+                .done_at;
             t
         })
     });
     group.bench_function("dram_word_read_path", |b| {
-        let mut path =
-            AhbToAxi::new(Dram::new(64 << 10, Default::default()), AxiConfig::axi32());
+        let mut path = AhbToAxi::new(Dram::new(64 << 10, Default::default()), AxiConfig::axi32());
         let mut t = 0;
         b.iter(|| {
             t = path.access(&Request::read32(64), t).expect("read").done_at;

@@ -64,7 +64,12 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("full_session_lenet5", |b| {
         let mut tb = ZynqTestbench::new(Soc::new(table2_soc_config()));
-        b.iter(|| tb.run(&artifacts, &input).expect("session").inference.cycles)
+        b.iter(|| {
+            tb.run(&artifacts, &input)
+                .expect("session")
+                .inference
+                .cycles
+        })
     });
     group.finish();
 }

@@ -7,8 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rvnv_bench::{
-    compile_nv_small, format_time, input_string, model_size_string, print_table,
-    table2_soc_config,
+    compile_nv_small, format_time, input_string, model_size_string, print_table, table2_soc_config,
 };
 use rvnv_nn::zoo::Model;
 use rvnv_nn::Tensor;

@@ -6,7 +6,9 @@
 //! suite); the criterion group measures the LeNet-5 VP replay.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rvnv_bench::{compile_nv_full, format_time, input_string, model_size_string, nv_full_vp_timing, print_table};
+use rvnv_bench::{
+    compile_nv_full, format_time, input_string, model_size_string, nv_full_vp_timing, print_table,
+};
 use rvnv_compiler::VirtualPlatform;
 use rvnv_nn::zoo::Model;
 use rvnv_nvdla::HwConfig;
@@ -65,11 +67,8 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("lenet5_nv_full_vp_replay", |b| {
         b.iter(|| {
-            let mut vp = VirtualPlatform::with_timing(
-                HwConfig::nv_full(),
-                64 << 20,
-                nv_full_vp_timing(),
-            );
+            let mut vp =
+                VirtualPlatform::with_timing(HwConfig::nv_full(), 64 << 20, nv_full_vp_timing());
             vp.set_functional(false);
             vp.run(&artifacts, &input, false).expect("vp run").cycles
         })

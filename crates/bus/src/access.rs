@@ -161,7 +161,7 @@ impl Request {
     /// Whether `addr` is naturally aligned for `size`.
     #[must_use]
     pub fn is_aligned(&self) -> bool {
-        self.addr % self.size.bytes() == 0
+        self.addr.is_multiple_of(self.size.bytes())
     }
 }
 

@@ -106,14 +106,18 @@ impl<T: Target> Target for AhbPort<T> {
     fn read_block(&mut self, addr: u32, buf: &mut [u8], now: Cycle) -> Result<Cycle, BusError> {
         // An AHB block transfer is an INCR burst: one NONSEQ + SEQ beats.
         self.last_addr = None;
-        let done = self.downstream.read_block(addr, buf, now + Self::NONSEQ_COST)?;
+        let done = self
+            .downstream
+            .read_block(addr, buf, now + Self::NONSEQ_COST)?;
         self.stats.transfers += (buf.len() as u64).div_ceil(4);
         Ok(done)
     }
 
     fn write_block(&mut self, addr: u32, buf: &[u8], now: Cycle) -> Result<Cycle, BusError> {
         self.last_addr = None;
-        let done = self.downstream.write_block(addr, buf, now + Self::NONSEQ_COST)?;
+        let done = self
+            .downstream
+            .write_block(addr, buf, now + Self::NONSEQ_COST)?;
         self.stats.transfers += (buf.len() as u64).div_ceil(4);
         Ok(done)
     }

@@ -148,7 +148,10 @@ mod tests {
     #[test]
     fn ahb_to_axi_round_trip() {
         let mut b = AhbToAxi::new(Sram::new(256), AxiConfig::axi32());
-        let t = b.access(&Request::write32(16, 0x55AA_55AA), 0).unwrap().done_at;
+        let t = b
+            .access(&Request::write32(16, 0x55AA_55AA), 0)
+            .unwrap()
+            .done_at;
         let r = b.access(&Request::read32(16), t).unwrap();
         assert_eq!(r.data32(), 0x55AA_55AA);
         assert_eq!(b.crossings(), 2);

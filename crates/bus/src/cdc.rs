@@ -53,8 +53,8 @@ impl<T: Target> ClockCrossing<T> {
     /// Convert a slave-domain time to the master domain (ceiling).
     #[must_use]
     pub fn to_master(&self, slave_cycle: Cycle) -> Cycle {
-        ((u128::from(slave_cycle) * u128::from(self.master_hz))
-            .div_ceil(u128::from(self.slave_hz))) as Cycle
+        ((u128::from(slave_cycle) * u128::from(self.master_hz)).div_ceil(u128::from(self.slave_hz)))
+            as Cycle
     }
 
     /// Number of transactions that crossed domains.
@@ -143,7 +143,10 @@ mod tests {
     fn data_passes_unchanged() {
         let mut c = ClockCrossing::soc300_to_ddr100(Sram::new(64));
         c.access(&Request::write32(0, 0xFEED_BEEF), 0).unwrap();
-        assert_eq!(c.access(&Request::read32(0), 50).unwrap().data32(), 0xFEED_BEEF);
+        assert_eq!(
+            c.access(&Request::read32(0), 50).unwrap().data32(),
+            0xFEED_BEEF
+        );
         assert_eq!(c.crossings(), 2);
     }
 }

@@ -162,8 +162,13 @@ mod tests {
 
     fn paper_map() -> SystemBus {
         let mut bus = SystemBus::new();
-        bus.add_region("nvdla", NVDLA_BASE, NVDLA_SIZE, Box::new(Sram::new(NVDLA_SIZE as usize)))
-            .unwrap();
+        bus.add_region(
+            "nvdla",
+            NVDLA_BASE,
+            NVDLA_SIZE,
+            Box::new(Sram::new(NVDLA_SIZE as usize)),
+        )
+        .unwrap();
         bus.add_region("dram", DRAM_BASE, 0x1000, Box::new(Sram::new(0x1000)))
             .unwrap();
         bus
@@ -175,7 +180,9 @@ mod tests {
         // Write through the DRAM window; the slave sees a local address.
         bus.access(&Request::write32(DRAM_BASE + 8, 77), 0).unwrap();
         assert_eq!(
-            bus.access(&Request::read32(DRAM_BASE + 8), 0).unwrap().data32(),
+            bus.access(&Request::read32(DRAM_BASE + 8), 0)
+                .unwrap()
+                .data32(),
             77
         );
         // The same local offset in the NVDLA window is distinct.
@@ -221,10 +228,7 @@ mod tests {
         let mut bus = paper_map();
         // Double word starting 4 bytes before the end of the nvdla window.
         let e = bus
-            .access(
-                &Request::read(NVDLA_SIZE - 4, crate::AccessSize::Double),
-                0,
-            )
+            .access(&Request::read(NVDLA_SIZE - 4, crate::AccessSize::Double), 0)
             .unwrap_err();
         assert!(matches!(e, BusError::DecodeError { .. }));
     }

@@ -278,11 +278,17 @@ mod tests {
         let miss = d.access(&Request::read32(0), 0).unwrap().done_at;
         let t0 = miss;
         let hit = d.access(&Request::read32(4), t0).unwrap().done_at - t0;
-        assert!(hit < miss, "row hit ({hit}) must be faster than cold miss ({miss})");
+        assert!(
+            hit < miss,
+            "row hit ({hit}) must be faster than cold miss ({miss})"
+        );
         // Different row: precharge + activate.
         let t1 = t0 + hit;
         let conflict = d.access(&Request::read32(8192), t1).unwrap().done_at - t1;
-        assert!(conflict > miss, "row conflict ({conflict}) pays precharge too");
+        assert!(
+            conflict > miss,
+            "row conflict ({conflict}) pays precharge too"
+        );
     }
 
     #[test]
@@ -311,7 +317,10 @@ mod tests {
         let mut two_rows = vec![0u8; 2048];
         // Start mid-row so the burst straddles a row boundary.
         let t2 = d2.read_block(1024, &mut two_rows, 0).unwrap();
-        assert!(t2 > t1, "straddling burst ({t2}) costs more than in-row ({t1})");
+        assert!(
+            t2 > t1,
+            "straddling burst ({t2}) costs more than in-row ({t1})"
+        );
     }
 
     #[test]
@@ -346,7 +355,9 @@ mod tests {
             0,
         )
         .unwrap();
-        let r = d.access(&Request::read(8, AccessSize::Double), 200).unwrap();
+        let r = d
+            .access(&Request::read(8, AccessSize::Double), 200)
+            .unwrap();
         assert_eq!(r.data, 0x1122_3344_5566_7788);
     }
 

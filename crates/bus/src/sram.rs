@@ -48,11 +48,13 @@ impl Sram {
     ///
     /// Returns [`BusError::OutOfRange`] if the image does not fit.
     pub fn load(&mut self, offset: usize, image: &[u8]) -> Result<(), BusError> {
-        let end = offset.checked_add(image.len()).ok_or(BusError::OutOfRange {
-            addr: offset as u32,
-            len: image.len(),
-            size: self.data.len(),
-        })?;
+        let end = offset
+            .checked_add(image.len())
+            .ok_or(BusError::OutOfRange {
+                addr: offset as u32,
+                len: image.len(),
+                size: self.data.len(),
+            })?;
         if end > self.data.len() {
             return Err(BusError::OutOfRange {
                 addr: offset as u32,
@@ -126,19 +128,39 @@ mod tests {
     #[test]
     fn read_write_all_sizes() {
         let mut m = Sram::new(64);
-        m.access(&Request::write(0, 0xA5, AccessSize::Byte), 0).unwrap();
-        m.access(&Request::write(2, 0xBEEF, AccessSize::Half), 0).unwrap();
-        m.access(&Request::write(4, 0xDEAD_BEEF, AccessSize::Word), 0).unwrap();
-        m.access(&Request::write(8, 0x0123_4567_89AB_CDEF, AccessSize::Double), 0)
+        m.access(&Request::write(0, 0xA5, AccessSize::Byte), 0)
             .unwrap();
-        assert_eq!(m.access(&Request::read(0, AccessSize::Byte), 0).unwrap().data, 0xA5);
-        assert_eq!(m.access(&Request::read(2, AccessSize::Half), 0).unwrap().data, 0xBEEF);
+        m.access(&Request::write(2, 0xBEEF, AccessSize::Half), 0)
+            .unwrap();
+        m.access(&Request::write(4, 0xDEAD_BEEF, AccessSize::Word), 0)
+            .unwrap();
+        m.access(
+            &Request::write(8, 0x0123_4567_89AB_CDEF, AccessSize::Double),
+            0,
+        )
+        .unwrap();
         assert_eq!(
-            m.access(&Request::read(4, AccessSize::Word), 0).unwrap().data,
+            m.access(&Request::read(0, AccessSize::Byte), 0)
+                .unwrap()
+                .data,
+            0xA5
+        );
+        assert_eq!(
+            m.access(&Request::read(2, AccessSize::Half), 0)
+                .unwrap()
+                .data,
+            0xBEEF
+        );
+        assert_eq!(
+            m.access(&Request::read(4, AccessSize::Word), 0)
+                .unwrap()
+                .data,
             0xDEAD_BEEF
         );
         assert_eq!(
-            m.access(&Request::read(8, AccessSize::Double), 0).unwrap().data,
+            m.access(&Request::read(8, AccessSize::Double), 0)
+                .unwrap()
+                .data,
             0x0123_4567_89AB_CDEF
         );
     }
@@ -156,14 +178,21 @@ mod tests {
         let e = m.access(&Request::read32(4), 0).unwrap_err();
         assert!(matches!(e, BusError::OutOfRange { .. }));
         // A word read straddling the end is also rejected.
-        let e = m.access(&Request::read(2, AccessSize::Word), 0).unwrap_err();
-        assert!(matches!(e, BusError::Misaligned { .. } | BusError::OutOfRange { .. }));
+        let e = m
+            .access(&Request::read(2, AccessSize::Word), 0)
+            .unwrap_err();
+        assert!(matches!(
+            e,
+            BusError::Misaligned { .. } | BusError::OutOfRange { .. }
+        ));
     }
 
     #[test]
     fn misaligned_rejected() {
         let mut m = Sram::new(16);
-        let e = m.access(&Request::read(1, AccessSize::Word), 0).unwrap_err();
+        let e = m
+            .access(&Request::read(1, AccessSize::Word), 0)
+            .unwrap_err();
         assert_eq!(e, BusError::Misaligned { addr: 1, align: 4 });
     }
 

@@ -30,11 +30,7 @@ impl MonitorStats {
     #[must_use]
     pub fn mean_latency(&self) -> u64 {
         let n = self.reads + self.writes;
-        if n == 0 {
-            0
-        } else {
-            self.total_latency / n
-        }
+        self.total_latency.checked_div(n).unwrap_or(0)
     }
 }
 

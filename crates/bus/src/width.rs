@@ -29,7 +29,9 @@ impl<T: Target> WidthConverter<T> {
     /// Panics if `wide_bytes` is not a positive multiple of `narrow_bytes`.
     pub fn new(downstream: T, wide_bytes: u32, narrow_bytes: u32) -> Self {
         assert!(
-            narrow_bytes > 0 && wide_bytes >= narrow_bytes && wide_bytes % narrow_bytes == 0,
+            narrow_bytes > 0
+                && wide_bytes >= narrow_bytes
+                && wide_bytes.is_multiple_of(narrow_bytes),
             "invalid width conversion {wide_bytes}->{narrow_bytes}"
         );
         WidthConverter {
@@ -71,8 +73,7 @@ impl<T: Target> Target for WidthConverter<T> {
         }
         // Split a wide beat into narrow beats (little-endian order).
         self.beats_split += 1;
-        let narrow =
-            AccessSize::from_bytes(self.narrow_bytes).expect("validated in constructor");
+        let narrow = AccessSize::from_bytes(self.narrow_bytes).expect("validated in constructor");
         let parts = beat / self.narrow_bytes;
         let mut t = now + Self::PACK;
         let mut data: u64 = 0;
@@ -130,7 +131,10 @@ mod tests {
         let mut c = WidthConverter::dbb64_to_mem32(Sram::new(64));
         c.access(&Request::write32(8, 0xAABB_CCDD), 0).unwrap();
         assert_eq!(c.beats_split(), 0);
-        assert_eq!(c.access(&Request::read32(8), 0).unwrap().data32(), 0xAABB_CCDD);
+        assert_eq!(
+            c.access(&Request::read32(8), 0).unwrap().data32(),
+            0xAABB_CCDD
+        );
     }
 
     #[test]

@@ -220,6 +220,11 @@ pub fn compile(net: &Network, options: &CompileOptions) -> Result<Artifacts, Com
     Lowering::new(net, options)?.run()
 }
 
+/// Result of [`Lowering::absorb_chain`]: the chain's last node, the
+/// absorbed BatchNorm `(scale, shift)` parameters, the eltwise partner
+/// node, and whether a ReLU was absorbed.
+type AbsorbedChain = (usize, Option<(Vec<f32>, Vec<f32>)>, Option<usize>, bool);
+
 struct Lowering<'a> {
     net: &'a Network,
     opt: &'a CompileOptions,
@@ -388,7 +393,10 @@ impl<'a> Lowering<'a> {
                     self.emit_conv(i, &p, Some(in_shape))?;
                 }
                 Op::Pool {
-                    kind, k, stride, pad,
+                    kind,
+                    k,
+                    stride,
+                    pad,
                 } => self.emit_pdp(i, kind, k, stride, pad)?,
                 Op::GlobalAvgPool => {
                     let s = self.shapes[self.net.nodes()[i].inputs[0].index()];
@@ -400,7 +408,10 @@ impl<'a> Lowering<'a> {
                     self.emit_pdp(i, PoolKind::Avg, s.h, s.h, 0)?;
                 }
                 Op::Relu => self.emit_sdp_standalone(i, regs::SDP_FLAG_RELU, None)?,
-                Op::BatchNorm { ref scale, ref shift } => {
+                Op::BatchNorm {
+                    ref scale,
+                    ref shift,
+                } => {
                     let table: Vec<(f32, f32)> =
                         scale.iter().copied().zip(shift.iter().copied()).collect();
                     self.emit_sdp_standalone(i, regs::SDP_FLAG_BIAS, Some(table))?;
@@ -484,11 +495,7 @@ impl<'a> Lowering<'a> {
 
     /// Chain absorption: starting from a conv at `root`, follow
     /// single-consumer edges through BatchNorm → EltwiseAdd → ReLU.
-    /// Returns (chain end, bn params, eltwise partner, relu).
-    fn absorb_chain(
-        &mut self,
-        root: usize,
-    ) -> (usize, Option<(Vec<f32>, Vec<f32>)>, Option<usize>, bool) {
+    fn absorb_chain(&mut self, root: usize) -> AbsorbedChain {
         let mut end = root;
         let mut bn = None;
         let mut elt = None;
@@ -652,8 +659,8 @@ impl<'a> Lowering<'a> {
             | (1 << Block::Sdp.intr_bit().expect("sdp bit"));
         self.launch(&[Block::Sdp, Block::Cacc], bits);
 
-        let macs = (p.weights.in_c * p.weights.kh * p.weights.kw) as u64
-            * out_shape.elements() as u64;
+        let macs =
+            (p.weights.in_c * p.weights.kh * p.weights.kw) as u64 * out_shape.elements() as u64;
         let fused = self.fused_names(root, end);
         self.ops.push(OpInfo {
             name: node_name,
@@ -945,7 +952,10 @@ mod tests {
         let a = compile(&net, &CompileOptions::fp16()).unwrap();
         let rubiks = a.ops.iter().filter(|o| o.engine == "rubik").count();
         assert_eq!(rubiks, 0, "all inception branches redirect into concat");
-        assert!(a.ops.iter().any(|o| o.engine == "cdp"), "LRN lowered to CDP");
+        assert!(
+            a.ops.iter().any(|o| o.engine == "cdp"),
+            "LRN lowered to CDP"
+        );
     }
 
     #[test]

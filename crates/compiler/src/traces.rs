@@ -104,7 +104,9 @@ pub fn sanity() -> TestTrace {
 pub fn memory() -> TestTrace {
     let src = 0x1000u32;
     let dst = 0x2000u32;
-    let pattern: Vec<u8> = (0..256u32).map(|i| (i.wrapping_mul(37) & 0xFF) as u8).collect();
+    let pattern: Vec<u8> = (0..256u32)
+        .map(|i| (i.wrapping_mul(37) & 0xFF) as u8)
+        .collect();
     let mut preload = WeightImage::new();
     preload.push(src, pattern.clone());
     let mut cmds = Vec::new();
@@ -134,9 +136,9 @@ pub fn convolution() -> TestTrace {
     let out_addr = 0x2000u32;
     // 1x4x4 input ramp 0..16, 1 kernel 3x3 of ones, pad 1, stride 1.
     let feature: Vec<i8> = (0..16).collect();
-    let weights = vec![1i8; 9];
+    let weights = [1i8; 9];
     // Expected: sum of the 3x3 neighbourhood with zero padding.
-    let mut expect = vec![0i8; 16];
+    let mut expect = [0i8; 16];
     for y in 0..4i32 {
         for x in 0..4i32 {
             let mut acc = 0i32;
@@ -163,7 +165,12 @@ pub fn convolution() -> TestTrace {
     let one = 1.0f32.to_bits();
     let mut cmds = Vec::new();
     w(&mut cmds, Block::Cdma, regs::CDMA_DATAIN_ADDR, feat_addr);
-    w(&mut cmds, Block::Cdma, regs::CDMA_DATAIN_SIZE0, 4 | (4 << 16));
+    w(
+        &mut cmds,
+        Block::Cdma,
+        regs::CDMA_DATAIN_SIZE0,
+        4 | (4 << 16),
+    );
     w(&mut cmds, Block::Cdma, regs::CDMA_DATAIN_SIZE1, 1);
     w(&mut cmds, Block::Cdma, regs::CDMA_WEIGHT_ADDR, wt_addr);
     w(&mut cmds, Block::Cdma, regs::CDMA_WEIGHT_BYTES, 9);
@@ -171,7 +178,12 @@ pub fn convolution() -> TestTrace {
     w(&mut cmds, Block::Cdma, regs::CDMA_ZERO_PADDING, 1);
     w(&mut cmds, Block::Cdma, regs::CDMA_IN_SCALE, one);
     w(&mut cmds, Block::Cdma, regs::CDMA_WT_SCALE, one);
-    w(&mut cmds, Block::Csc, regs::CSC_DATAOUT_SIZE0, 4 | (4 << 16));
+    w(
+        &mut cmds,
+        Block::Csc,
+        regs::CSC_DATAOUT_SIZE0,
+        4 | (4 << 16),
+    );
     w(&mut cmds, Block::Csc, regs::CSC_DATAOUT_SIZE1, 1);
     w(&mut cmds, Block::Csc, regs::CSC_WEIGHT_SIZE0, 3 | (3 << 16));
     w(&mut cmds, Block::Csc, regs::CSC_GROUPS, 1);

@@ -189,9 +189,11 @@ impl VirtualPlatform {
         // Preload weights and input (backdoor: not part of inference).
         let dram = self.nvdla.dbb_mut().inner_mut();
         for seg in artifacts.weights.segments() {
-            dram.load(seg.addr as usize, &seg.bytes).expect("weights fit");
+            dram.load(seg.addr as usize, &seg.bytes)
+                .expect("weights fit");
         }
-        dram.load(artifacts.input_addr as usize, input).expect("input fits");
+        dram.load(artifacts.input_addr as usize, input)
+            .expect("input fits");
         self.nvdla.dbb_mut().set_enabled(log_transactions);
 
         let mut t: u64 = 0;
@@ -272,7 +274,11 @@ mod tests {
         let run = vp
             .run(&artifacts, &artifacts.quantize_input(&input), false)
             .unwrap();
-        assert!(run.cycles > 10_000, "LeNet takes real cycles: {}", run.cycles);
+        assert!(
+            run.cycles > 10_000,
+            "LeNet takes real cycles: {}",
+            run.cycles
+        );
 
         let got = artifacts.dequantize_output(&run.output);
         // Golden reference: compare pre-softmax logits by argmax.

@@ -147,7 +147,10 @@ impl VpLog {
 }
 
 fn parse_hex(s: &str) -> Option<u64> {
-    let h = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")).unwrap_or(s);
+    let h = s
+        .strip_prefix("0x")
+        .or_else(|| s.strip_prefix("0X"))
+        .unwrap_or(s);
     u64::from_str_radix(h, 16).ok()
 }
 
@@ -232,7 +235,8 @@ mod tests {
 
     #[test]
     fn parser_ignores_noise_lines() {
-        let text = "qemu: booting\nnvdla.csb_adaptor: addr=0x10 data=0x20 iswrite=1\nsystemc gibberish\n";
+        let text =
+            "qemu: booting\nnvdla.csb_adaptor: addr=0x10 data=0x20 iswrite=1\nsystemc gibberish\n";
         let log = VpLog::parse(text);
         assert_eq!(log.entries().len(), 1);
     }

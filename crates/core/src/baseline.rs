@@ -77,7 +77,10 @@ mod tests {
         let total = m.total_cycles(500_000, 6, 500_000);
         assert!(total > 10 * 500_000, "overhead dwarfs hardware time");
         let ms = m.latency_ms(500_000, 6, 500_000);
-        assert!((200.0..320.0).contains(&ms), "LeNet-like {ms:.0} ms vs paper 263 ms");
+        assert!(
+            (200.0..320.0).contains(&ms),
+            "LeNet-like {ms:.0} ms vs paper 263 ms"
+        );
     }
 
     #[test]
@@ -88,7 +91,10 @@ mod tests {
         let overhead = total - 110_000_000;
         assert!(overhead * 5 < total, "overhead below 20% on big models");
         let s = m.latency_ms(110_000_000, 120, 60_000_000) / 1000.0;
-        assert!((2.0..3.2).contains(&s), "ResNet-50-like {s:.2} s vs paper 2.5 s");
+        assert!(
+            (2.0..3.2).contains(&s),
+            "ResNet-50-like {s:.2} s vs paper 2.5 s"
+        );
     }
 
     #[test]

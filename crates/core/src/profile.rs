@@ -85,11 +85,9 @@ impl InferenceProfile {
     /// Accelerator occupancy in percent (0–100).
     #[must_use]
     pub fn occupancy_percent(&self) -> u64 {
-        if self.total_cycles == 0 {
-            0
-        } else {
-            self.accelerator_busy_cycles * 100 / self.total_cycles
-        }
+        (self.accelerator_busy_cycles * 100)
+            .checked_div(self.total_cycles)
+            .unwrap_or(0)
     }
 
     /// The `n` slowest layers, most expensive first.

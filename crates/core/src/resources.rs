@@ -246,10 +246,7 @@ pub fn table1(cfg: &HwConfig, progmem_bytes: usize) -> Vec<ReportRow> {
 /// "the LUTs overutilization was quite substantial").
 #[must_use]
 pub fn fits_zcu102(u: &Utilization) -> bool {
-    u.lut <= ZCU102.lut
-        && u.regs <= ZCU102.regs
-        && u.bram <= ZCU102.bram
-        && u.dsp <= ZCU102.dsp
+    u.lut <= ZCU102.lut && u.regs <= ZCU102.regs && u.bram <= ZCU102.bram && u.dsp <= ZCU102.dsp
 }
 
 #[cfg(test)]
@@ -274,8 +271,18 @@ mod tests {
             let tol = want * pct / 100 + 1;
             got.abs_diff(want) <= tol
         };
-        assert!(close(u.lut, expect.lut, 2), "lut {} vs {}", u.lut, expect.lut);
-        assert!(close(u.regs, expect.regs, 2), "regs {} vs {}", u.regs, expect.regs);
+        assert!(
+            close(u.lut, expect.lut, 2),
+            "lut {} vs {}",
+            u.lut,
+            expect.lut
+        );
+        assert!(
+            close(u.regs, expect.regs, 2),
+            "regs {} vs {}",
+            u.regs,
+            expect.regs
+        );
         assert_eq!(u.bram, expect.bram);
         assert_eq!(u.dsp, expect.dsp);
         assert!(close(u.carry8, expect.carry8, 10));
@@ -290,7 +297,11 @@ mod tests {
         let soc = &rows[3];
         assert_eq!(soc.name, "Our SoC (Fig. 2)");
         // Paper: 81 986 LUTs, 83 659 regs, 298 BRAM, 36 DSP.
-        assert!(soc.util.lut.abs_diff(81_986) < 2_000, "lut {}", soc.util.lut);
+        assert!(
+            soc.util.lut.abs_diff(81_986) < 2_000,
+            "lut {}",
+            soc.util.lut
+        );
         assert!(soc.util.dsp == 36);
         assert!(soc.util.bram.abs_diff(298) <= 4, "bram {}", soc.util.bram);
     }

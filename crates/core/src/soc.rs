@@ -110,7 +110,10 @@ impl fmt::Display for SocError {
             SocError::Bus(e) => write!(f, "bus fault: {e}"),
             SocError::Firmware(e) => write!(f, "firmware generation failed: {e}"),
             SocError::Timeout { instructions } => {
-                write!(f, "inference did not finish within {instructions} instructions")
+                write!(
+                    f,
+                    "inference did not finish within {instructions} instructions"
+                )
             }
             SocError::UnexpectedStop(r) => write!(f, "firmware stopped unexpectedly: {r}"),
         }
@@ -425,7 +428,10 @@ mod tests {
         let ms = result.latency_ms(soc.config().soc_hz);
         // Paper: 4.8 ms. Same order of magnitude is the claim we check
         // in tests; EXPERIMENTS.md records the exact measured value.
-        assert!((0.5..50.0).contains(&ms), "LeNet-5 {ms:.2} ms vs paper 4.8 ms");
+        assert!(
+            (0.5..50.0).contains(&ms),
+            "LeNet-5 {ms:.2} ms vs paper 4.8 ms"
+        );
     }
 
     #[test]

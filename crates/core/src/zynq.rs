@@ -135,7 +135,10 @@ mod tests {
             .run(&lenet, &Tensor::random(zoo::lenet5(1).input_shape(), 1))
             .unwrap();
         let b = tb
-            .run(&r18, &Tensor::random(zoo::resnet18_cifar(1).input_shape(), 1))
+            .run(
+                &r18,
+                &Tensor::random(zoo::resnet18_cifar(1).input_shape(), 1),
+            )
             .unwrap();
         // LeNet's weight file (~430 KB int8) is larger than thin
         // ResNet-18's (~180 KB int8).

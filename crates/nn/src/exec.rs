@@ -24,7 +24,9 @@ impl<'a> Executor<'a> {
     /// [`Network::infer_shapes`] first for a `Result`.
     #[must_use]
     pub fn new(net: &'a Network) -> Self {
-        let shapes = net.infer_shapes().expect("network shapes must be consistent");
+        let shapes = net
+            .infer_shapes()
+            .expect("network shapes must be consistent");
         Executor { net, shapes }
     }
 

@@ -192,7 +192,10 @@ mod tests {
         for i in 1..1000 {
             let v = i as f32 * 0.37;
             let r = F16::round_f32(v);
-            assert!((r - v).abs() / v <= 2f32.powi(-11) + f32::EPSILON, "{v} -> {r}");
+            assert!(
+                (r - v).abs() / v <= 2f32.powi(-11) + f32::EPSILON,
+                "{v} -> {r}"
+            );
         }
     }
 }

@@ -348,9 +348,7 @@ impl Network {
                     for (k, _) in node.inputs.iter().enumerate() {
                         let s = input_shape(k);
                         if s.h != first.h || s.w != first.w {
-                            return Err(fail(format!(
-                                "concat spatial mismatch {s} vs {first}"
-                            )));
+                            return Err(fail(format!("concat spatial mismatch {s} vs {first}")));
                         }
                         c += s.c;
                     }
@@ -387,7 +385,9 @@ mod tests {
     #[test]
     fn shapes_propagate_through_a_small_cnn() {
         let mut net = Network::new("tiny", Shape::new(1, 28, 28));
-        let c1 = net.add("conv1", conv(20, 1, 5, 1, 0), &[net.input()]).unwrap();
+        let c1 = net
+            .add("conv1", conv(20, 1, 5, 1, 0), &[net.input()])
+            .unwrap();
         let p1 = net
             .add(
                 "pool1",

@@ -59,7 +59,12 @@ pub fn to_prototxt(net: &Network) -> String {
                     "  inner_product_param {{\n    num_output: {o}\n  }}\n"
                 ));
             }
-            Op::Pool { kind, k, stride, pad } => {
+            Op::Pool {
+                kind,
+                k,
+                stride,
+                pad,
+            } => {
                 out.push_str("  pooling_param {\n");
                 out.push_str(&format!(
                     "    pool: {}\n",
@@ -75,9 +80,7 @@ pub fn to_prototxt(net: &Network) -> String {
                 out.push_str("  }\n");
             }
             Op::GlobalAvgPool => {
-                out.push_str(
-                    "  pooling_param {\n    pool: AVE\n    global_pooling: true\n  }\n",
-                );
+                out.push_str("  pooling_param {\n    pool: AVE\n    global_pooling: true\n  }\n");
             }
             Op::Lrn {
                 local_size,

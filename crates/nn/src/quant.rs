@@ -72,7 +72,10 @@ impl QuantTensor {
     /// Dequantize back to f32 values.
     #[must_use]
     pub fn dequantize(&self) -> Vec<f32> {
-        self.data.iter().map(|&q| self.scale.dequantize(q)).collect()
+        self.data
+            .iter()
+            .map(|&q| self.scale.dequantize(q))
+            .collect()
     }
 }
 
@@ -247,9 +250,14 @@ mod tests {
     #[test]
     fn calibration_table_rejects_corrupt_text() {
         assert!(CalibrationTable::from_text("0 nope").is_err());
-        assert!(CalibrationTable::from_text("1 0.5").is_err(), "sparse index");
+        assert!(
+            CalibrationTable::from_text("1 0.5").is_err(),
+            "sparse index"
+        );
         assert!(CalibrationTable::from_text("0 -1.0").is_err(), "negative");
-        assert!(CalibrationTable::from_text("# only comments\n").unwrap().is_empty());
+        assert!(CalibrationTable::from_text("# only comments\n")
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

@@ -67,7 +67,9 @@ impl ModelStats {
     /// Panics if the network's shapes are inconsistent.
     #[must_use]
     pub fn of(net: &Network) -> Self {
-        let shapes = net.infer_shapes().expect("network shapes must be consistent");
+        let shapes = net
+            .infer_shapes()
+            .expect("network shapes must be consistent");
         let mut layers = Vec::new();
         for (idx, node) in net.nodes().iter().enumerate().skip(1) {
             let out: Shape = shapes[idx];
@@ -106,10 +108,7 @@ impl ModelStats {
         }
         let params = layers.iter().map(|l| l.params).sum();
         let macs = layers.iter().map(|l| l.macs).sum();
-        let activation_elems = layers
-            .iter()
-            .map(|l| l.input_elems + l.output_elems)
-            .sum();
+        let activation_elems = layers.iter().map(|l| l.input_elems + l.output_elems).sum();
         ModelStats {
             layers,
             params,
@@ -185,10 +184,7 @@ mod tests {
     #[test]
     fn precision_scales_model_bytes() {
         let stats = ModelStats::of(&sample_net());
-        assert_eq!(
-            stats.model_bytes(Precision::Fp32),
-            stats.params * 4
-        );
+        assert_eq!(stats.model_bytes(Precision::Fp32), stats.params * 4);
         assert_eq!(stats.model_bytes(Precision::Int8), stats.params);
         assert_eq!(stats.model_bytes(Precision::Fp16), stats.params * 2);
     }

@@ -6,12 +6,12 @@ use crate::tensor::Shape;
 
 /// Channel plan of one inception module.
 struct Inception {
-    b1: usize,          // 1x1 branch
-    b3_reduce: usize,   // 1x1 before 3x3
-    b3: usize,          // 3x3 branch
-    b5_reduce: usize,   // 1x1 before 5x5
-    b5: usize,          // 5x5 branch
-    pool_proj: usize,   // 1x1 after pool
+    b1: usize,        // 1x1 branch
+    b3_reduce: usize, // 1x1 before 3x3
+    b3: usize,        // 3x3 branch
+    b5_reduce: usize, // 1x1 before 5x5
+    b5: usize,        // 5x5 branch
+    pool_proj: usize, // 1x1 after pool
 }
 
 fn inception(b: &mut NetBuilder, name: &str, x: NodeId, in_c: usize, p: &Inception) -> NodeId {
@@ -29,7 +29,15 @@ fn inception(b: &mut NetBuilder, name: &str, x: NodeId, in_c: usize, p: &Incepti
     let br5 = b.relu(&format!("{name}_relu_5x5"), br5);
 
     let pool = b.max_pool(&format!("{name}_pool"), x, 3, 1, 1);
-    let brp = b.conv(&format!("{name}_pool_proj"), pool, p.pool_proj, in_c, 1, 1, 0);
+    let brp = b.conv(
+        &format!("{name}_pool_proj"),
+        pool,
+        p.pool_proj,
+        in_c,
+        1,
+        1,
+        0,
+    );
     let brp = b.relu(&format!("{name}_relu_pool_proj"), brp);
 
     b.concat(&format!("{name}_output"), &[br1, br3, br5, brp])
@@ -60,14 +68,28 @@ pub fn googlenet(seed: u64) -> Network {
         "inception_3a",
         p2,
         192,
-        &Inception { b1: 64, b3_reduce: 96, b3: 128, b5_reduce: 16, b5: 32, pool_proj: 32 },
+        &Inception {
+            b1: 64,
+            b3_reduce: 96,
+            b3: 128,
+            b5_reduce: 16,
+            b5: 32,
+            pool_proj: 32,
+        },
     );
     let i3b = inception(
         &mut b,
         "inception_3b",
         i3a,
         256,
-        &Inception { b1: 128, b3_reduce: 128, b3: 192, b5_reduce: 32, b5: 96, pool_proj: 64 },
+        &Inception {
+            b1: 128,
+            b3_reduce: 128,
+            b3: 192,
+            b5_reduce: 32,
+            b5: 96,
+            pool_proj: 64,
+        },
     );
     let p3 = b.max_pool("pool3", i3b, 3, 2, 0);
 
@@ -76,35 +98,70 @@ pub fn googlenet(seed: u64) -> Network {
         "inception_4a",
         p3,
         480,
-        &Inception { b1: 192, b3_reduce: 96, b3: 208, b5_reduce: 16, b5: 48, pool_proj: 64 },
+        &Inception {
+            b1: 192,
+            b3_reduce: 96,
+            b3: 208,
+            b5_reduce: 16,
+            b5: 48,
+            pool_proj: 64,
+        },
     );
     let i4b = inception(
         &mut b,
         "inception_4b",
         i4a,
         512,
-        &Inception { b1: 160, b3_reduce: 112, b3: 224, b5_reduce: 24, b5: 64, pool_proj: 64 },
+        &Inception {
+            b1: 160,
+            b3_reduce: 112,
+            b3: 224,
+            b5_reduce: 24,
+            b5: 64,
+            pool_proj: 64,
+        },
     );
     let i4c = inception(
         &mut b,
         "inception_4c",
         i4b,
         512,
-        &Inception { b1: 128, b3_reduce: 128, b3: 256, b5_reduce: 24, b5: 64, pool_proj: 64 },
+        &Inception {
+            b1: 128,
+            b3_reduce: 128,
+            b3: 256,
+            b5_reduce: 24,
+            b5: 64,
+            pool_proj: 64,
+        },
     );
     let i4d = inception(
         &mut b,
         "inception_4d",
         i4c,
         512,
-        &Inception { b1: 112, b3_reduce: 144, b3: 288, b5_reduce: 32, b5: 64, pool_proj: 64 },
+        &Inception {
+            b1: 112,
+            b3_reduce: 144,
+            b3: 288,
+            b5_reduce: 32,
+            b5: 64,
+            pool_proj: 64,
+        },
     );
     let i4e = inception(
         &mut b,
         "inception_4e",
         i4d,
         528,
-        &Inception { b1: 256, b3_reduce: 160, b3: 320, b5_reduce: 32, b5: 128, pool_proj: 128 },
+        &Inception {
+            b1: 256,
+            b3_reduce: 160,
+            b3: 320,
+            b5_reduce: 32,
+            b5: 128,
+            pool_proj: 128,
+        },
     );
     // Auxiliary classifier heads. The Caffe model file ships them (they
     // account for ~half of its 53.5 MB), so we keep them as side
@@ -130,14 +187,28 @@ pub fn googlenet(seed: u64) -> Network {
         "inception_5a",
         p4,
         832,
-        &Inception { b1: 256, b3_reduce: 160, b3: 320, b5_reduce: 32, b5: 128, pool_proj: 128 },
+        &Inception {
+            b1: 256,
+            b3_reduce: 160,
+            b3: 320,
+            b5_reduce: 32,
+            b5: 128,
+            pool_proj: 128,
+        },
     );
     let i5b = inception(
         &mut b,
         "inception_5b",
         i5a,
         832,
-        &Inception { b1: 384, b3_reduce: 192, b3: 384, b5_reduce: 48, b5: 128, pool_proj: 128 },
+        &Inception {
+            b1: 384,
+            b3_reduce: 192,
+            b3: 384,
+            b5_reduce: 48,
+            b5: 128,
+            pool_proj: 128,
+        },
     );
     let gap = b.global_avg_pool("pool5", i5b);
     let fc = b.fc("loss3_classifier", gap, 1000, 1024);
@@ -154,7 +225,10 @@ mod tests {
     fn googlenet_size_matches_paper() {
         let stats = ModelStats::of(&googlenet(1));
         let mb = stats.model_bytes(Precision::Fp32) as f64 / (1024.0 * 1024.0);
-        assert!((45.0..60.0).contains(&mb), "GoogLeNet fp32 {mb:.1} MB vs paper 53.5 MB");
+        assert!(
+            (45.0..60.0).contains(&mb),
+            "GoogLeNet fp32 {mb:.1} MB vs paper 53.5 MB"
+        );
         // ~1.6 GMACs.
         assert!(stats.macs > 1_000_000_000 && stats.macs < 2_500_000_000);
     }

@@ -65,7 +65,10 @@ mod tests {
     fn mobilenet_size_and_macs() {
         let stats = ModelStats::of(&mobilenet_v1(1));
         let mb = stats.model_bytes(Precision::Fp32) as f64 / (1024.0 * 1024.0);
-        assert!((14.0..18.5).contains(&mb), "MobileNet fp32 {mb:.1} MB vs paper 17 MB");
+        assert!(
+            (14.0..18.5).contains(&mb),
+            "MobileNet fp32 {mb:.1} MB vs paper 17 MB"
+        );
         // ~0.57 GMACs.
         assert!(stats.macs > 400_000_000 && stats.macs < 700_000_000);
     }
@@ -90,11 +93,7 @@ mod tests {
     fn final_feature_map_is_7x7() {
         let net = mobilenet_v1(1);
         let shapes = net.infer_shapes().unwrap();
-        let gap_idx = net
-            .nodes()
-            .iter()
-            .position(|n| n.name == "pool6")
-            .unwrap();
+        let gap_idx = net.nodes().iter().position(|n| n.name == "pool6").unwrap();
         let pre = shapes[net.nodes()[gap_idx].inputs[0].index()];
         assert_eq!((pre.c, pre.h, pre.w), (1024, 7, 7));
     }

@@ -110,7 +110,9 @@ impl NetBuilder {
     fn next_seed(&mut self) -> u64 {
         self.counter += 1;
         // SplitMix64-style mix keeps per-layer streams independent.
-        let mut z = self.seed.wrapping_add(self.counter.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut z = self
+            .seed
+            .wrapping_add(self.counter.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^ (z >> 31)
@@ -126,6 +128,7 @@ impl NetBuilder {
             .collect()
     }
 
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn conv(
         &mut self,
         name: &str,
@@ -180,7 +183,9 @@ impl NetBuilder {
             .collect();
         let shift: Vec<f32> = (0..c)
             .map(|i| {
-                let x = s.wrapping_add(i as u64 + 7).wrapping_mul(0x2545_F491_4F6C_DD1D);
+                let x = s
+                    .wrapping_add(i as u64 + 7)
+                    .wrapping_mul(0x2545_F491_4F6C_DD1D);
                 ((x >> 40) as f32 / (1u64 << 24) as f32 - 0.5) * 0.02
             })
             .collect();
@@ -322,12 +327,12 @@ mod tests {
     fn model_sizes_match_paper_magnitudes() {
         // Paper Table II/III model sizes (fp32 Caffe files).
         let cases: &[(Model, f64, f64)] = &[
-            (Model::LeNet5, 1.7, 0.25),       // 1.7 MB
-            (Model::ResNet18, 0.79, 0.35),    // 813.5 KB
-            (Model::ResNet50, 102.5, 15.0),   // 102.5 MB
-            (Model::MobileNet, 17.0, 4.0),    // 17 MB
-            (Model::GoogLeNet, 53.5, 12.0),   // 53.5 MB
-            (Model::AlexNet, 243.9, 25.0),    // 243.9 MB
+            (Model::LeNet5, 1.7, 0.25),     // 1.7 MB
+            (Model::ResNet18, 0.79, 0.35),  // 813.5 KB
+            (Model::ResNet50, 102.5, 15.0), // 102.5 MB
+            (Model::MobileNet, 17.0, 4.0),  // 17 MB
+            (Model::GoogLeNet, 53.5, 12.0), // 53.5 MB
+            (Model::AlexNet, 243.9, 25.0),  // 243.9 MB
         ];
         for &(m, expect_mb, tol_mb) in cases {
             let stats = ModelStats::of(&m.build(1));

@@ -170,11 +170,7 @@ mod tests {
         let net = resnet50(1);
         let shapes = net.infer_shapes().unwrap();
         // Final feature map before GAP is 2048 x 7 x 7.
-        let gap_idx = net
-            .nodes()
-            .iter()
-            .position(|n| n.name == "pool5")
-            .unwrap();
+        let gap_idx = net.nodes().iter().position(|n| n.name == "pool5").unwrap();
         let pre_gap = shapes[net.nodes()[gap_idx].inputs[0].index()];
         assert_eq!((pre_gap.c, pre_gap.h, pre_gap.w), (2048, 7, 7));
     }

@@ -108,7 +108,9 @@ impl ConvDesc {
     #[must_use]
     pub fn macs(&self) -> u64 {
         let in_per_group = u64::from(self.in_c / self.groups);
-        u64::from(self.out_c) * u64::from(self.out_h) * u64::from(self.out_w)
+        u64::from(self.out_c)
+            * u64::from(self.out_h)
+            * u64::from(self.out_w)
             * in_per_group
             * u64::from(self.kh)
             * u64::from(self.kw)

@@ -144,6 +144,7 @@ mod tests {
     use super::*;
     use crate::config::Precision;
 
+    #[allow(clippy::too_many_arguments)]
     fn desc(
         in_c: u32,
         in_hw: u32,
@@ -227,7 +228,9 @@ mod tests {
         let d = desc(2, 4, 3, 3, 1, 1, 1, Precision::Fp16);
         // Build f16 buffers from a known pattern.
         let fvals: Vec<f32> = (0..2 * 4 * 4).map(|i| (i as f32 * 0.125) - 1.0).collect();
-        let wvals: Vec<f32> = (0..3 * 2 * 9).map(|i| ((i % 7) as f32 - 3.0) * 0.0625).collect();
+        let wvals: Vec<f32> = (0..3 * 2 * 9)
+            .map(|i| ((i % 7) as f32 - 3.0) * 0.0625)
+            .collect();
         let fbytes = super::super::from_real(&fvals, Precision::Fp16, 1.0);
         let wbytes = super::super::from_real(&wvals, Precision::Fp16, 1.0);
         let out = compute(&d, &fbytes, &wbytes);

@@ -90,7 +90,10 @@ fn compute_int8(desc: &PdpDesc, src: &[u8]) -> Vec<u8> {
 
 fn compute_fp16(desc: &PdpDesc, src: &[u8]) -> Vec<u8> {
     let plane = (desc.in_w * desc.in_h) as usize;
-    assert!(src.len() >= plane * desc.c as usize * 2, "PDP source too small");
+    assert!(
+        src.len() >= plane * desc.c as usize * 2,
+        "PDP source too small"
+    );
     let out_plane = (desc.out_w * desc.out_h) as usize;
     let mut out = Vec::with_capacity(desc.out_elems() * 2);
     let in_w = desc.in_w as usize;

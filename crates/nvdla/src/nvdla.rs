@@ -149,10 +149,7 @@ impl<D: Target> Nvdla<D> {
     /// idle) — used by the SoC's fast-forward between polls.
     #[must_use]
     pub fn idle_at(&self, now: Cycle) -> Cycle {
-        self.events
-            .iter()
-            .map(|e| e.done_at)
-            .fold(now, Cycle::max)
+        self.events.iter().map(|e| e.done_at).fold(now, Cycle::max)
     }
 
     /// Whether any engine is still running at `now`.
@@ -192,7 +189,10 @@ impl<D: Target> Nvdla<D> {
     }
 
     fn reg(&self, block: Block, offset: u32) -> u32 {
-        self.regs.get(&(block.base() + offset)).copied().unwrap_or(0)
+        self.regs
+            .get(&(block.base() + offset))
+            .copied()
+            .unwrap_or(0)
     }
 
     fn engine_busy_until(&self, block: Block) -> Cycle {
@@ -209,31 +209,35 @@ impl<D: Target> Nvdla<D> {
 
     // --- DMA helpers -------------------------------------------------------
 
-    fn dma_read(&mut self, block: Block, addr: u32, len: usize, at: Cycle)
-        -> Result<(Vec<u8>, Cycle), BusError>
-    {
+    fn dma_read(
+        &mut self,
+        block: Block,
+        addr: u32,
+        len: usize,
+        at: Cycle,
+    ) -> Result<(Vec<u8>, Cycle), BusError> {
         let mut buf = vec![0u8; len];
         let chunk = self.cfg.mcif_burst_bytes as usize;
         let mut t = at;
         // MCIF issues bounded bursts; each pays the memory round trip.
         for (i, piece) in buf.chunks_mut(chunk).enumerate() {
-            t = self
-                .dbb
-                .read_block(addr + (i * chunk) as u32, piece, t)?;
+            t = self.dbb.read_block(addr + (i * chunk) as u32, piece, t)?;
         }
         self.engine_stats_mut(block).dma_read_bytes += len as u64;
         Ok((buf, t))
     }
 
-    fn dma_write(&mut self, block: Block, addr: u32, data: &[u8], at: Cycle)
-        -> Result<Cycle, BusError>
-    {
+    fn dma_write(
+        &mut self,
+        block: Block,
+        addr: u32,
+        data: &[u8],
+        at: Cycle,
+    ) -> Result<Cycle, BusError> {
         let chunk = self.cfg.mcif_burst_bytes as usize;
         let mut t = at;
         for (i, piece) in data.chunks(chunk).enumerate() {
-            t = self
-                .dbb
-                .write_block(addr + (i * chunk) as u32, piece, t)?;
+            t = self.dbb.write_block(addr + (i * chunk) as u32, piece, t)?;
         }
         self.engine_stats_mut(block).dma_write_bytes += data.len() as u64;
         Ok(t)
@@ -284,16 +288,25 @@ impl<D: Target> Nvdla<D> {
         let cd = ConvDesc::decode(&regread);
         let sd = SdpDesc::decode(&regread);
         if !self.cfg.supports(cd.precision) {
-            return Err(Self::slave_err(addr, "precision not implemented in this config"));
+            return Err(Self::slave_err(
+                addr,
+                "precision not implemented in this config",
+            ));
         }
         if !self.sdp_armed || sd.src_mode != SdpSrc::Flying {
-            return Err(Self::slave_err(addr, "conv launched without armed flying SDP"));
+            return Err(Self::slave_err(
+                addr,
+                "conv launched without armed flying SDP",
+            ));
         }
         if cd.in_c == 0 || cd.out_c == 0 || cd.kw == 0 || cd.kh == 0 {
             return Err(Self::slave_err(addr, "conv descriptor has zero dimension"));
         }
         if sd.elems() != cd.out_elems() {
-            return Err(Self::slave_err(addr, "SDP surface does not match conv output"));
+            return Err(Self::slave_err(
+                addr,
+                "SDP surface does not match conv output",
+            ));
         }
         self.sdp_armed = false;
         let start = now
@@ -302,8 +315,7 @@ impl<D: Target> Nvdla<D> {
 
         // Feature + weight fetch (CDMA).
         let (feature, t1) = self.dma_read(Block::Cacc, cd.src, cd.feature_bytes(), start)?;
-        let (weights, mut t) =
-            self.dma_read(Block::Cacc, cd.wt_addr, cd.wt_bytes as usize, t1)?;
+        let (weights, mut t) = self.dma_read(Block::Cacc, cd.wt_addr, cd.wt_bytes as usize, t1)?;
         // CBUF overflow: weights stream in passes, re-fetching the
         // feature tile each extra pass.
         for _ in 1..timing::cbuf_passes(&self.cfg, cd.wt_bytes) {
@@ -338,11 +350,17 @@ impl<D: Target> Nvdla<D> {
         Ok(done)
     }
 
-    fn launch_sdp_standalone(&mut self, sd: &SdpDesc, addr: u32, now: Cycle)
-        -> Result<Cycle, BusError>
-    {
+    fn launch_sdp_standalone(
+        &mut self,
+        sd: &SdpDesc,
+        addr: u32,
+        now: Cycle,
+    ) -> Result<Cycle, BusError> {
         if !self.cfg.supports(sd.precision) {
-            return Err(Self::slave_err(addr, "precision not implemented in this config"));
+            return Err(Self::slave_err(
+                addr,
+                "precision not implemented in this config",
+            ));
         }
         let start = now.max(self.engine_busy_until(Block::Sdp));
         let bytes = sd.elems() * sd.precision.bytes() as usize;
@@ -366,7 +384,10 @@ impl<D: Target> Nvdla<D> {
         let regread = |b: Block, off: u32| self.reg(b, off);
         let d = PdpDesc::decode(&regread);
         if !self.cfg.supports(d.precision) {
-            return Err(Self::slave_err(addr, "precision not implemented in this config"));
+            return Err(Self::slave_err(
+                addr,
+                "precision not implemented in this config",
+            ));
         }
         if d.k == 0 || d.c == 0 {
             return Err(Self::slave_err(addr, "pdp descriptor has zero dimension"));
@@ -403,7 +424,10 @@ impl<D: Target> Nvdla<D> {
         let regread = |b: Block, off: u32| self.reg(b, off);
         let d = CdpDesc::decode(&regread);
         if !self.cfg.supports(d.precision) {
-            return Err(Self::slave_err(addr, "precision not implemented in this config"));
+            return Err(Self::slave_err(
+                addr,
+                "precision not implemented in this config",
+            ));
         }
         let start = now.max(self.engine_busy_until(Block::Cdp));
         let bytes = d.elems() * d.precision.bytes() as usize;
@@ -449,9 +473,13 @@ impl<D: Target> Nvdla<D> {
         Ok(done)
     }
 
-    fn handle_op_enable(&mut self, block: Block, addr: u32, value: u32, now: Cycle)
-        -> Result<(), BusError>
-    {
+    fn handle_op_enable(
+        &mut self,
+        block: Block,
+        addr: u32,
+        value: u32,
+        now: Cycle,
+    ) -> Result<(), BusError> {
         if value & 1 == 0 {
             return Ok(());
         }
@@ -494,8 +522,7 @@ impl<D: Target> Target for Nvdla<D> {
             return Err(Self::slave_err(req.addr, "CSB supports only 32-bit access"));
         }
         self.promote(now);
-        let block = Block::of_addr(req.addr)
-            .ok_or(BusError::DecodeError { addr: req.addr })?;
+        let block = Block::of_addr(req.addr).ok_or(BusError::DecodeError { addr: req.addr })?;
         let offset = req.addr & 0xFFF;
         let done_at = now + CSB_LATENCY;
         match req.kind {
@@ -504,9 +531,7 @@ impl<D: Target> Target for Nvdla<D> {
                 let data = match (block, offset) {
                     (Block::Glb, regs::GLB_HW_VERSION) => regs::HW_VERSION_VALUE,
                     (Block::Glb, regs::GLB_INTR_STATUS) => self.intr_status,
-                    (_, regs::REG_STATUS) => {
-                        u32::from(self.engine_busy_until(block) > now)
-                    }
+                    (_, regs::REG_STATUS) => u32::from(self.engine_busy_until(block) > now),
                     _ => self.regs.get(&req.addr).copied().unwrap_or(0),
                 };
                 Ok(Response {
@@ -565,7 +590,10 @@ mod tests {
     #[test]
     fn hw_version_reads() {
         let mut n = small();
-        assert_eq!(r(&mut n, Block::Glb, regs::GLB_HW_VERSION, 0), regs::HW_VERSION_VALUE);
+        assert_eq!(
+            r(&mut n, Block::Glb, regs::GLB_HW_VERSION, 0),
+            regs::HW_VERSION_VALUE
+        );
     }
 
     #[test]
@@ -694,7 +722,13 @@ mod tests {
         t = w(&mut n, Block::Sdp, regs::SDP_DST_ADDR, 0x600, t);
         t = w(&mut n, Block::Sdp, regs::SDP_SIZE0, 2 | (2 << 16), t);
         t = w(&mut n, Block::Sdp, regs::SDP_SIZE1, 1, t);
-        t = w(&mut n, Block::Sdp, regs::SDP_FLAGS, regs::SDP_FLAG_ELTWISE, t);
+        t = w(
+            &mut n,
+            Block::Sdp,
+            regs::SDP_FLAGS,
+            regs::SDP_FLAG_ELTWISE,
+            t,
+        );
         t = w(&mut n, Block::Sdp, regs::SDP_IN_SCALE, 1.0f32.to_bits(), t);
         t = w(&mut n, Block::Sdp, regs::SDP_IN2_SCALE, 1.0f32.to_bits(), t);
         t = w(&mut n, Block::Sdp, regs::SDP_OUT_SCALE, 1.0f32.to_bits(), t);
@@ -718,7 +752,13 @@ mod tests {
         t = w(&mut n, Block::Pdp, regs::PDP_DST_ADDR, 0x800, t);
         t = w(&mut n, Block::Pdp, regs::PDP_SIZE_IN, 4 | (4 << 16), t);
         t = w(&mut n, Block::Pdp, regs::PDP_CHANNELS, 1, t);
-        t = w(&mut n, Block::Pdp, regs::PDP_POOLING, (2 << 8) | (2 << 16), t);
+        t = w(
+            &mut n,
+            Block::Pdp,
+            regs::PDP_POOLING,
+            (2 << 8) | (2 << 16),
+            t,
+        );
         t = w(&mut n, Block::Pdp, regs::PDP_SIZE_OUT, 2 | (2 << 16), t);
         w(&mut n, Block::Pdp, regs::REG_OP_ENABLE, 1, t);
         let status = r(&mut n, Block::Glb, regs::GLB_INTR_STATUS, 100_000);

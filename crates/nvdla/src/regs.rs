@@ -68,7 +68,9 @@ impl Block {
     /// Block decoding of a CSB byte address.
     #[must_use]
     pub fn of_addr(addr: u32) -> Option<Block> {
-        Block::ALL.into_iter().find(|b| addr >> 12 == b.base() >> 12)
+        Block::ALL
+            .into_iter()
+            .find(|b| addr >> 12 == b.base() >> 12)
     }
 
     /// Interrupt bit index in `GLB_INTR_STATUS` for engines that raise

@@ -57,8 +57,8 @@ proptest! {
     /// range) double the accumulator.
     #[test]
     fn conv_is_linear_in_input(
-        small in proptest::collection::vec(-40i8..=40, 1 * 5 * 5..=1 * 5 * 5),
-        weights in proptest::collection::vec(any::<u8>(), 2 * 1 * 9..=2 * 1 * 9),
+        small in proptest::collection::vec(-40i8..=40, 5 * 5..=5 * 5),
+        weights in proptest::collection::vec(any::<u8>(), 2 * 9..=2 * 9),
     ) {
         let d = conv_desc(1, 5, 2, 3);
         let f1: Vec<u8> = small.iter().map(|&v| v as u8).collect();

@@ -108,8 +108,14 @@ impl Image {
 /// One parsed source statement.
 #[derive(Debug, Clone)]
 enum Stmt {
-    Inst { mnemonic: String, operands: Vec<String> },
-    Directive { name: String, operands: Vec<String> },
+    Inst {
+        mnemonic: String,
+        operands: Vec<String>,
+    },
+    Directive {
+        name: String,
+        operands: Vec<String>,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -134,7 +140,10 @@ fn tokenize_line(number: usize, raw: &str) -> Result<Line, AsmError> {
     while let Some(colon) = rest.find(':') {
         let (head, tail) = rest.split_at(colon);
         let label = head.trim();
-        if label.is_empty() || !label.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '.')
+        if label.is_empty()
+            || !label
+                .chars()
+                .all(|c| c.is_alphanumeric() || c == '_' || c == '.')
         {
             break;
         }
@@ -163,10 +172,7 @@ fn tokenize_line(number: usize, raw: &str) -> Result<Line, AsmError> {
                 operands,
             })
         } else {
-            Some(Stmt::Inst {
-                mnemonic,
-                operands,
-            })
+            Some(Stmt::Inst { mnemonic, operands })
         }
     };
     Ok(Line {
@@ -333,11 +339,10 @@ impl<'a> Assembler<'a> {
     }
 
     fn reg(&self, s: &str, line: usize) -> Result<Reg, AsmError> {
-        Reg::parse(s.trim())
-            .ok_or_else(|| AsmError {
-                line,
-                message: format!("unknown register `{s}`"),
-            })
+        Reg::parse(s.trim()).ok_or_else(|| AsmError {
+            line,
+            message: format!("unknown register `{s}`"),
+        })
     }
 
     /// Parse `offset(reg)` memory operands.
@@ -792,9 +797,9 @@ impl<'a> Assembler<'a> {
                 Stmt::Directive { name, operands } => match name.as_str() {
                     ".equ" | ".set" | ".text" | ".data" | ".global" | ".globl" | ".section" => {}
                     ".org" => {
-                        let target =
-                            self.resolve(operands.first().map_or("", String::as_str), line.number)?
-                                as u32;
+                        let target = self
+                            .resolve(operands.first().map_or("", String::as_str), line.number)?
+                            as u32;
                         if base.is_none() && data.is_empty() {
                             base = Some(target);
                             pc = target;
@@ -913,7 +918,9 @@ mod tests {
     #[test]
     fn empty_and_comment_only_sources() {
         assert!(assemble("").unwrap().is_empty());
-        assert!(assemble("# just a comment\n   // another\n").unwrap().is_empty());
+        assert!(assemble("# just a comment\n   // another\n")
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -996,7 +1003,13 @@ mod tests {
         )
         .unwrap();
         let ws = img.words();
-        assert_eq!(decode(ws[0], 0).unwrap(), Inst::Jal { rd: ZERO, offset: 8 });
+        assert_eq!(
+            decode(ws[0], 0).unwrap(),
+            Inst::Jal {
+                rd: ZERO,
+                offset: 8
+            }
+        );
     }
 
     #[test]

@@ -387,7 +387,7 @@ fn muldiv(op: MulOp, a: u32, b: u32) -> u32 {
     match op {
         MulOp::Mul => a.wrapping_mul(b),
         MulOp::Mulh => ((i64::from(a as i32) * i64::from(b as i32)) >> 32) as u32,
-        MulOp::Mulhsu => ((i64::from(a as i32).wrapping_mul(i64::from(b) as i64)) >> 32) as u32,
+        MulOp::Mulhsu => ((i64::from(a as i32).wrapping_mul(i64::from(b))) >> 32) as u32,
         MulOp::Mulhu => ((u64::from(a) * u64::from(b)) >> 32) as u32,
         MulOp::Div => {
             if b == 0 {
@@ -398,13 +398,7 @@ fn muldiv(op: MulOp, a: u32, b: u32) -> u32 {
                 ((a as i32) / (b as i32)) as u32
             }
         }
-        MulOp::Divu => {
-            if b == 0 {
-                u32::MAX
-            } else {
-                a / b
-            }
-        }
+        MulOp::Divu => a.checked_div(b).unwrap_or(u32::MAX),
         MulOp::Rem => {
             if b == 0 {
                 a

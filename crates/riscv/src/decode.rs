@@ -252,7 +252,7 @@ pub fn decode(word: u32, pc: u32) -> Result<Inst, DecodeError> {
                     0x1050_0073 => Ok(Inst::Wfi),
                     _ => err,
                 },
-                0b001 | 0b010 | 0b011 => {
+                0b001..=0b011 => {
                     let op = match f3 {
                         0b001 => CsrOp::Rw,
                         0b010 => CsrOp::Rs,
@@ -265,7 +265,7 @@ pub fn decode(word: u32, pc: u32) -> Result<Inst, DecodeError> {
                         csr: (word >> 20) as u16,
                     })
                 }
-                0b101 | 0b110 | 0b111 => {
+                0b101..=0b111 => {
                     let op = match f3 {
                         0b101 => CsrOp::Rw,
                         0b110 => CsrOp::Rs,

@@ -195,10 +195,7 @@ mod tests {
             }),
             0xFF01_0113
         );
-        assert_eq!(
-            encode(&Inst::Jal { rd: RA, offset: 8 }),
-            0x0080_00EF
-        );
+        assert_eq!(encode(&Inst::Jal { rd: RA, offset: 8 }), 0x0080_00EF);
         assert_eq!(encode(&Inst::Ebreak), 0x0010_0073);
     }
 
@@ -209,7 +206,10 @@ mod tests {
                 rd: A0,
                 imm: 0xDEAD_B000,
             },
-            Inst::Auipc { rd: T0, imm: 0x1000 },
+            Inst::Auipc {
+                rd: T0,
+                imm: 0x1000,
+            },
             Inst::Jal {
                 rd: ZERO,
                 offset: -2048,

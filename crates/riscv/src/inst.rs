@@ -136,11 +136,26 @@ pub enum Inst {
         offset: i32,
     },
     /// Register–immediate ALU operation.
-    AluImm { op: AluOp, rd: Reg, rs1: Reg, imm: i32 },
+    AluImm {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
     /// Register–register ALU operation.
-    Alu { op: AluOp, rd: Reg, rs1: Reg, rs2: Reg },
+    Alu {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     /// RV32M multiply/divide.
-    Mul { op: MulOp, rd: Reg, rs1: Reg, rs2: Reg },
+    Mul {
+        op: MulOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     /// Memory fence (no-op in this single-hart model).
     Fence,
     /// Environment call.

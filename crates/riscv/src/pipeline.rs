@@ -77,11 +77,9 @@ impl PipelineStats {
     /// Cycles per instruction ×1000 (fixed point, 0 when idle).
     #[must_use]
     pub fn cpi_milli(&self) -> u64 {
-        if self.retired == 0 {
-            0
-        } else {
-            self.total_cycles() * 1000 / self.retired
-        }
+        (self.total_cycles() * 1000)
+            .checked_div(self.retired)
+            .unwrap_or(0)
     }
 }
 

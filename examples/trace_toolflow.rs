@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Stage 1: execution on the virtual platform, logging CSB/DBB.
     let mut vp = VirtualPlatform::new(HwConfig::nv_small(), 16 << 20);
     let run = vp.run(&artifacts, &input_bytes, true)?;
-    println!("VP executed {} commands in {} cycles", run.commands, run.cycles);
+    println!(
+        "VP executed {} commands in {} cycles",
+        run.commands, run.cycles
+    );
     let text = run.log.to_text();
     println!("VP log: {} lines; first five:", text.lines().count());
     for line in text.lines().take(5) {

@@ -53,9 +53,17 @@ fn main() -> ExitCode {
 type AnyError = Box<dyn std::error::Error>;
 
 fn find_model(name: &str) -> Result<Model, AnyError> {
+    // Accept both the paper's spelling ("LeNet-5") and the file-stem
+    // spelling the compiler emits ("lenet5").
+    fn norm(s: &str) -> String {
+        s.chars()
+            .filter(|c| !matches!(c, '-' | '_'))
+            .collect::<String>()
+            .to_ascii_lowercase()
+    }
     Model::ALL
         .into_iter()
-        .find(|m| m.name().eq_ignore_ascii_case(name))
+        .find(|m| norm(m.name()) == norm(name))
         .ok_or_else(|| format!("unknown model `{name}`; try `rv-nvdla models`").into())
 }
 
@@ -198,7 +206,10 @@ fn cmd_traces() -> Result<(), AnyError> {
 
 fn cmd_resources() -> Result<(), AnyError> {
     use rvnv_soc::resources;
-    for cfg in [rvnv_nvdla::HwConfig::nv_small(), rvnv_nvdla::HwConfig::nv_full()] {
+    for cfg in [
+        rvnv_nvdla::HwConfig::nv_small(),
+        rvnv_nvdla::HwConfig::nv_full(),
+    ] {
         let u = resources::nvdla(&cfg);
         println!(
             "{:9} LUT {:>7}  Regs {:>7}  BRAM {:>4}  DSP {:>5}  fits ZCU102: {}",

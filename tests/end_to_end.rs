@@ -123,10 +123,7 @@ fn kitchen_sink_fp16_on_nv_full_soc_matches_golden() {
     let all = Executor::new(&net).run_all(&input).expect("golden");
     let logits = &all[all.len() - 2];
     for (i, (a, b)) in result.output.data().iter().zip(logits.data()).enumerate() {
-        assert!(
-            (a - b).abs() < 0.05,
-            "logit {i}: nvdla {a} vs golden {b}"
-        );
+        assert!((a - b).abs() < 0.05, "logit {i}: nvdla {a} vs golden {b}");
     }
 }
 
@@ -155,11 +152,16 @@ fn config_file_text_round_trip_runs_identically() {
     // Build firmware from the parsed file and run it.
     let image = generate_machine_code(&parsed, CodegenOptions::default()).expect("assemble");
     let asm = rvnv_compiler::codegen::generate_assembly(&parsed);
-    let fw = Firmware { assembly: asm, image };
+    let fw = Firmware {
+        assembly: asm,
+        image,
+    };
     let input = Tensor::random(net.input_shape(), 4);
     let input_bytes = artifacts.quantize_input(&input);
     let mut soc = Soc::new(SocConfig::zcu102_nv_small());
-    let via_file = soc.run_firmware(&artifacts, &input_bytes, &fw).expect("file path");
+    let via_file = soc
+        .run_firmware(&artifacts, &input_bytes, &fw)
+        .expect("file path");
     let direct = soc.run_inference(&artifacts, &input).expect("direct path");
     assert_eq!(via_file.cycles, direct.cycles);
     assert_eq!(via_file.raw_output, direct.raw_output);

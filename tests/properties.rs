@@ -73,8 +73,11 @@ fn inst_strategy() -> impl Strategy<Value = Inst> {
         }),
         (reg_strategy(), (-(1i32 << 20)..(1i32 << 20)))
             .prop_map(|(rd, o)| Inst::Jal { rd, offset: o & !1 }),
-        (reg_strategy(), reg_strategy(), -2048i32..2048)
-            .prop_map(|(rd, rs1, offset)| Inst::Jalr { rd, rs1, offset }),
+        (reg_strategy(), reg_strategy(), -2048i32..2048).prop_map(|(rd, rs1, offset)| Inst::Jalr {
+            rd,
+            rs1,
+            offset
+        }),
         (branch_op, reg_strategy(), reg_strategy(), -4096i32..4096).prop_map(
             |(op, rs1, rs2, o)| Inst::Branch {
                 op,
@@ -99,28 +102,32 @@ fn inst_strategy() -> impl Strategy<Value = Inst> {
                 offset
             }
         ),
-        (alu_op.clone(), reg_strategy(), reg_strategy(), -2048i32..2048).prop_map(
-            |(op, rd, rs1, imm)| {
+        (
+            alu_op.clone(),
+            reg_strategy(),
+            reg_strategy(),
+            -2048i32..2048
+        )
+            .prop_map(|(op, rd, rs1, imm)| {
                 let imm = if matches!(op, AluOp::Sll | AluOp::Srl | AluOp::Sra) {
                     imm & 0x1F
                 } else {
                     imm
                 };
                 Inst::AluImm { op, rd, rs1, imm }
-            }
-        ),
+            }),
         (alu_rr, reg_strategy(), reg_strategy(), reg_strategy())
             .prop_map(|(op, rd, rs1, rs2)| Inst::Alu { op, rd, rs1, rs2 }),
         (mul_op, reg_strategy(), reg_strategy(), reg_strategy())
             .prop_map(|(op, rd, rs1, rs2)| Inst::Mul { op, rd, rs1, rs2 }),
-        (csr_op, reg_strategy(), reg_strategy(), any::<u16>()).prop_map(
-            |(op, rd, rs1, c)| Inst::Csr {
+        (csr_op, reg_strategy(), reg_strategy(), any::<u16>()).prop_map(|(op, rd, rs1, c)| {
+            Inst::Csr {
                 op,
                 rd,
                 rs1,
-                csr: c & 0xFFF
+                csr: c & 0xFFF,
             }
-        ),
+        }),
         Just(Inst::Ecall),
         Just(Inst::Ebreak),
         Just(Inst::Fence),

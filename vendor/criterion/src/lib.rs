@@ -1,0 +1,239 @@
+//! Offline stub of `criterion` 0.5.
+//!
+//! Supports the bench targets in `crates/bench`: `Criterion`,
+//! `benchmark_group` (with `sample_size`), `bench_function`,
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!`
+//! macros.
+//!
+//! Two modes, selected the same way upstream criterion selects them:
+//!
+//! * **Bench mode** (`cargo bench` passes `--bench`): each benchmark is
+//!   warmed up, then timed for `sample_size` samples; mean/min/max
+//!   per-iteration wall-clock times are printed.
+//! * **Test mode** (anything else, e.g. `cargo test --benches`): each
+//!   benchmark body runs exactly once so the target is exercised and
+//!   fails loudly if it panics, without burning CI time.
+//!
+//! No plots, no reports, no statistics beyond the three numbers.
+
+use std::time::{Duration, Instant};
+
+/// Per-iteration timing loop handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` calls of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The benchmark driver (a tiny stand-in for `criterion::Criterion`).
+pub struct Criterion {
+    bench_mode: bool,
+    filter: Option<String>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    /// Configure from the command line the way cargo invokes bench
+    /// binaries: `--bench` selects bench mode; a bare positional
+    /// argument filters benchmarks by substring.
+    fn default() -> Self {
+        let mut bench_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" | "--profile-time" => bench_mode = true,
+                "--test" => bench_mode = false,
+                a if !a.starts_with('-') => filter = Some(a.to_string()),
+                _ => {}
+            }
+        }
+        Criterion {
+            bench_mode,
+            filter,
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Run `routine` as a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, routine: F) -> &mut Self {
+        let sample_size = self.default_sample_size;
+        self.run_one(id, sample_size, routine);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, sample_size: usize, mut routine: F) {
+        if let Some(f) = &self.filter {
+            if !id.contains(f.as_str()) {
+                return;
+            }
+        }
+        if !self.bench_mode {
+            // Test mode: run the body once so it is exercised.
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            routine(&mut b);
+            println!("test-mode {id}: ok");
+            return;
+        }
+        // Warm-up: one iteration to estimate cost and prime caches.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut b);
+        let estimate = b.elapsed.max(Duration::from_nanos(1));
+        // Aim for ~50 ms per sample, clamped to [1, 10_000] iterations.
+        let iters =
+            (Duration::from_millis(50).as_nanos() / estimate.as_nanos()).clamp(1, 10_000) as u64;
+
+        let mut samples = Vec::with_capacity(sample_size);
+        for _ in 0..sample_size {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            routine(&mut b);
+            samples.push(b.elapsed.as_secs_f64() / iters as f64);
+        }
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(0.0f64, f64::max);
+        println!(
+            "{id:40} mean {:>12} min {:>12} max {:>12} ({sample_size} samples x {iters} iters)",
+            fmt_time(mean),
+            fmt_time(min),
+            fmt_time(max),
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// A named group of benchmarks sharing a sample-size override.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the number of samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Run `routine` as `group_name/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, routine: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let sample_size = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        self.criterion.run_one(&full, sample_size, routine);
+        self
+    }
+
+    /// Close the group (upstream finalizes reports here; a no-op).
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into a single runner named `$group`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main()` invoking each group runner.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_each_benchmark_once() {
+        let mut calls = 0u32;
+        let mut c = Criterion {
+            bench_mode: false,
+            filter: None,
+            default_sample_size: 20,
+        };
+        c.bench_function("x", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_ids() {
+        let mut calls = 0u32;
+        let mut c = Criterion {
+            bench_mode: false,
+            filter: Some("match_me".into()),
+            default_sample_size: 20,
+        };
+        c.bench_function("other", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 0);
+        c.bench_function("does_match_me", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn groups_prefix_ids_and_override_sample_size() {
+        let mut c = Criterion {
+            bench_mode: true,
+            filter: None,
+            default_sample_size: 20,
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let mut calls = 0u32;
+        group.bench_function("fast", |b| b.iter(|| calls += 1));
+        group.finish();
+        // warm-up + 2 samples, at least one iteration each
+        assert!(calls >= 3, "expected warm-up plus two samples, got {calls}");
+    }
+}

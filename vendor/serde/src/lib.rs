@@ -1,0 +1,14 @@
+//! Offline stub of `serde`.
+//!
+//! Re-exports the no-op derive macros and declares marker traits so
+//! `use serde::{Serialize, Deserialize}` plus `#[derive(...)]` compile.
+//! No serializer exists in-tree; when one is added, replace this stub
+//! with the real crate.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the stub).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the stub).
+pub trait Deserialize<'de> {}
