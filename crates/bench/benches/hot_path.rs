@@ -1,0 +1,190 @@
+//! Host-throughput benches for the compile-once/run-many hot path.
+//!
+//! The modeled SoC never recompiles a model or restreams weights between
+//! frames — but the *simulator* used to: every `run_inference` rebuilt
+//! the 512 MB DRAM fabric and reloaded the weight image, and every CLI
+//! invocation recompiled from scratch. These benches measure what each
+//! layer of that overhead costs on the host, and what the resident-
+//! weights warm path recovers:
+//!
+//! * `cold_process/*` — compile + firmware build + fresh SoC + run:
+//!   the per-invocation cost of the pre-cache CLI flow.
+//! * `cold_soc/*` — artifacts and firmware prebuilt, but a fresh SoC
+//!   (weight preload included) per inference.
+//! * `warm/*` — resident weights, in-place reset: the hot path.
+//! * `sweep/*` — an 8-point system-clock sweep (timing-only, `wfi`
+//!   firmware), serial vs fanned out with `std::thread::scope`.
+//!
+//! Each variant runs twice: `functional` (default poll firmware, full
+//! compute — the accuracy flow) and `sweep_mode` (timing-only, `wfi`
+//! firmware — the configuration-sweep flow). Warm results are asserted
+//! bit-identical to cold before any timing starts, so the bench doubles
+//! as a determinism check in CI's `--test` mode.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rvnv_compiler::codegen::{CodegenOptions, WaitMode};
+use rvnv_compiler::{compile, Artifacts, CompileOptions};
+use rvnv_nn::zoo::Model;
+use rvnv_nn::Tensor;
+use rvnv_soc::firmware::Firmware;
+use rvnv_soc::soc::{Soc, SocConfig};
+
+fn quick_int8() -> CompileOptions {
+    let mut opt = CompileOptions::int8();
+    opt.calib_inputs = 1;
+    opt
+}
+
+fn wfi_codegen() -> CodegenOptions {
+    CodegenOptions {
+        wait_mode: WaitMode::Wfi,
+        ..CodegenOptions::default()
+    }
+}
+
+struct Variant {
+    name: &'static str,
+    config: SocConfig,
+    codegen: CodegenOptions,
+}
+
+fn variants() -> [Variant; 2] {
+    [
+        Variant {
+            name: "functional",
+            config: SocConfig::zcu102_nv_small(),
+            codegen: CodegenOptions::default(),
+        },
+        Variant {
+            name: "sweep_mode",
+            config: SocConfig::zcu102_timing_only(),
+            codegen: wfi_codegen(),
+        },
+    ]
+}
+
+fn bench_cold_vs_warm(c: &mut Criterion) {
+    let net = Model::LeNet5.build(1);
+    let opt = quick_int8();
+    let input = Tensor::random(net.input_shape(), 7);
+
+    for v in variants() {
+        let artifacts = compile(&net, &opt).expect("compile");
+        let fw = Firmware::build_with(&artifacts, v.codegen).expect("fw");
+        let input_bytes = artifacts.quantize_input(&input);
+
+        // Determinism oracle before any timing: warm runs must be
+        // bit-identical to a cold run on a fresh SoC.
+        let mut cold_soc = Soc::new(v.config.clone());
+        let cold = cold_soc
+            .run_firmware(&artifacts, &input_bytes, &fw)
+            .expect("cold run");
+        let mut warm_soc = Soc::new(v.config.clone());
+        warm_soc.load_artifacts(&artifacts).expect("preload");
+        for _ in 0..2 {
+            let w = warm_soc
+                .run_firmware(&artifacts, &input_bytes, &fw)
+                .expect("warm run");
+            assert_eq!(w.cycles, cold.cycles, "warm cycles must be bit-identical");
+            assert_eq!(w.raw_output, cold.raw_output, "warm output must match");
+        }
+
+        let mut g = c.benchmark_group(&format!("hot_path_{}", v.name));
+        g.sample_size(10);
+        g.bench_function("cold_process", |b| {
+            b.iter(|| {
+                let a = compile(&net, &opt).expect("compile");
+                let f = Firmware::build_with(&a, v.codegen).expect("fw");
+                let mut soc = Soc::new(v.config.clone());
+                soc.run_firmware(&a, &a.quantize_input(&input), &f)
+                    .expect("run")
+                    .cycles
+            })
+        });
+        g.bench_function("cold_soc", |b| {
+            b.iter(|| {
+                let mut soc = Soc::new(v.config.clone());
+                soc.run_firmware(&artifacts, &input_bytes, &fw)
+                    .expect("run")
+                    .cycles
+            })
+        });
+        g.bench_function("warm", |b| {
+            b.iter(|| {
+                warm_soc
+                    .run_firmware(&artifacts, &input_bytes, &fw)
+                    .expect("run")
+                    .cycles
+            })
+        });
+        g.finish();
+    }
+}
+
+/// The swept system clocks (MHz) against the fixed 100 MHz MIG.
+const SWEEP_CLOCKS: [u64; 8] = [25, 50, 75, 100, 125, 150, 200, 300];
+
+fn sweep_config(soc_mhz: u64) -> SocConfig {
+    let mut config = SocConfig::zcu102_timing_only();
+    config.soc_hz = soc_mhz * 1_000_000;
+    config
+}
+
+fn run_sweep_point(artifacts: &Artifacts, input_bytes: &[u8], fw: &Firmware, soc_mhz: u64) -> u64 {
+    let mut soc = Soc::new(sweep_config(soc_mhz));
+    soc.run_firmware(artifacts, input_bytes, fw)
+        .expect("sweep point")
+        .cycles
+}
+
+fn bench_sweep_serial_vs_parallel(c: &mut Criterion) {
+    let net = Model::LeNet5.build(1);
+    let artifacts = compile(&net, &quick_int8()).expect("compile");
+    let fw = Firmware::build_with(&artifacts, wfi_codegen()).expect("fw");
+    let input = Tensor::random(net.input_shape(), 7);
+    let input_bytes = artifacts.quantize_input(&input);
+
+    // Parallel and serial sweeps must agree point-for-point.
+    let serial: Vec<u64> = SWEEP_CLOCKS
+        .iter()
+        .map(|&mhz| run_sweep_point(&artifacts, &input_bytes, &fw, mhz))
+        .collect();
+    let parallel = parallel_sweep(&artifacts, &input_bytes, &fw, SWEEP_CLOCKS.len());
+    assert_eq!(serial, parallel, "thread fan-out must not change results");
+
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut g = c.benchmark_group("sweep_8pt");
+    g.sample_size(10);
+    g.bench_function("serial", |b| {
+        b.iter(|| {
+            SWEEP_CLOCKS
+                .iter()
+                .map(|&mhz| run_sweep_point(&artifacts, &input_bytes, &fw, mhz))
+                .sum::<u64>()
+        })
+    });
+    g.bench_function(&format!("parallel_{threads}threads"), |b| {
+        b.iter(|| {
+            parallel_sweep(&artifacts, &input_bytes, &fw, threads)
+                .iter()
+                .sum::<u64>()
+        })
+    });
+    g.finish();
+}
+
+/// Fan the sweep points out over `threads` workers; each worker owns
+/// its SoC, all share the artifacts.
+fn parallel_sweep(
+    artifacts: &Artifacts,
+    input_bytes: &[u8],
+    fw: &Firmware,
+    threads: usize,
+) -> Vec<u64> {
+    rvnv_soc::sweep::fan_out(SWEEP_CLOCKS.len(), threads, |i| {
+        run_sweep_point(artifacts, input_bytes, fw, SWEEP_CLOCKS[i])
+    })
+}
+
+criterion_group!(hot_path, bench_cold_vs_warm, bench_sweep_serial_vs_parallel);
+criterion_main!(hot_path);

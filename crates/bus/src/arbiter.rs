@@ -11,7 +11,7 @@
 
 use std::collections::BTreeMap;
 
-use crate::{BusError, Cycle, MasterId, Request, Response, Target};
+use crate::{BusError, Cycle, MasterId, Request, Reset, Response, Target};
 
 /// Per-master contention statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -82,6 +82,17 @@ impl<T: Target> Arbiter<T> {
     fn release(&mut self, master: MasterId, done: Cycle, bytes: usize) {
         self.busy_until = self.busy_until.max(done);
         self.stats.entry(master).or_default().bytes += bytes as u64;
+    }
+}
+
+impl<T: Reset> Reset for Arbiter<T> {
+    /// Reset the grant timeline and per-port statistics, then the
+    /// arbitrated target.
+    fn reset(&mut self) {
+        self.busy_until = 0;
+        self.last_owner = None;
+        self.stats.clear();
+        self.downstream.reset();
     }
 }
 
@@ -156,6 +167,33 @@ mod tests {
         let cpu_done = a.access(&Request::read32(0), 10).unwrap().done_at;
         assert!(cpu_done > dma_done);
         assert!(a.port_stats(MasterId::Cpu).wait_cycles > 0);
+    }
+
+    #[test]
+    fn reset_restores_fresh_timing_through_the_chain() {
+        use crate::cdc::ClockCrossing;
+        use crate::smartconnect::{Side, SmartConnect};
+        // The SoC's DRAM-path chain: arbiter -> CDC -> mux -> DRAM.
+        let build = || {
+            let mut sc = SmartConnect::new(Dram::new(64 << 10, Default::default()));
+            sc.switch_to(Side::Soc);
+            Arbiter::new(ClockCrossing::new(sc, 100, 100, 1))
+        };
+        let mut fresh = build();
+        let mut used = build();
+        // Age the used chain with traffic, then reset it in place.
+        let mut buf = vec![0u8; 4096];
+        used.read_block(0, &mut buf, 0).unwrap();
+        used.access(&Request::write32(0x40, 1), 9000).unwrap();
+        used.reset();
+        // Reset hands the mux back to the PS (board reset state).
+        assert_eq!(used.downstream_mut().downstream_mut().owner(), Side::ZynqPs);
+        used.downstream_mut().downstream_mut().switch_to(Side::Soc);
+        let a = used.access(&Request::read32(0x40), 0).unwrap();
+        let b = fresh.access(&Request::read32(0x40), 0).unwrap();
+        assert_eq!(a.done_at, b.done_at, "reset chain replays fresh timing");
+        assert_eq!(a.data, b.data, "written data zeroed");
+        assert_eq!(used.port_stats(MasterId::Cpu).grants, 1);
     }
 
     #[test]

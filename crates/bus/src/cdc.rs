@@ -6,7 +6,7 @@
 //! domain, adds a synchronizer latency on each crossing, and rescales the
 //! completion time back.
 
-use crate::{BusError, Cycle, Request, Response, Target};
+use crate::{BusError, Cycle, Request, Reset, Response, Target};
 
 /// A frequency-translating bridge between two clock domains.
 #[derive(Debug)]
@@ -74,6 +74,15 @@ impl<T: Target> ClockCrossing<T> {
 
     fn inbound(&self, done_slave: Cycle) -> Cycle {
         self.to_master(done_slave + self.sync_cycles)
+    }
+}
+
+impl<T: Reset> Reset for ClockCrossing<T> {
+    /// Reset the crossing counter, then the slave-domain target. The
+    /// frequency configuration is construction state and survives.
+    fn reset(&mut self) {
+        self.crossings = 0;
+        self.downstream.reset();
     }
 }
 

@@ -7,7 +7,91 @@
 //! what makes large weight DMAs cheap per byte while keeping scattered
 //! CPU accesses expensive — the behaviour the paper's Table II depends on.
 
-use crate::{AccessKind, BusError, Cycle, Request, Response, Target};
+use crate::{AccessKind, BusError, Cycle, Request, Reset, Response, Target};
+
+/// A sorted set of disjoint half-open byte ranges, coalescing
+/// overlapping or touching neighbours on insert.
+///
+/// The DRAM model uses it to track *written extents*: a 512 MB device
+/// can then be power-on reset by zeroing only the few hundred kilobytes
+/// a run actually touched, instead of reallocating the whole backing
+/// vector.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RangeSet {
+    /// Sorted, pairwise-disjoint, non-touching `[start, end)` ranges.
+    ranges: Vec<(usize, usize)>,
+}
+
+impl RangeSet {
+    /// The empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert `[start, end)`, merging with any overlapping or touching
+    /// ranges. Empty ranges are ignored.
+    pub fn insert(&mut self, start: usize, end: usize) {
+        if start >= end {
+            return;
+        }
+        // First range whose end reaches `start` (may touch or overlap).
+        let i = self.ranges.partition_point(|&(_, e)| e < start);
+        let mut lo = start;
+        let mut hi = end;
+        let mut j = i;
+        while j < self.ranges.len() && self.ranges[j].0 <= hi {
+            lo = lo.min(self.ranges[j].0);
+            hi = hi.max(self.ranges[j].1);
+            j += 1;
+        }
+        self.ranges.splice(i..j, [(lo, hi)]);
+    }
+
+    /// Remove all ranges.
+    pub fn clear(&mut self) {
+        self.ranges.clear();
+    }
+
+    /// Whether the set contains no bytes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Number of distinct ranges.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Total bytes covered.
+    #[must_use]
+    pub fn total_bytes(&self) -> usize {
+        self.ranges.iter().map(|(s, e)| e - s).sum()
+    }
+
+    /// Iterate the `[start, end)` ranges in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.ranges.iter().copied()
+    }
+
+    /// Whether any byte is covered by both sets (strict overlap;
+    /// touching ranges do not count).
+    #[must_use]
+    pub fn overlaps(&self, other: &RangeSet) -> bool {
+        // Walk the smaller set, binary-searching the larger.
+        let (probe, base) = if self.ranges.len() <= other.ranges.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        probe.ranges.iter().any(|&(s, e)| {
+            let i = base.ranges.partition_point(|&(_, be)| be <= s);
+            base.ranges.get(i).is_some_and(|&(bs, _)| bs < e)
+        })
+    }
+}
 
 /// Timing parameters of the DRAM + controller, in memory-clock cycles.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,6 +158,15 @@ pub struct Dram {
     open_row: Option<u32>,
     busy_until: Cycle,
     stats: DramStats,
+    /// Extents whose bytes may be nonzero (written since the contents
+    /// were last all-zero).
+    dirty: RangeSet,
+    /// Snapshot of `dirty` taken by [`Dram::mark_resident`]: preload
+    /// contents (weights) that [`Reset::reset`] preserves.
+    resident: Option<RangeSet>,
+    /// Extents written since the resident mark (tracked only while a
+    /// mark is active).
+    run_writes: RangeSet,
 }
 
 impl Dram {
@@ -86,6 +179,9 @@ impl Dram {
             open_row: None,
             busy_until: 0,
             stats: DramStats::default(),
+            dirty: RangeSet::new(),
+            resident: None,
+            run_writes: RangeSet::new(),
         }
     }
 
@@ -112,6 +208,54 @@ impl Dram {
         self.stats = DramStats::default();
     }
 
+    /// Record a write to `[offset, offset + len)` in the dirty trackers.
+    fn note_write(&mut self, offset: usize, len: usize) {
+        self.dirty.insert(offset, offset + len);
+        if self.resident.is_some() {
+            self.run_writes.insert(offset, offset + len);
+        }
+    }
+
+    /// Snapshot the current written extents as *resident*: preload
+    /// contents (typically the weight image) that survive subsequent
+    /// [`Reset::reset`] calls, so a compile-once/run-many caller pays
+    /// the weight streaming exactly once.
+    ///
+    /// If a later run writes into a resident extent, the next reset
+    /// detects the clobber, abandons residency and zeroes everything
+    /// dirty — the caller observes [`Dram::is_resident`] go false and
+    /// re-preloads.
+    pub fn mark_resident(&mut self) {
+        self.resident = Some(self.dirty.clone());
+        self.run_writes.clear();
+    }
+
+    /// Drop the resident mark (the next [`Reset::reset`] zeroes every
+    /// written extent).
+    pub fn clear_resident(&mut self) {
+        self.resident = None;
+        self.run_writes.clear();
+    }
+
+    /// Whether a resident mark is active.
+    #[must_use]
+    pub fn is_resident(&self) -> bool {
+        self.resident.is_some()
+    }
+
+    /// Bytes covered by written extents (what a full reset would zero).
+    #[must_use]
+    pub fn dirty_bytes(&self) -> usize {
+        self.dirty.total_bytes()
+    }
+
+    /// Zero every byte of the given range set.
+    fn zero_ranges(data: &mut [u8], ranges: &RangeSet) {
+        for (s, e) in ranges.iter() {
+            data[s..e].fill(0);
+        }
+    }
+
     /// Backdoor bulk load (the Zynq PS preload path of Fig. 4 uses
     /// [`crate::smartconnect::SmartConnect`]; this is the zero-cycle test
     /// backdoor).
@@ -128,6 +272,7 @@ impl Dram {
             });
         }
         self.data[offset..offset + image.len()].copy_from_slice(image);
+        self.note_write(offset, image.len());
         Ok(())
     }
 
@@ -201,6 +346,37 @@ impl Dram {
     }
 }
 
+impl Reset for Dram {
+    /// Power-on reset **in place**: timing, statistics and the open-row
+    /// state return to construction values, and contents return to the
+    /// post-preload state — all-zero, except extents protected by
+    /// [`Dram::mark_resident`], which keep their bytes. Only the extents
+    /// actually written are zeroed, so resetting a 512 MB device after a
+    /// small-model inference costs microseconds, not a reallocation.
+    fn reset(&mut self) {
+        match &self.resident {
+            // Fast path: the run stayed out of the resident extents, so
+            // zeroing what it wrote restores the post-preload image.
+            Some(res) if !self.run_writes.overlaps(res) => {
+                Self::zero_ranges(&mut self.data, &self.run_writes);
+                self.dirty = res.clone();
+                self.run_writes.clear();
+            }
+            // No mark, or a resident extent was clobbered: zero every
+            // written byte and abandon residency.
+            _ => {
+                Self::zero_ranges(&mut self.data, &self.dirty);
+                self.dirty.clear();
+                self.run_writes.clear();
+                self.resident = None;
+            }
+        }
+        self.open_row = None;
+        self.busy_until = 0;
+        self.stats = DramStats::default();
+    }
+}
+
 impl Target for Dram {
     fn access(&mut self, req: &Request, now: Cycle) -> Result<Response, BusError> {
         if !req.is_aligned() {
@@ -229,6 +405,7 @@ impl Target for Dram {
                 self.stats.bytes_written += n as u64;
                 let bytes = d.to_le_bytes();
                 self.data[offset..offset + n].copy_from_slice(&bytes[..n]);
+                self.note_write(offset, n);
                 Ok(Response::ack(done_at))
             }
         }
@@ -251,6 +428,7 @@ impl Target for Dram {
         self.stats.bursts += 1;
         self.stats.bytes_written += buf.len() as u64;
         self.data[offset..offset + buf.len()].copy_from_slice(buf);
+        self.note_write(offset, buf.len());
         Ok(done)
     }
 }
@@ -367,5 +545,95 @@ mod tests {
         assert!(d.access(&Request::read32(4096), 0).is_err());
         let mut buf = [0u8; 8];
         assert!(d.read_block(4092, &mut buf, 0).is_err());
+    }
+
+    #[test]
+    fn rangeset_coalesces_and_measures() {
+        let mut r = RangeSet::new();
+        r.insert(10, 20);
+        r.insert(30, 40);
+        assert_eq!(r.len(), 2);
+        r.insert(20, 30); // touches both -> one range
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.total_bytes(), 30);
+        r.insert(5, 12); // overlap extends left
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![(5, 40)]);
+        r.insert(100, 100); // empty range ignored
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn rangeset_overlap_is_strict() {
+        let mut a = RangeSet::new();
+        a.insert(0, 64);
+        a.insert(128, 192);
+        let mut b = RangeSet::new();
+        b.insert(64, 128); // touches both, overlaps neither
+        assert!(!a.overlaps(&b));
+        assert!(!b.overlaps(&a));
+        b.insert(191, 200);
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+    }
+
+    #[test]
+    fn reset_zeroes_only_written_extents_in_place() {
+        let mut d = small();
+        d.load(0x100, &[1, 2, 3, 4]).unwrap();
+        d.access(&Request::write32(0x2000, 0xAAAA_AAAA), 0).unwrap();
+        d.write_block(0x4000, &[0xFF; 64], 100).unwrap();
+        assert_eq!(d.dirty_bytes(), 4 + 4 + 64);
+        d.reset();
+        assert_eq!(d.dirty_bytes(), 0);
+        // Contents, timing and stats all back to power-on.
+        assert!(d.peek(0, d.size()).iter().all(|&b| b == 0));
+        assert_eq!(d.stats(), DramStats::default());
+        let fresh = small().access(&Request::read32(0x100), 0).unwrap();
+        let after = d.access(&Request::read32(0x100), 0).unwrap();
+        assert_eq!(after.done_at, fresh.done_at, "cold row state restored");
+    }
+
+    #[test]
+    fn reset_preserves_resident_extents() {
+        let mut d = small();
+        d.load(0x100, &[9, 8, 7, 6]).unwrap(); // "weights"
+        d.mark_resident();
+        d.load(0x2000, &[1, 1, 1, 1]).unwrap(); // "input"
+        d.write_block(0x3000, &[2; 32], 0).unwrap(); // "activations"
+        d.reset();
+        assert!(d.is_resident());
+        assert_eq!(d.peek(0x100, 4), &[9, 8, 7, 6], "weights survive");
+        assert!(d.peek(0x2000, 4).iter().all(|&b| b == 0));
+        assert!(d.peek(0x3000, 32).iter().all(|&b| b == 0));
+        assert_eq!(d.dirty_bytes(), 4, "only the resident extent is dirty");
+    }
+
+    #[test]
+    fn clobbering_resident_extent_abandons_residency() {
+        let mut d = small();
+        d.load(0x100, &[9, 8, 7, 6]).unwrap();
+        d.mark_resident();
+        d.access(&Request::write32(0x100, 0xDEAD_BEEF), 0).unwrap();
+        d.reset();
+        assert!(!d.is_resident(), "clobbered weights cannot stay resident");
+        assert!(d.peek(0x100, 4).iter().all(|&b| b == 0));
+        assert_eq!(d.dirty_bytes(), 0);
+    }
+
+    #[test]
+    fn reset_timing_matches_fresh_device() {
+        // A reset device must replay the exact same timeline as a new one.
+        let mut used = small();
+        let mut buf = vec![0u8; 4096];
+        used.read_block(0, &mut buf, 0).unwrap();
+        used.access(&Request::write32(8192, 7), 50).unwrap();
+        used.reset();
+        let mut fresh = small();
+        for t in [0u64, 3, 10] {
+            let a = used.access(&Request::read32(64 * t as u32), t).unwrap();
+            let b = fresh.access(&Request::read32(64 * t as u32), t).unwrap();
+            assert_eq!(a.done_at, b.done_at);
+            assert_eq!(a.data, b.data);
+        }
     }
 }

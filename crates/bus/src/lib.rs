@@ -114,6 +114,41 @@ pub trait Target {
     }
 }
 
+/// Devices that can return to their power-on state **in place**, without
+/// reallocating backing storage.
+///
+/// Fabric wrappers ([`arbiter::Arbiter`], [`cdc::ClockCrossing`],
+/// [`smartconnect::SmartConnect`], [`width::WidthConverter`], [`Shared`])
+/// reset their own state and then propagate downstream, so resetting the
+/// top of a fabric chain resets the whole path. This is what lets a SoC
+/// be reused across inferences at host speed: a reset costs a handful of
+/// field stores plus zeroing whatever memory extents the previous run
+/// actually wrote, instead of reallocating (and re-faulting) hundreds of
+/// megabytes of modeled DRAM.
+///
+/// Implementations must leave the device **bit-identical** (contents,
+/// timing state and statistics) to a freshly constructed one, so that
+/// reset-and-rerun yields the same cycle counts as build-and-run. The
+/// one deliberate exception is [`dram::Dram`]'s resident-extent
+/// mechanism, which preserves marked preload contents by contract — see
+/// [`dram::Dram::mark_resident`].
+pub trait Reset {
+    /// Restore power-on state (contents, timing and statistics).
+    fn reset(&mut self);
+}
+
+impl<T: Reset + ?Sized> Reset for &mut T {
+    fn reset(&mut self) {
+        (**self).reset();
+    }
+}
+
+impl<T: Reset + ?Sized> Reset for Box<T> {
+    fn reset(&mut self) {
+        (**self).reset();
+    }
+}
+
 impl<T: Target + ?Sized> Target for &mut T {
     fn access(&mut self, req: &Request, now: Cycle) -> Result<Response, BusError> {
         (**self).access(req, now)
@@ -160,6 +195,12 @@ impl<T> Shared<T> {
 impl<T: ?Sized> Clone for Shared<T> {
     fn clone(&self) -> Self {
         Shared(self.0.clone())
+    }
+}
+
+impl<T: Reset + ?Sized> Reset for Shared<T> {
+    fn reset(&mut self) {
+        self.0.lock().reset();
     }
 }
 

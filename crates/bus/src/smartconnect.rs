@@ -6,7 +6,7 @@
 //! SoC owns it during inference. Accesses from the disconnected side are
 //! rejected, which is exactly the mutual exclusion the paper relies on.
 
-use crate::{BusError, Cycle, MasterId, Request, Response, Target};
+use crate::{BusError, Cycle, MasterId, Request, Reset, Response, Target};
 
 /// Which side of the mux currently owns the DRAM.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,6 +96,17 @@ impl<T: Target> SmartConnect<T> {
                 reason: "SmartConnect: DRAM owned by the other side",
             })
         }
+    }
+}
+
+impl<T: Reset> Reset for SmartConnect<T> {
+    /// Board reset: ownership returns to the Zynq PS (it must initialize
+    /// DRAM first), counters clear, then the DRAM behind the mux resets.
+    fn reset(&mut self) {
+        self.owner = Side::ZynqPs;
+        self.switches = 0;
+        self.rejected = 0;
+        self.dram.reset();
     }
 }
 

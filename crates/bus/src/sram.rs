@@ -1,6 +1,6 @@
 //! On-chip SRAM / block-RAM model (used for the RISC-V program memory).
 
-use crate::{AccessKind, BusError, Cycle, Request, Response, Target};
+use crate::{AccessKind, BusError, Cycle, Request, Reset, Response, Target};
 
 /// Single-cycle on-chip memory.
 ///
@@ -82,6 +82,16 @@ impl Sram {
             });
         }
         Ok(offset)
+    }
+}
+
+impl Reset for Sram {
+    /// Power-on reset in place: RAM contents return to zero; a ROM keeps
+    /// its image (block-RAM initial contents survive reset on the FPGA).
+    fn reset(&mut self) {
+        if !self.read_only {
+            self.data.fill(0);
+        }
     }
 }
 

@@ -6,7 +6,7 @@
 //! `ratio` narrow beats, so the effective DBB bandwidth is divided by the
 //! ratio — one of the dominant terms in `nv_small` layer latency.
 
-use crate::{AccessSize, BusError, Cycle, Request, Response, Target};
+use crate::{AccessSize, BusError, Cycle, Request, Reset, Response, Target};
 
 /// A down-converting AXI width adapter (wide master → narrow slave).
 #[derive(Debug)]
@@ -61,6 +61,14 @@ impl<T: Target> WidthConverter<T> {
     /// Access the wrapped downstream target directly (backdoor).
     pub fn downstream_mut(&mut self) -> &mut T {
         &mut self.downstream
+    }
+}
+
+impl<T: Reset> Reset for WidthConverter<T> {
+    /// Reset the split counter, then the narrow-side target.
+    fn reset(&mut self) {
+        self.beats_split = 0;
+        self.downstream.reset();
     }
 }
 

@@ -114,6 +114,22 @@ impl WeightImage {
         self.segments.iter().map(|s| s.bytes.len()).sum()
     }
 
+    /// Content fingerprint over every segment's address, length **and
+    /// payload bytes** ([`rvnv_nn::hash::Fnv`], folded 8 bytes per
+    /// step). Two images with the same layout but different weight
+    /// values — e.g. the same model compiled from different seeds — get
+    /// different fingerprints; the SoC's resident-weights check keys on
+    /// this.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = rvnv_nn::hash::Fnv::new();
+        for s in &self.segments {
+            h.mix(u64::from(s.addr));
+            h.bytes(&s.bytes);
+        }
+        h.finish()
+    }
+
     /// Serialize as the on-disk `.bin` format: for each segment an
     /// 8-byte header (u32 addr, u32 len, little-endian) then payload.
     #[must_use]

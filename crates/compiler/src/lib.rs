@@ -18,7 +18,9 @@
 //! * [`vplog`] — the log scraper: configuration-file generation from CSB
 //!   lines and weight extraction (first-occurrence dedup) from DBB lines,
 //! * [`codegen`] — configuration file → RISC-V assembly → machine code
-//!   (via [`rvnv_riscv::assemble`]).
+//!   (via [`rvnv_riscv::assemble`]),
+//! * [`cache`] — the in-process artifact cache behind compile-once/
+//!   run-many CLI runs and multi-threaded configuration sweeps.
 //!
 //! # Example
 //!
@@ -38,6 +40,7 @@
 //! # }
 //! ```
 
+pub mod cache;
 pub mod codegen;
 pub mod compile;
 pub mod layout;
@@ -46,6 +49,7 @@ pub mod traces;
 pub mod vp;
 pub mod vplog;
 
+pub use cache::ArtifactCache;
 pub use compile::{compile, Artifacts, CompileError, CompileOptions, OpInfo};
 pub use trace::ConfigCmd;
 pub use vp::{VirtualPlatform, VpRun};

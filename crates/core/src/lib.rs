@@ -14,7 +14,8 @@
 //! * [`zynq`] — the Fig. 4 test harness (PS preload, SmartConnect switch),
 //! * [`baseline`] — the Linux-driver runtime model used as the Table II
 //!   comparison column (ref.\[8\], Ariane+NVDLA on ESP at 50 MHz),
-//! * [`resources`] — the analytical FPGA resource model behind Table I.
+//! * [`resources`] — the analytical FPGA resource model behind Table I,
+//! * [`sweep`] — host-side worker fan-out for configuration sweeps.
 //!
 //! # Example
 //!
@@ -39,6 +40,7 @@ pub mod firmware;
 pub mod profile;
 pub mod resources;
 pub mod soc;
+pub mod sweep;
 pub mod zynq;
 
 pub use soc::{InferenceResult, Soc, SocConfig, SocError};

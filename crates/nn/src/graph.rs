@@ -5,6 +5,7 @@
 //! convolutions, pooling, inner products, activations, batch-norm/scale,
 //! element-wise sums (ResNet), concats (GoogLeNet) and LRN (AlexNet).
 
+use crate::hash::Fnv;
 use crate::tensor::{Shape, WeightTensor};
 use std::fmt;
 
@@ -218,6 +219,76 @@ impl Network {
         NodeId(self.nodes.len() - 1)
     }
 
+    /// A 64-bit fingerprint of the network's *content*: structure,
+    /// parameters and every weight value. Two networks with the same
+    /// display name but different weights (e.g. the same zoo model
+    /// built from different seeds) get different fingerprints, which is
+    /// what compile caches and resident-weight checks key on — the name
+    /// alone is not an identity.
+    #[must_use]
+    pub fn content_fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.str(&self.name);
+        let s = self.input_shape;
+        h.mix(s.c as u64 | (s.h as u64) << 21 | (s.w as u64) << 42);
+        for node in &self.nodes {
+            h.str(&node.name);
+            for i in &node.inputs {
+                h.mix(i.index() as u64);
+            }
+            h.str(node.op.kind_name());
+            match &node.op {
+                Op::Input
+                | Op::GlobalAvgPool
+                | Op::Relu
+                | Op::EltwiseAdd
+                | Op::Concat
+                | Op::Softmax => {}
+                Op::Conv2d(p) => {
+                    let w = &p.weights;
+                    h.mix(w.out_c as u64 | (w.in_c as u64) << 32);
+                    h.mix(w.kh as u64 | (w.kw as u64) << 32);
+                    h.mix(p.stride as u64 | (p.pad as u64) << 21 | (p.groups as u64) << 42);
+                    h.floats(w.data());
+                    h.floats(&p.bias);
+                }
+                Op::FullyConnected {
+                    weights,
+                    out,
+                    input,
+                    bias,
+                } => {
+                    h.mix(*out as u64 | (*input as u64) << 32);
+                    h.floats(weights);
+                    h.floats(bias);
+                }
+                Op::Pool {
+                    kind,
+                    k,
+                    stride,
+                    pad,
+                } => {
+                    h.mix(u64::from(*kind == PoolKind::Avg));
+                    h.mix(*k as u64 | (*stride as u64) << 21 | (*pad as u64) << 42);
+                }
+                Op::BatchNorm { scale, shift } => {
+                    h.floats(scale);
+                    h.floats(shift);
+                }
+                Op::Lrn {
+                    local_size,
+                    alpha,
+                    beta,
+                    k,
+                } => {
+                    h.mix(*local_size as u64);
+                    h.floats(&[*alpha, *beta, *k]);
+                }
+            }
+        }
+        h.finish()
+    }
+
     /// Append a node whose inputs must already exist.
     ///
     /// # Errors
@@ -380,6 +451,37 @@ mod tests {
             pad,
             groups: 1,
         })
+    }
+
+    #[test]
+    fn content_fingerprint_sees_weights_not_just_names() {
+        let build = |seed| {
+            let mut net = Network::new("twin", Shape::new(1, 8, 8));
+            let weights = WeightTensor::random(4, 1, 3, 3, seed);
+            net.add(
+                "c1",
+                Op::Conv2d(ConvParams {
+                    weights,
+                    bias: vec![0.0; 4],
+                    stride: 1,
+                    pad: 0,
+                    groups: 1,
+                }),
+                &[net.input()],
+            )
+            .unwrap();
+            net
+        };
+        assert_eq!(
+            build(1).content_fingerprint(),
+            build(1).content_fingerprint(),
+            "deterministic"
+        );
+        assert_ne!(
+            build(1).content_fingerprint(),
+            build(2).content_fingerprint(),
+            "same name, different weights, different identity"
+        );
     }
 
     #[test]

@@ -32,6 +32,7 @@
 pub mod exec;
 pub mod f16;
 pub mod graph;
+pub mod hash;
 pub mod prototxt;
 pub mod quant;
 pub mod stats;

@@ -10,7 +10,7 @@
 
 use std::collections::BTreeMap;
 
-use rvnv_bus::{AccessKind, AccessSize, BusError, Cycle, Request, Response, Target};
+use rvnv_bus::{AccessKind, AccessSize, BusError, Cycle, Request, Reset, Response, Target};
 
 use crate::config::HwConfig;
 use crate::descriptor::{CdpDesc, ConvDesc, CopyDesc, PdpDesc, SdpDesc, SdpSrc};
@@ -513,6 +513,25 @@ impl<D: Target> Nvdla<D> {
     }
 }
 
+impl<D: Reset> Reset for Nvdla<D> {
+    /// Power-on reset in place: registers, interrupts, in-flight events,
+    /// statistics and the timeline all clear, then the DBB path resets
+    /// downstream. The hardware configuration is construction state and
+    /// survives; the functional flag returns to its power-on default
+    /// (callers that run timing-only set it per run).
+    fn reset(&mut self) {
+        self.regs.clear();
+        self.intr_status = 0;
+        self.events.clear();
+        self.busy_until.clear();
+        self.sdp_armed = false;
+        self.functional = true;
+        self.stats = NvdlaStats::default();
+        self.timeline.clear();
+        self.dbb.reset();
+    }
+}
+
 /// CSB latency of a register access (on top of the APB bridge path).
 const CSB_LATENCY: Cycle = 1;
 
@@ -778,6 +797,26 @@ mod tests {
         let status = r(&mut n, Block::Glb, regs::GLB_INTR_STATUS, 100_000);
         assert!(status & (1 << 5) != 0);
         assert_eq!(&n.dbb_mut().bytes()[0x20..0x24], &[9, 8, 7, 6]);
+    }
+
+    #[test]
+    fn reset_replays_identically_to_a_fresh_accelerator() {
+        use rvnv_bus::Reset;
+        let mut used = small();
+        program_simple_conv(&mut used);
+        let first_done = used.idle_at(0);
+        let _ = r(&mut used, Block::Glb, regs::GLB_INTR_STATUS, 1_000_000);
+        used.reset();
+        assert_eq!(used.stats().total_ops(), 0);
+        assert!(used.timeline().is_empty());
+        assert!(!used.intr_pending(u64::MAX));
+        // Re-program from scratch: the same launch completes at the same
+        // cycle as on a fresh device.
+        program_simple_conv(&mut used);
+        assert_eq!(used.idle_at(0), first_done);
+        let mut fresh = small();
+        program_simple_conv(&mut fresh);
+        assert_eq!(used.stats(), fresh.stats());
     }
 
     #[test]

@@ -6,9 +6,20 @@
 //! on the virtual platform (timing-only), prints the speedups, and
 //! checks each configuration against the ZCU102 resource budget.
 //!
+//! The sweep fans out across worker threads with `std::thread::scope`:
+//! every (model, configuration) cell is an independent task — its own
+//! compilation and its own virtual platform — pulled from a shared work
+//! queue. On an N-core host the sweep finishes close to N× faster than
+//! the old serial walk. (No [`rvnv_compiler::ArtifactCache`] here: each
+//! cell compiles a distinct (model, options) pair exactly once, so
+//! there is nothing to share — see `rv-nvdla run --repeat`/`sweep` for
+//! the flows the cache serves.)
+//!
 //! ```sh
 //! cargo run --release --example config_explorer
 //! ```
+
+use std::time::Instant;
 
 use rvnv_bus::dram::DramTiming;
 use rvnv_compiler::{compile, CompileOptions, VirtualPlatform};
@@ -42,20 +53,57 @@ fn main() {
     let small = HwConfig::nv_small();
     let full = HwConfig::nv_full();
 
-    println!("model           nv_small(int8)    nv_full(fp16)     speedup");
-    // INT8 calibration needs a golden run; keep the heavyweight models
-    // timing-only on the small config by skipping calibration-expensive
-    // ones (the paper's nv_small flow also only covers the small set).
-    for model in Model::ALL {
-        let small_cycles = if Model::NV_SMALL.contains(&model) {
-            vp_cycles(model, &small, Precision::Int8)
+    // Build the task list: each cell of the table is independent work.
+    // INT8 calibration needs a golden run; the heavyweight models stay
+    // nv_full-only (the paper's nv_small flow also only covers the
+    // small set).
+    let tasks: Vec<(usize, bool)> = Model::ALL
+        .iter()
+        .enumerate()
+        .flat_map(|(i, m)| {
+            let mut t = vec![(i, false)];
+            if Model::NV_SMALL.contains(m) {
+                t.push((i, true));
+            }
+            t
+        })
+        .collect();
+
+    let threads = std::thread::available_parallelism()
+        .map_or(1, std::num::NonZeroUsize::get)
+        .min(tasks.len());
+    let start = Instant::now();
+    let cells = rvnv_soc::sweep::fan_out(tasks.len(), threads, |i| {
+        let (model, is_small) = tasks[i];
+        let m = Model::ALL[model];
+        if is_small {
+            vp_cycles(m, &small, Precision::Int8)
         } else {
-            None // no INT8 calibration tables — the paper's limitation
-        };
-        let full_cycles = vp_cycles(model, &full, Precision::Fp16);
-        let s = small_cycles.map_or("no calib".to_string(), |c| c.to_string());
-        let f = full_cycles.map_or("-".to_string(), |c| c.to_string());
-        let ratio = match (small_cycles, full_cycles) {
+            vp_cycles(m, &full, Precision::Fp16)
+        }
+    });
+
+    let mut small_cycles = vec![None; Model::ALL.len()];
+    let mut full_cycles = vec![None; Model::ALL.len()];
+    for (&(model, is_small), cycles) in tasks.iter().zip(cells) {
+        if is_small {
+            small_cycles[model] = cycles;
+        } else {
+            full_cycles[model] = cycles;
+        }
+    }
+    println!(
+        "swept {} configurations on {} threads in {:.0} ms\n",
+        tasks.len(),
+        threads,
+        start.elapsed().as_secs_f64() * 1e3,
+    );
+
+    println!("model           nv_small(int8)    nv_full(fp16)     speedup");
+    for (i, model) in Model::ALL.iter().enumerate() {
+        let s = small_cycles[i].map_or("no calib".to_string(), |c| c.to_string());
+        let f = full_cycles[i].map_or("-".to_string(), |c| c.to_string());
+        let ratio = match (small_cycles[i], full_cycles[i]) {
             (Some(a), Some(b)) if b > 0 => format!("{:.1}x", a as f64 / b as f64),
             _ => "-".to_string(),
         };

@@ -2,8 +2,11 @@
 //!
 //! This is the paper's motivating use case — a resource-constrained
 //! edge device classifying camera frames without an OS. The example
-//! runs a batch of frames, reports per-engine utilization, arbiter
-//! contention and the storage budget versus a Linux deployment.
+//! runs a batch of frames on the compile-once/run-many hot path (the
+//! weight image is made resident in DRAM before the first frame, and
+//! every frame is a warm in-place reset + input reload), then reports
+//! per-engine utilization, arbiter contention and the storage budget
+//! versus a Linux deployment.
 //!
 //! ```sh
 //! cargo run --release --example edge_deployment
@@ -32,14 +35,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let mut soc = Soc::new(SocConfig::zcu102_nv_small());
+    // Edge servers preload the weights once, before the first frame
+    // arrives; every frame after that is a warm run.
+    let preload = std::time::Instant::now();
+    soc.load_artifacts(&artifacts)?;
+    println!(
+        "weights resident in DRAM ({} B preloaded once, host {:.1} ms)",
+        artifacts.weights.total_bytes(),
+        preload.elapsed().as_secs_f64() * 1e3
+    );
     let golden = Executor::new(&net);
     let frames = 5;
     let mut agree = 0;
     let mut total_cycles = 0u64;
+    let mut host_secs = 0.0f64;
     let mut last = None;
     for frame in 0..frames {
         let input = Tensor::random(net.input_shape(), 1000 + frame);
+        let frame_start = std::time::Instant::now();
         let result = soc.run_firmware(&artifacts, &artifacts.quantize_input(&input), &fw)?;
+        host_secs += frame_start.elapsed().as_secs_f64();
         let all = golden.run_all(&input)?;
         let logits = &all[all.len() - 2];
         if result.output.argmax() == logits.argmax() {
@@ -60,8 +75,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          (disagreements are quantization noise on synthetic weights)"
     );
     println!(
-        "throughput: {:.1} frames/s @100 MHz",
-        frames as f64 / (total_cycles as f64 / 100e6)
+        "throughput: {:.1} frames/s @100 MHz modeled, {:.1} frames/s simulated on the host",
+        frames as f64 / (total_cycles as f64 / 100e6),
+        frames as f64 / host_secs
     );
 
     // Per-layer hotspots from the joined profile.

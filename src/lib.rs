@@ -43,7 +43,7 @@ pub use rvnv_soc;
 pub mod prelude {
     pub use rvnv_compiler::codegen::{CodegenOptions, WaitMode};
     pub use rvnv_compiler::trace::{parse_config_file, write_config_file};
-    pub use rvnv_compiler::{compile, Artifacts, CompileOptions, VirtualPlatform};
+    pub use rvnv_compiler::{compile, ArtifactCache, Artifacts, CompileOptions, VirtualPlatform};
     pub use rvnv_nn::zoo::Model;
     pub use rvnv_nn::{Shape, Tensor};
     pub use rvnv_nvdla::{HwConfig, Nvdla, Precision};

@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! rv-nvdla compile <model> [--fp16] [--unfused] [--out DIR]
-//! rv-nvdla run     <model> [--fp16] [--unfused] [--wfi] [--timing-only]
+//! rv-nvdla run     <model> [--fp16] [--unfused] [--wfi] [--timing-only] [--repeat N]
+//! rv-nvdla sweep   <model> [--fp16] [--unfused] [--clocks MHZ,..] [--threads N]
 //! rv-nvdla traces
 //! rv-nvdla resources
 //! rv-nvdla models
@@ -11,6 +12,7 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 use rv_nvdla::prelude::*;
 
@@ -19,18 +21,24 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("compile") => cmd_compile(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
         Some("traces") => cmd_traces(),
         Some("resources") => cmd_resources(),
         Some("models") => cmd_models(),
         _ => {
             eprintln!(
-                "usage: rv-nvdla <compile|run|traces|resources|models> [options]\n\
+                "usage: rv-nvdla <compile|run|sweep|traces|resources|models> [options]\n\
                  \n\
                  compile <model> [--fp16] [--unfused] [--out DIR]\n\
                  \tCompile a zoo model; write config file, weight .bin,\n\
                  \tassembly and program-memory .mem image.\n\
-                 run <model> [--fp16] [--unfused] [--wfi] [--timing-only]\n\
-                 \tRun one bare-metal inference on the co-simulated SoC.\n\
+                 run <model> [--fp16] [--unfused] [--wfi] [--timing-only] [--repeat N]\n\
+                 \tRun N bare-metal inferences on the co-simulated SoC;\n\
+                 \trepeats after the first reuse the resident weight image\n\
+                 \t(compile-once/run-many hot path).\n\
+                 sweep <model> [--fp16] [--unfused] [--clocks 50,100,150,200] [--threads N]\n\
+                 \tTiming-only system-clock sweep (wfi firmware) against\n\
+                 \tthe 100 MHz MIG, fanned out across worker threads.\n\
                  traces\n\
                  \tRun the standard NVDLA validation traces as firmware.\n\
                  resources\n\
@@ -67,12 +75,45 @@ fn find_model(name: &str) -> Result<Model, AnyError> {
         .ok_or_else(|| format!("unknown model `{name}`; try `rv-nvdla models`").into())
 }
 
+/// Flags that consume the following argument as their value (the model
+/// name scan must not mistake such a value for the model).
+const VALUE_FLAGS: [&str; 4] = ["--out", "--repeat", "--clocks", "--threads"];
+
+/// Find `--flag`'s value anywhere in `args`; `Ok(None)` when absent,
+/// an error when the flag dangles with no value.
+fn parse_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, AnyError> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .map(|v| Some(v.as_str()))
+            .ok_or_else(|| format!("{flag} needs a value").into()),
+    }
+}
+
+/// Parse `--flag N` as a number anywhere in `args`.
+fn parse_number(args: &[String], flag: &str) -> Result<Option<u64>, AnyError> {
+    parse_value(args, flag)?
+        .map(|v| v.parse().map_err(|_| format!("bad {flag} `{v}`").into()))
+        .transpose()
+}
+
 fn parse_options(args: &[String]) -> Result<(Model, CompileOptions, bool, bool), AnyError> {
-    let model_name = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .ok_or("missing model name")?;
-    let model = find_model(model_name)?;
+    let mut model_name = None;
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if VALUE_FLAGS.contains(&a) {
+            i += 2; // skip the flag and its value
+            continue;
+        }
+        if !a.starts_with("--") {
+            model_name = Some(&args[i]);
+            break;
+        }
+        i += 1;
+    }
+    let model = find_model(model_name.ok_or("missing model name")?)?;
     let fp16 = args.iter().any(|a| a == "--fp16");
     let mut opt = if fp16 {
         CompileOptions::fp16()
@@ -91,11 +132,7 @@ fn parse_options(args: &[String]) -> Result<(Model, CompileOptions, bool, bool),
 
 fn cmd_compile(args: &[String]) -> Result<(), AnyError> {
     let (model, opt, _, _) = parse_options(args)?;
-    let out_dir = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .map_or_else(|| PathBuf::from("."), PathBuf::from);
+    let out_dir = parse_value(args, "--out")?.map_or_else(|| PathBuf::from("."), PathBuf::from);
     std::fs::create_dir_all(&out_dir)?;
 
     let net = model.build(1);
@@ -127,8 +164,12 @@ fn cmd_compile(args: &[String]) -> Result<(), AnyError> {
 
 fn cmd_run(args: &[String]) -> Result<(), AnyError> {
     let (model, opt, wfi, timing_only) = parse_options(args)?;
+    let repeat = parse_number(args, "--repeat")?.unwrap_or(1).max(1);
     let net = model.build(1);
-    let artifacts = compile(&net, &opt)?;
+    // The cache is trivially one entry here; `run` goes through it so
+    // the CLI exercises the same path a long-lived server would.
+    let cache = ArtifactCache::new();
+    let artifacts = cache.get_or_compile(&net, &opt)?;
     let mut config = if timing_only {
         SocConfig::zcu102_timing_only()
     } else {
@@ -137,12 +178,16 @@ fn cmd_run(args: &[String]) -> Result<(), AnyError> {
     config.hw = opt.hw.clone();
     let mut soc = Soc::new(config);
     let input = Tensor::random(net.input_shape(), 7);
+    let input_bytes = artifacts.quantize_input(&input);
     let codegen = CodegenOptions {
         wait_mode: if wfi { WaitMode::Wfi } else { WaitMode::Poll },
         ..CodegenOptions::default()
     };
     let fw = Firmware::build_with(&artifacts, codegen)?;
-    let result = soc.run_firmware(&artifacts, &artifacts.quantize_input(&input), &fw)?;
+
+    let cold_start = Instant::now();
+    let result = soc.run_firmware(&artifacts, &input_bytes, &fw)?;
+    let cold_host = cold_start.elapsed();
     println!(
         "{}: {} cycles = {:.2} ms @100 MHz | {} instructions | firmware {} B | class {}",
         model.name(),
@@ -152,14 +197,127 @@ fn cmd_run(args: &[String]) -> Result<(), AnyError> {
         result.firmware_bytes,
         result.output.argmax()
     );
-    println!("per-op timeline (first 8):");
-    for op in result.timeline.iter().take(8) {
+    if !result.timeline.is_empty() {
+        println!("per-op timeline (first 8):");
+        for op in result.timeline.iter().take(8) {
+            println!(
+                "  {:8} {:>9} .. {:>9}  ({} cycles)",
+                op.block.name(),
+                op.start,
+                op.done,
+                op.done - op.start
+            );
+        }
+    }
+    if repeat > 1 {
+        // Warm repeats: weights stay resident, firmware and quantized
+        // input are reused; every run must replay identical cycles.
+        let warm_start = Instant::now();
+        for i in 1..repeat {
+            let warm = soc.run_firmware(&artifacts, &input_bytes, &fw)?;
+            if warm.cycles != result.cycles || warm.raw_output != result.raw_output {
+                return Err(format!(
+                    "warm run {i} diverged: {} cycles vs {}",
+                    warm.cycles, result.cycles
+                )
+                .into());
+            }
+        }
+        let warm_host = warm_start.elapsed() / (repeat - 1) as u32;
         println!(
-            "  {:8} {:>9} .. {:>9}  ({} cycles)",
-            op.block.name(),
-            op.start,
-            op.done,
-            op.done - op.start
+            "repeat x{repeat}: all warm runs bit-identical | host {:.2} ms cold, {:.2} ms warm ({:.1}x)",
+            cold_host.as_secs_f64() * 1e3,
+            warm_host.as_secs_f64() * 1e3,
+            cold_host.as_secs_f64() / warm_host.as_secs_f64().max(1e-9),
+        );
+    }
+    Ok(())
+}
+
+/// One point of a `sweep`: system clock in MHz plus its measured result.
+struct SweepRow {
+    soc_mhz: u64,
+    cycles: u64,
+    ms: f64,
+}
+
+fn cmd_sweep(args: &[String]) -> Result<(), AnyError> {
+    let (model, opt, _, _) = parse_options(args)?;
+    let clocks: Vec<u64> = match parse_value(args, "--clocks")? {
+        None => vec![50, 100, 150, 200],
+        Some(list) => list
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse::<u64>()
+                    .map_err(|_| format!("bad clock `{s}`"))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    if clocks.is_empty() || clocks.contains(&0) {
+        return Err("clock list must be nonempty and nonzero".into());
+    }
+    let threads = parse_number(args, "--threads")?
+        .map_or_else(
+            || std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            |n| n as usize,
+        )
+        .clamp(1, clocks.len());
+
+    let net = model.build(1);
+    let cache = ArtifactCache::new();
+    let artifacts = cache.get_or_compile(&net, &opt)?;
+    // Sweep points exist for timing throughput: wfi firmware retires
+    // ~100x fewer instructions than the poll loop at near-identical
+    // modeled latency, so it is the sweep wait mode.
+    let fw = Firmware::build_with(
+        &artifacts,
+        CodegenOptions {
+            wait_mode: WaitMode::Wfi,
+            ..CodegenOptions::default()
+        },
+    )?;
+    let input = Tensor::random(net.input_shape(), 7);
+    let input_bytes = artifacts.quantize_input(&input);
+
+    // Fan the sweep points out across worker threads: each worker owns
+    // its SoC, all share the compiled artifacts and firmware.
+    let start = Instant::now();
+    let results = rvnv_soc::sweep::fan_out(clocks.len(), threads, |i| {
+        let soc_mhz = clocks[i];
+        let mut config = SocConfig::zcu102_timing_only();
+        config.hw = opt.hw.clone();
+        config.soc_hz = soc_mhz * 1_000_000;
+        let mut soc = Soc::new(config);
+        soc.run_firmware(&artifacts, &input_bytes, &fw)
+            .map(|r| SweepRow {
+                soc_mhz,
+                cycles: r.cycles,
+                ms: r.cycles as f64 * 1000.0 / (soc_mhz as f64 * 1e6),
+            })
+            .map_err(|e| format!("{soc_mhz} MHz: {e}"))
+    });
+    let mut rows: Vec<SweepRow> = Vec::with_capacity(clocks.len());
+    for row in results {
+        rows.push(row.map_err(|e| -> AnyError { e.into() })?);
+    }
+    rows.sort_by_key(|r| r.soc_mhz);
+
+    println!(
+        "{} timing-only sweep vs 100 MHz MIG DDR4 ({} points, {} threads, host {:.0} ms):",
+        model.name(),
+        rows.len(),
+        threads,
+        start.elapsed().as_secs_f64() * 1e3,
+    );
+    println!("  soc clock   cycles         latency      fps");
+    for r in &rows {
+        println!(
+            "  {:>6} MHz  {:>12}  {:>9.2} ms  {:>7.1}",
+            r.soc_mhz,
+            r.cycles,
+            r.ms,
+            1000.0 / r.ms
         );
     }
     Ok(())
@@ -188,7 +346,7 @@ fn cmd_traces() -> Result<(), AnyError> {
         let result = soc.run_firmware(&artifacts, &[], &fw)?;
         let mut ok = true;
         for (addr, bytes) in &trace.expect {
-            ok &= soc.dram_peek(*addr, bytes.len()) == *bytes;
+            ok &= soc.with_dram_peek(*addr, bytes.len(), |got| got == bytes.as_slice());
         }
         println!(
             "trace {:12} {} ({} commands, {} cycles)",

@@ -1,0 +1,141 @@
+//! Warm-path determinism: a `Soc` with resident weights reused across N
+//! inferences must be bit-identical — cycle counts, outputs, statistics —
+//! to N cold runs on freshly built SoCs, in both functional and
+//! timing-only modes. These are the oracles behind the in-place
+//! reset/resident-weights hot path.
+
+use rv_nvdla::prelude::*;
+
+fn compiled_lenet() -> (rvnv_nn::graph::Network, Artifacts) {
+    let net = Model::LeNet5.build(11);
+    let mut opt = CompileOptions::int8();
+    opt.calib_inputs = 1;
+    let artifacts = compile(&net, &opt).expect("compile");
+    (net, artifacts)
+}
+
+fn assert_warm_matches_cold(config: &SocConfig) {
+    let (net, artifacts) = compiled_lenet();
+    let fw = Firmware::build(&artifacts).expect("fw");
+    let inputs: Vec<Tensor> = (0..3)
+        .map(|i| Tensor::random(net.input_shape(), 100 + i))
+        .collect();
+
+    let mut warm = Soc::new(config.clone());
+    warm.load_artifacts(&artifacts).expect("preload");
+    for input in &inputs {
+        let bytes = artifacts.quantize_input(input);
+        let w = warm.run_firmware(&artifacts, &bytes, &fw).expect("warm");
+        let mut cold_soc = Soc::new(config.clone());
+        let c = cold_soc
+            .run_firmware(&artifacts, &bytes, &fw)
+            .expect("cold");
+        assert_eq!(w.cycles, c.cycles, "cycle counts must be bit-identical");
+        assert_eq!(w.firmware_cycles, c.firmware_cycles);
+        assert_eq!(w.instructions, c.instructions);
+        assert_eq!(w.raw_output, c.raw_output, "outputs must be bit-identical");
+        assert_eq!(w.cpu_arbiter_wait, c.cpu_arbiter_wait);
+        assert_eq!(w.nvdla.total_dma_bytes(), c.nvdla.total_dma_bytes());
+        assert_eq!(w.timeline, c.timeline);
+    }
+}
+
+#[test]
+fn warm_soc_matches_cold_socs_functional() {
+    assert_warm_matches_cold(&SocConfig::zcu102_nv_small());
+}
+
+#[test]
+fn warm_soc_matches_cold_socs_timing_only() {
+    assert_warm_matches_cold(&SocConfig::zcu102_timing_only());
+}
+
+#[test]
+fn run_inference_is_warm_after_the_first_call() {
+    // The transparent hot path: plain `run_inference` in a loop promotes
+    // the artifacts to resident after call one and stays deterministic.
+    let (net, artifacts) = compiled_lenet();
+    let input = Tensor::random(net.input_shape(), 42);
+    let mut soc = Soc::new(SocConfig::zcu102_nv_small());
+    let first = soc.run_inference(&artifacts, &input).expect("first");
+    assert!(soc.is_resident(&artifacts));
+    for _ in 0..2 {
+        let again = soc.run_inference(&artifacts, &input).expect("again");
+        assert_eq!(again.cycles, first.cycles);
+        assert_eq!(again.raw_output, first.raw_output);
+    }
+}
+
+#[test]
+fn explicit_reset_forces_a_cold_run_with_identical_results() {
+    let (net, artifacts) = compiled_lenet();
+    let input = Tensor::random(net.input_shape(), 9);
+    let mut soc = Soc::new(SocConfig::zcu102_nv_small());
+    let warm = soc.run_inference(&artifacts, &input).expect("warm-up");
+    soc.reset();
+    assert!(!soc.is_resident(&artifacts));
+    let cold = soc.run_inference(&artifacts, &input).expect("cold");
+    assert_eq!(cold.cycles, warm.cycles);
+    assert_eq!(cold.raw_output, warm.raw_output);
+}
+
+#[test]
+fn alternating_models_on_one_soc_stays_deterministic() {
+    // Model switches evict residency; switching back must replay the
+    // exact original numbers.
+    let lenet_net = Model::LeNet5.build(11);
+    let resnet_net = Model::ResNet18.build(11);
+    let mut opt = CompileOptions::int8();
+    opt.calib_inputs = 1;
+    let lenet = compile(&lenet_net, &opt).expect("lenet");
+    let resnet = compile(&resnet_net, &opt).expect("resnet");
+    let lenet_in = Tensor::random(lenet_net.input_shape(), 5);
+    let resnet_in = Tensor::random(resnet_net.input_shape(), 5);
+
+    let mut soc = Soc::new(SocConfig::zcu102_timing_only());
+    let l1 = soc.run_inference(&lenet, &lenet_in).expect("lenet 1");
+    let r1 = soc.run_inference(&resnet, &resnet_in).expect("resnet 1");
+    assert!(soc.is_resident(&resnet));
+    assert!(!soc.is_resident(&lenet));
+    let l2 = soc.run_inference(&lenet, &lenet_in).expect("lenet 2");
+    let r2 = soc.run_inference(&resnet, &resnet_in).expect("resnet 2");
+    assert_eq!(l1.cycles, l2.cycles);
+    assert_eq!(r1.cycles, r2.cycles);
+}
+
+#[test]
+fn same_layout_different_weights_is_not_resident() {
+    // zoo builds from different seeds share the model name and the
+    // exact segment layout; the resident check must see the weight
+    // bytes, or a warm run would silently reuse stale weights.
+    let mut opt = CompileOptions::int8();
+    opt.calib_inputs = 1;
+    let a1 = compile(&Model::LeNet5.build(1), &opt).expect("seed 1");
+    let a2 = compile(&Model::LeNet5.build(2), &opt).expect("seed 2");
+    let input = Tensor::random(Model::LeNet5.build(1).input_shape(), 4);
+
+    let mut soc = Soc::new(SocConfig::zcu102_nv_small());
+    soc.run_inference(&a1, &input).expect("seed-1 run");
+    assert!(
+        !soc.is_resident(&a2),
+        "different weights must not look resident"
+    );
+    let warm = soc.run_inference(&a2, &input).expect("seed-2 run");
+    let mut fresh = Soc::new(SocConfig::zcu102_nv_small());
+    let truth = fresh.run_inference(&a2, &input).expect("ground truth");
+    assert_eq!(warm.raw_output, truth.raw_output, "no stale weights used");
+    assert_eq!(warm.cycles, truth.cycles);
+}
+
+#[test]
+fn with_dram_peek_borrows_the_same_bytes_dram_peek_copies() {
+    let (net, artifacts) = compiled_lenet();
+    let input = Tensor::random(net.input_shape(), 3);
+    let mut soc = Soc::new(SocConfig::zcu102_nv_small());
+    let r = soc.run_inference(&artifacts, &input).expect("run");
+    let copied = soc.dram_peek(artifacts.output_addr, artifacts.output_len);
+    let equal = soc.with_dram_peek(artifacts.output_addr, artifacts.output_len, |raw| {
+        raw == copied.as_slice() && raw == r.raw_output.as_slice()
+    });
+    assert!(equal, "borrowing peek sees the same bytes");
+}

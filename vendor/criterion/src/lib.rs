@@ -45,20 +45,24 @@ pub struct Criterion {
 impl Default for Criterion {
     /// Configure from the command line the way cargo invokes bench
     /// binaries: `--bench` selects bench mode; a bare positional
-    /// argument filters benchmarks by substring.
+    /// argument filters benchmarks by substring. An explicit `--test`
+    /// wins regardless of argument order (upstream criterion semantics:
+    /// `cargo bench -- --test` runs each benchmark once, even though
+    /// cargo appends its own `--bench` to the invocation).
     fn default() -> Self {
         let mut bench_mode = false;
+        let mut explicit_test = false;
         let mut filter = None;
         for arg in std::env::args().skip(1) {
             match arg.as_str() {
                 "--bench" | "--profile-time" => bench_mode = true,
-                "--test" => bench_mode = false,
+                "--test" => explicit_test = true,
                 a if !a.starts_with('-') => filter = Some(a.to_string()),
                 _ => {}
             }
         }
         Criterion {
-            bench_mode,
+            bench_mode: bench_mode && !explicit_test,
             filter,
             default_sample_size: 20,
         }
