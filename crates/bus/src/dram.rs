@@ -48,6 +48,45 @@ impl RangeSet {
         self.ranges.splice(i..j, [(lo, hi)]);
     }
 
+    /// Remove `[start, end)`, splitting any range it cuts through.
+    pub fn remove(&mut self, start: usize, end: usize) {
+        if start >= end {
+            return;
+        }
+        // First range that extends past `start` (strictly — touching at
+        // `start` is unaffected by the removal).
+        let i = self.ranges.partition_point(|&(_, e)| e <= start);
+        let mut replacement: Vec<(usize, usize)> = Vec::new();
+        let mut j = i;
+        while j < self.ranges.len() && self.ranges[j].0 < end {
+            let (s, e) = self.ranges[j];
+            if s < start {
+                replacement.push((s, start));
+            }
+            if e > end {
+                replacement.push((end, e));
+            }
+            j += 1;
+        }
+        if i < j {
+            self.ranges.splice(i..j, replacement);
+        }
+    }
+
+    /// Remove every byte of `other` from this set.
+    pub fn subtract(&mut self, other: &RangeSet) {
+        for (s, e) in other.iter() {
+            self.remove(s, e);
+        }
+    }
+
+    /// Insert every range of `other` into this set (set union).
+    pub fn union_with(&mut self, other: &RangeSet) {
+        for (s, e) in other.iter() {
+            self.insert(s, e);
+        }
+    }
+
     /// Remove all ranges.
     pub fn clear(&mut self) {
         self.ranges.clear();
@@ -161,11 +200,12 @@ pub struct Dram {
     /// Extents whose bytes may be nonzero (written since the contents
     /// were last all-zero).
     dirty: RangeSet,
-    /// Snapshot of `dirty` taken by [`Dram::mark_resident`]: preload
-    /// contents (weights) that [`Reset::reset`] preserves.
-    resident: Option<RangeSet>,
-    /// Extents written since the resident mark (tracked only while a
-    /// mark is active).
+    /// Resident weight images, disjoint from one another: preload
+    /// contents that [`Reset::reset`] preserves, keyed by a caller-chosen
+    /// image id ([`Dram::add_resident`]).
+    resident: Vec<(u64, RangeSet)>,
+    /// Extents written since residency went active (tracked only while
+    /// at least one image is resident).
     run_writes: RangeSet,
 }
 
@@ -180,7 +220,7 @@ impl Dram {
             busy_until: 0,
             stats: DramStats::default(),
             dirty: RangeSet::new(),
-            resident: None,
+            resident: Vec::new(),
             run_writes: RangeSet::new(),
         }
     }
@@ -211,7 +251,7 @@ impl Dram {
     /// Record a write to `[offset, offset + len)` in the dirty trackers.
     fn note_write(&mut self, offset: usize, len: usize) {
         self.dirty.insert(offset, offset + len);
-        if self.resident.is_some() {
+        if !self.resident.is_empty() {
             self.run_writes.insert(offset, offset + len);
         }
     }
@@ -219,28 +259,93 @@ impl Dram {
     /// Snapshot the current written extents as *resident*: preload
     /// contents (typically the weight image) that survive subsequent
     /// [`Reset::reset`] calls, so a compile-once/run-many caller pays
-    /// the weight streaming exactly once.
+    /// the weight streaming exactly once. Replaces every existing image
+    /// with a single image id 0 covering everything written so far; for
+    /// several independent images use [`Dram::add_resident`].
     ///
     /// If a later run writes into a resident extent, the next reset
-    /// detects the clobber, abandons residency and zeroes everything
-    /// dirty — the caller observes [`Dram::is_resident`] go false and
+    /// detects the clobber, abandons that image and zeroes its extents —
+    /// the caller observes [`Dram::is_resident`] go false and
     /// re-preloads.
     pub fn mark_resident(&mut self) {
-        self.resident = Some(self.dirty.clone());
+        self.resident = vec![(0, self.dirty.clone())];
         self.run_writes.clear();
     }
 
-    /// Drop the resident mark (the next [`Reset::reset`] zeroes every
+    /// Register `extents` as resident image `id`: preload contents that
+    /// survive subsequent [`Reset::reset`] calls, alongside any other
+    /// registered image. The extents must already have been written
+    /// (they are inserted into the dirty tracking either way) and must
+    /// not overlap another image.
+    ///
+    /// Writes recorded since residency went active are forgiven inside
+    /// `extents` (they *are* the preload), so the canonical sequence is
+    /// `load` the image bytes, then `add_resident` them.
+    ///
+    /// # Errors
+    ///
+    /// [`BusError::ResidentOverlap`] if `extents` overlaps an existing
+    /// image (including a previous image with the same id), or
+    /// [`BusError::OutOfRange`] if it reaches past the end of the device.
+    pub fn add_resident(&mut self, id: u64, extents: RangeSet) -> Result<(), BusError> {
+        if let Some((s, e)) = extents.iter().find(|&(_, e)| e > self.data.len()) {
+            return Err(BusError::OutOfRange {
+                addr: s as u32,
+                len: e - s,
+                size: self.data.len(),
+            });
+        }
+        if let Some(&(other, _)) = self.resident.iter().find(|(_, ext)| ext.overlaps(&extents)) {
+            return Err(BusError::ResidentOverlap { image: other });
+        }
+        self.dirty.union_with(&extents);
+        // The preload writes are protected contents, not run garbage.
+        self.run_writes.subtract(&extents);
+        self.resident.push((id, extents));
+        Ok(())
+    }
+
+    /// Evict resident image `id`: its extents are zeroed immediately and
+    /// no longer survive resets. Other images are untouched. Unknown ids
+    /// are a no-op.
+    pub fn remove_resident(&mut self, id: u64) {
+        if let Some(i) = self.resident.iter().position(|(k, _)| *k == id) {
+            let (_, extents) = self.resident.remove(i);
+            Self::zero_ranges(&mut self.data, &extents);
+            // The bytes are zero again: dropping them from the dirty
+            // tracker keeps later resets from re-zeroing megabytes of
+            // evicted weights on every frame.
+            self.dirty.subtract(&extents);
+            if self.resident.is_empty() {
+                self.run_writes.clear();
+            }
+        }
+    }
+
+    /// Drop every resident mark (the next [`Reset::reset`] zeroes every
     /// written extent).
     pub fn clear_resident(&mut self) {
-        self.resident = None;
+        self.resident.clear();
         self.run_writes.clear();
     }
 
-    /// Whether a resident mark is active.
+    /// Whether any resident image is active.
     #[must_use]
     pub fn is_resident(&self) -> bool {
-        self.resident.is_some()
+        !self.resident.is_empty()
+    }
+
+    /// Whether image `id` is still resident (registered and not yet
+    /// dropped by a clobbering reset or [`Dram::remove_resident`]).
+    #[must_use]
+    pub fn is_image_resident(&self, id: u64) -> bool {
+        self.resident.iter().any(|(k, _)| *k == id)
+    }
+
+    /// Number of resident images.
+    #[must_use]
+    pub fn resident_images(&self) -> usize {
+        self.resident.len()
     }
 
     /// Bytes covered by written extents (what a full reset would zero).
@@ -350,27 +455,40 @@ impl Reset for Dram {
     /// Power-on reset **in place**: timing, statistics and the open-row
     /// state return to construction values, and contents return to the
     /// post-preload state — all-zero, except extents protected by
-    /// [`Dram::mark_resident`], which keep their bytes. Only the extents
+    /// [`Dram::add_resident`] / [`Dram::mark_resident`], which keep
+    /// their bytes. Clobber detection is per image: an image whose
+    /// extents were written into since it was registered is dropped and
+    /// zeroed, while untouched images stay warm. Only the extents
     /// actually written are zeroed, so resetting a 512 MB device after a
     /// small-model inference costs microseconds, not a reallocation.
     fn reset(&mut self) {
-        match &self.resident {
-            // Fast path: the run stayed out of the resident extents, so
-            // zeroing what it wrote restores the post-preload image.
-            Some(res) if !self.run_writes.overlaps(res) => {
-                Self::zero_ranges(&mut self.data, &self.run_writes);
-                self.dirty = res.clone();
-                self.run_writes.clear();
+        if self.resident.is_empty() {
+            Self::zero_ranges(&mut self.data, &self.dirty);
+            self.dirty.clear();
+        } else {
+            // Drop every image the run clobbered, then zero **all**
+            // written bytes except the surviving images' extents. Keying
+            // the zeroing on `dirty` (not on `run_writes`) guarantees
+            // the post-reset invariant even for bytes written while
+            // residency was momentarily inactive — e.g. between a
+            // `remove_resident` and the next `add_resident` — which the
+            // run tracker does not see.
+            let run = std::mem::take(&mut self.run_writes);
+            let survivors: Vec<(u64, RangeSet)> = std::mem::take(&mut self.resident)
+                .into_iter()
+                .filter(|(_, extents)| !run.overlaps(extents))
+                .collect();
+            let mut to_zero = std::mem::take(&mut self.dirty);
+            for (_, extents) in &survivors {
+                to_zero.subtract(extents);
             }
-            // No mark, or a resident extent was clobbered: zero every
-            // written byte and abandon residency.
-            _ => {
-                Self::zero_ranges(&mut self.data, &self.dirty);
-                self.dirty.clear();
-                self.run_writes.clear();
-                self.resident = None;
+            Self::zero_ranges(&mut self.data, &to_zero);
+            for (_, extents) in &survivors {
+                self.dirty.union_with(extents);
             }
+            self.resident = survivors;
         }
+        self.run_writes.clear();
         self.open_row = None;
         self.busy_until = 0;
         self.stats = DramStats::default();
@@ -574,6 +692,159 @@ mod tests {
         b.insert(191, 200);
         assert!(a.overlaps(&b));
         assert!(b.overlaps(&a));
+    }
+
+    #[test]
+    fn rangeset_remove_splits_and_trims() {
+        let mut r = RangeSet::new();
+        r.insert(0, 100);
+        r.remove(40, 60); // split in two
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![(0, 40), (60, 100)]);
+        r.remove(0, 10); // trim left edge
+        r.remove(90, 200); // trim right edge past the end
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![(10, 40), (60, 90)]);
+        r.remove(0, 5); // disjoint below: no-op
+        r.remove(45, 50); // in the gap: no-op
+        r.remove(50, 40); // empty range: no-op
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![(10, 40), (60, 90)]);
+        r.remove(0, 1000); // covers everything
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn rangeset_subtract_and_union() {
+        let mut a = RangeSet::new();
+        a.insert(0, 50);
+        a.insert(100, 150);
+        let mut b = RangeSet::new();
+        b.insert(20, 120);
+        let mut diff = a.clone();
+        diff.subtract(&b);
+        assert_eq!(diff.iter().collect::<Vec<_>>(), vec![(0, 20), (120, 150)]);
+        let mut uni = a.clone();
+        uni.union_with(&b);
+        assert_eq!(uni.iter().collect::<Vec<_>>(), vec![(0, 150)]);
+    }
+
+    fn extents(ranges: &[(usize, usize)]) -> RangeSet {
+        let mut r = RangeSet::new();
+        for &(s, e) in ranges {
+            r.insert(s, e);
+        }
+        r
+    }
+
+    #[test]
+    fn two_resident_images_survive_reset_independently() {
+        let mut d = small();
+        d.load(0x100, &[1, 2, 3, 4]).unwrap();
+        d.add_resident(7, extents(&[(0x100, 0x104)])).unwrap();
+        d.load(0x800, &[5, 6, 7, 8]).unwrap();
+        d.add_resident(8, extents(&[(0x800, 0x804)])).unwrap();
+        assert_eq!(d.resident_images(), 2);
+        // A run writes scratch data, then the fabric resets.
+        d.write_block(0x2000, &[9; 64], 0).unwrap();
+        d.reset();
+        assert_eq!(d.peek(0x100, 4), &[1, 2, 3, 4], "image 7 warm");
+        assert_eq!(d.peek(0x800, 4), &[5, 6, 7, 8], "image 8 warm");
+        assert!(d.peek(0x2000, 64).iter().all(|&b| b == 0));
+        assert_eq!(d.dirty_bytes(), 8, "only the two images stay dirty");
+    }
+
+    #[test]
+    fn clobbering_one_image_keeps_the_other_warm() {
+        let mut d = small();
+        d.load(0x100, &[1, 2, 3, 4]).unwrap();
+        d.add_resident(7, extents(&[(0x100, 0x104)])).unwrap();
+        d.load(0x800, &[5, 6, 7, 8]).unwrap();
+        d.add_resident(8, extents(&[(0x800, 0x804)])).unwrap();
+        // The run tramples image 7's weights.
+        d.access(&Request::write32(0x100, 0xDEAD_BEEF), 0).unwrap();
+        d.reset();
+        assert!(!d.is_image_resident(7), "clobbered image dropped");
+        assert!(d.is_image_resident(8), "untouched image survives");
+        assert!(
+            d.peek(0x100, 4).iter().all(|&b| b == 0),
+            "dropped image fully zeroed"
+        );
+        assert_eq!(d.peek(0x800, 4), &[5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn overlapping_image_registration_rejected() {
+        let mut d = small();
+        d.load(0x100, &[1; 64]).unwrap();
+        d.add_resident(1, extents(&[(0x100, 0x140)])).unwrap();
+        let e = d.add_resident(2, extents(&[(0x13c, 0x200)])).unwrap_err();
+        assert!(matches!(e, BusError::ResidentOverlap { image: 1 }));
+        // Touching (not overlapping) images are fine.
+        d.load(0x140, &[2; 16]).unwrap();
+        d.add_resident(2, extents(&[(0x140, 0x150)])).unwrap();
+        assert_eq!(d.resident_images(), 2);
+        // Past the end of the device is rejected outright.
+        let far = d.size();
+        let e = d.add_resident(3, extents(&[(far, far + 4)])).unwrap_err();
+        assert!(matches!(e, BusError::OutOfRange { .. }));
+    }
+
+    #[test]
+    fn remove_resident_zeroes_and_keeps_others() {
+        let mut d = small();
+        d.load(0x100, &[1, 2, 3, 4]).unwrap();
+        d.add_resident(1, extents(&[(0x100, 0x104)])).unwrap();
+        d.load(0x800, &[5, 6, 7, 8]).unwrap();
+        d.add_resident(2, extents(&[(0x800, 0x804)])).unwrap();
+        d.remove_resident(1);
+        assert!(!d.is_image_resident(1));
+        assert!(d.peek(0x100, 4).iter().all(|&b| b == 0), "evicted = zeroed");
+        d.reset();
+        assert_eq!(d.peek(0x800, 4), &[5, 6, 7, 8], "other image still warm");
+        d.remove_resident(99); // unknown id: no-op
+        assert_eq!(d.resident_images(), 1);
+    }
+
+    #[test]
+    fn reset_zeroes_bytes_written_while_residency_was_inactive() {
+        // Regression: writes that land while no image is resident are
+        // not in `run_writes`; a later resident-mode reset must still
+        // zero them (the zeroing keys on `dirty`, not the run tracker).
+        let mut d = small();
+        d.load(0x100, &[1, 2, 3, 4]).unwrap();
+        d.load(0x900, &[9, 9, 9, 9]).unwrap();
+        d.add_resident(1, extents(&[(0x100, 0x104)])).unwrap();
+        d.reset();
+        assert!(d.is_image_resident(1));
+        assert_eq!(d.peek(0x100, 4), &[1, 2, 3, 4]);
+        assert!(
+            d.peek(0x900, 4).iter().all(|&b| b == 0),
+            "pre-residency write must be zeroed by reset"
+        );
+        assert_eq!(d.dirty_bytes(), 4, "only the image stays dirty");
+        // The same invariant across an unload → re-register gap.
+        d.load(0x2000, &[7; 8]).unwrap(); // run garbage (tracked)
+        d.remove_resident(1); // residency momentarily inactive
+        d.load(0x800, &[5, 6, 7, 8]).unwrap(); // untracked
+        d.add_resident(2, extents(&[(0x800, 0x804)])).unwrap();
+        d.reset();
+        assert!(d.is_image_resident(2));
+        assert_eq!(d.peek(0x800, 4), &[5, 6, 7, 8]);
+        assert!(d.peek(0x2000, 8).iter().all(|&b| b == 0));
+        assert_eq!(d.dirty_bytes(), 4);
+    }
+
+    #[test]
+    fn preload_writes_are_not_run_garbage() {
+        // Loading image B while image A is resident must not count as a
+        // clobbering run write against B itself.
+        let mut d = small();
+        d.load(0x100, &[1; 4]).unwrap();
+        d.add_resident(1, extents(&[(0x100, 0x104)])).unwrap();
+        d.load(0x800, &[2; 4]).unwrap();
+        d.add_resident(2, extents(&[(0x800, 0x804)])).unwrap();
+        d.reset();
+        assert!(d.is_image_resident(1));
+        assert!(d.is_image_resident(2), "own preload writes forgiven");
+        assert_eq!(d.peek(0x800, 4), &[2; 4]);
     }
 
     #[test]

@@ -36,6 +36,13 @@ pub enum BusError {
         /// Human-readable reason.
         reason: &'static str,
     },
+    /// A resident-image registration overlaps an image that is already
+    /// resident (see [`crate::dram::Dram::add_resident`]). Lay the
+    /// images out at disjoint DRAM bases, or evict the old image first.
+    ResidentOverlap {
+        /// Id of the already-resident image being overlapped.
+        image: u64,
+    },
 }
 
 impl fmt::Display for BusError {
@@ -53,6 +60,9 @@ impl fmt::Display for BusError {
             }
             BusError::SlaveError { addr, reason } => {
                 write!(f, "slave error at {addr:#010x}: {reason}")
+            }
+            BusError::ResidentOverlap { image } => {
+                write!(f, "extents overlap resident weight image {image}")
             }
         }
     }

@@ -130,7 +130,8 @@ pub trait Target {
 /// timing state and statistics) to a freshly constructed one, so that
 /// reset-and-rerun yields the same cycle counts as build-and-run. The
 /// one deliberate exception is [`dram::Dram`]'s resident-extent
-/// mechanism, which preserves marked preload contents by contract — see
+/// mechanism, which preserves registered preload images (one or many)
+/// by contract — see [`dram::Dram::add_resident`] and
 /// [`dram::Dram::mark_resident`].
 pub trait Reset {
     /// Restore power-on state (contents, timing and statistics).

@@ -44,7 +44,13 @@ pub struct CompileOptions {
     pub calib_inputs: usize,
     /// Calibration RNG seed.
     pub calib_seed: u64,
-    /// DRAM data-region size in bytes.
+    /// First DRAM offset the model may use. Every address the compiler
+    /// emits (weights, activations, input, output) lands in
+    /// `[dram_base, dram_bytes)`, so models compiled at disjoint bases
+    /// can be resident in one DRAM simultaneously — the multi-model
+    /// batch layout (see `rvnv_soc::batch`).
+    pub dram_base: u32,
+    /// End of the DRAM data region in bytes (exclusive allocation limit).
     pub dram_bytes: u32,
     /// Fuse BatchNorm/EltwiseAdd/ReLU into the producing convolution's
     /// SDP pass. The paper's trace-replay flow executes each layer as
@@ -62,6 +68,7 @@ impl CompileOptions {
             hw: HwConfig::nv_small(),
             calib_inputs: 4,
             calib_seed: 0x5EED,
+            dram_base: 0,
             dram_bytes: 512 << 20,
             fuse: true,
         }
@@ -75,9 +82,19 @@ impl CompileOptions {
             hw: HwConfig::nv_full(),
             calib_inputs: 0,
             calib_seed: 0,
+            dram_base: 0,
             dram_bytes: 512 << 20,
             fuse: true,
         }
+    }
+
+    /// Place the model's whole DRAM footprint at `base` instead of 0,
+    /// for laying several models out side by side (see
+    /// `rvnv_soc::batch::layout_models`).
+    #[must_use]
+    pub fn at_dram_base(mut self, base: u32) -> Self {
+        self.dram_base = base;
+        self
     }
 
     /// Trace-replay fidelity: one register sequence per layer, as the
@@ -174,7 +191,11 @@ pub struct Artifacts {
     pub output_shape: Shape,
     /// Per-op metadata in launch order.
     pub ops: Vec<OpInfo>,
-    /// DRAM high-water mark in bytes.
+    /// First DRAM offset of the model's footprint
+    /// ([`CompileOptions::dram_base`]); the model owns
+    /// `[dram_base, dram_used)`.
+    pub dram_base: u32,
+    /// DRAM high-water mark in bytes (end of the model's footprint).
     pub dram_used: u32,
     /// Graph nodes executed on the CPU instead of NVDLA (softmax).
     pub cpu_layers: Vec<String>,
@@ -289,7 +310,7 @@ impl<'a> Lowering<'a> {
             preassigned: BTreeMap::new(),
             alias: BTreeMap::new(),
             absorbed: BTreeSet::new(),
-            alloc: Allocator::new(0, opt.dram_bytes),
+            alloc: Allocator::new(opt.dram_base, opt.dram_bytes.saturating_sub(opt.dram_base)),
             weights: WeightImage::new(),
             commands: Vec::new(),
             ops: Vec::new(),
@@ -449,6 +470,7 @@ impl<'a> Lowering<'a> {
             commands: self.commands,
             weights: self.weights,
             ops: self.ops,
+            dram_base: self.opt.dram_base,
             dram_used: self.alloc.used(),
             cpu_layers: self.cpu_layers,
         })
@@ -982,6 +1004,38 @@ mod tests {
         opt.dram_bytes = 1 << 16; // 64 KB cannot hold LeNet
         let e = compile(&net, &opt).unwrap_err();
         assert!(matches!(e, CompileError::OutOfMemory(_)));
+    }
+
+    #[test]
+    fn dram_base_shifts_the_whole_footprint() {
+        let net = zoo::lenet5(1);
+        let mut opt = CompileOptions::int8();
+        opt.calib_inputs = 1;
+        let at0 = compile(&net, &opt).unwrap();
+        let base = 4 << 20;
+        let hi = compile(&net, &opt.clone().at_dram_base(base)).unwrap();
+        assert_eq!(hi.dram_base, base);
+        assert!(hi.input_addr >= base && hi.output_addr >= base);
+        for seg in hi.weights.segments() {
+            assert!(seg.addr >= base, "weight segment below the base");
+        }
+        // Same model, same footprint size, just relocated.
+        assert_eq!(hi.dram_used - hi.dram_base, at0.dram_used - at0.dram_base);
+        assert_eq!(hi.input_addr - base, at0.input_addr);
+        assert_eq!(hi.commands.len(), at0.commands.len());
+        assert!(hi.dram_used <= opt.dram_bytes);
+    }
+
+    #[test]
+    fn dram_base_at_or_past_the_limit_is_out_of_memory() {
+        let net = zoo::lenet5(1);
+        let mut opt = CompileOptions::int8();
+        opt.calib_inputs = 1;
+        opt.dram_base = opt.dram_bytes;
+        assert!(matches!(
+            compile(&net, &opt).unwrap_err(),
+            CompileError::OutOfMemory(_)
+        ));
     }
 
     #[test]

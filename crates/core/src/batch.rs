@@ -1,0 +1,497 @@
+//! Multi-model resident batch scheduling (the edge-server workload).
+//!
+//! The paper's toolflow serves one compiled network per SoC; an edge
+//! server juggles several. This module keeps **N models resident in one
+//! DRAM simultaneously** — each compiled at its own base so the
+//! footprints are disjoint ([`layout_models`]) — and drains a frame
+//! queue tagged by model across them on a single SoC, every frame warm:
+//! an in-place fabric reset plus an input reload, never a recompile or
+//! a weight restream. Switching models between frames costs nothing
+//! beyond the reset, which is what makes interleaved (round-robin)
+//! service practical.
+//!
+//! Two drain policies:
+//!
+//! * [`Policy::RoundRobin`] — rotate across models with pending frames;
+//!   the fair interleaving an online server uses, and the worst case
+//!   for any cross-model cache the simulator might (incorrectly) keep.
+//! * [`Policy::ShortestQueueFirst`] — always serve the model with the
+//!   fewest pending frames, draining stragglers early; batches same-
+//!   model frames back to back once queues diverge.
+//!
+//! Modeled cycles are policy-independent (every frame is a full reset),
+//! so both policies must report identical totals — a property
+//! `tests/batch.rs` pins. The scheduler reports per-model cycles,
+//! arbiter-contention statistics and end-to-end throughput.
+//!
+//! For host-side scale-out, [`run_parallel`] shards a frame stream
+//! across worker threads via [`crate::sweep::fan_out`], one SoC replica
+//! (with all models resident) per worker.
+
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+use std::sync::Arc;
+use std::time::Instant;
+
+use rvnv_compiler::codegen::CodegenOptions;
+use rvnv_compiler::{ArtifactCache, Artifacts, CompileError, CompileOptions};
+use rvnv_nn::graph::Network;
+use rvnv_nn::Tensor;
+
+use crate::firmware::Firmware;
+use crate::soc::{InferenceResult, Soc, SocConfig, SocError};
+use crate::sweep::fan_out;
+
+/// Base alignment of each model's DRAM footprint when laying models
+/// out side by side: every footprint starts on a boundary two DRAM
+/// rows wide, so one model's trailing bytes can never share an open
+/// row with the next model's leading weights. Footprints may touch
+/// exactly (a model ending on a boundary leaves no hole) — disjoint,
+/// not gapped.
+pub const MODEL_BASE_ALIGN: u32 = 4096;
+
+/// Compile every network so the models' DRAM footprints are pairwise
+/// disjoint: each model's allocator starts at the next
+/// [`MODEL_BASE_ALIGN`] boundary at or past the previous model's
+/// high-water mark. The resulting artifacts can all be
+/// [`Soc::load_artifacts`]-pinned on one SoC.
+///
+/// Goes through `cache`, so a sweep or server that lays the same model
+/// set out repeatedly compiles each `(model, base)` pair once.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] when a model fails to compile or the set
+/// does not fit in `base_options.dram_bytes`.
+pub fn layout_models(
+    cache: &ArtifactCache,
+    nets: &[Network],
+    base_options: &CompileOptions,
+) -> Result<Vec<Arc<Artifacts>>, CompileError> {
+    let mut base = base_options.dram_base;
+    let mut out = Vec::with_capacity(nets.len());
+    for net in nets {
+        let opt = base_options.clone().at_dram_base(base);
+        let artifacts = cache.get_or_compile(net, &opt)?;
+        base = artifacts
+            .dram_used
+            .div_ceil(MODEL_BASE_ALIGN)
+            .saturating_mul(MODEL_BASE_ALIGN);
+        out.push(artifacts);
+    }
+    Ok(out)
+}
+
+/// Frame drain order across the resident models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Rotate across models with pending frames (fair interleaving).
+    RoundRobin,
+    /// Serve the model with the fewest pending frames first.
+    ShortestQueueFirst,
+}
+
+impl Policy {
+    /// CLI spelling of the policy.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Policy::RoundRobin => "rr",
+            Policy::ShortestQueueFirst => "sqf",
+        }
+    }
+}
+
+impl FromStr for Policy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "rr" | "round-robin" => Ok(Policy::RoundRobin),
+            "sqf" | "shortest-queue-first" => Ok(Policy::ShortestQueueFirst),
+            other => Err(format!("unknown policy `{other}` (expected rr|sqf)")),
+        }
+    }
+}
+
+/// Batch-scheduling failure.
+#[derive(Debug)]
+pub enum BatchError {
+    /// Pinning a model's weight image failed (footprint overlap, DRAM
+    /// exhaustion).
+    Load(rvnv_bus::BusError),
+    /// Firmware generation failed.
+    Firmware(rvnv_riscv::AsmError),
+    /// A frame's inference failed.
+    Run {
+        /// Model the frame was tagged with.
+        model: String,
+        /// The underlying SoC failure.
+        source: SocError,
+    },
+    /// A frame or queue query referenced a model index never added.
+    UnknownModel {
+        /// The offending index.
+        index: usize,
+        /// Number of models registered.
+        count: usize,
+    },
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BatchError::Load(e) => write!(f, "model load failed: {e}"),
+            BatchError::Firmware(e) => write!(f, "firmware generation failed: {e}"),
+            BatchError::Run { model, source } => write!(f, "frame on {model} failed: {source}"),
+            BatchError::UnknownModel { index, count } => {
+                write!(f, "model index {index} out of range ({count} models)")
+            }
+        }
+    }
+}
+
+impl Error for BatchError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BatchError::Load(e) => Some(e),
+            BatchError::Firmware(e) => Some(e),
+            BatchError::Run { source, .. } => Some(source),
+            BatchError::UnknownModel { .. } => None,
+        }
+    }
+}
+
+impl From<rvnv_bus::BusError> for BatchError {
+    fn from(e: rvnv_bus::BusError) -> Self {
+        BatchError::Load(e)
+    }
+}
+
+impl From<rvnv_riscv::AsmError> for BatchError {
+    fn from(e: rvnv_riscv::AsmError) -> Self {
+        BatchError::Firmware(e)
+    }
+}
+
+/// Accumulated per-model statistics of a drained batch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ModelStats {
+    /// Frames served.
+    pub frames: u64,
+    /// Modeled SoC cycles summed over the model's frames.
+    pub cycles: u64,
+    /// Instructions retired summed over the model's frames.
+    pub instructions: u64,
+    /// Cycles the core spent waiting at the DRAM arbiter (contention
+    /// with the NVDLA DBB), summed over the model's frames.
+    pub arbiter_wait: u64,
+    /// NVDLA DMA traffic in bytes, summed over the model's frames.
+    pub dma_bytes: u64,
+}
+
+impl ModelStats {
+    /// Modeled cycles per frame (0 when no frame was served).
+    #[must_use]
+    pub fn cycles_per_frame(&self) -> u64 {
+        self.cycles.checked_div(self.frames).unwrap_or(0)
+    }
+}
+
+/// Result of draining a frame queue.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Drain policy used.
+    pub policy: Policy,
+    /// Per-model statistics, indexed like the scheduler's models.
+    pub per_model: Vec<(String, ModelStats)>,
+    /// Host wall-clock seconds spent draining.
+    pub host_seconds: f64,
+}
+
+impl BatchReport {
+    /// Total frames served.
+    #[must_use]
+    pub fn total_frames(&self) -> u64 {
+        self.per_model.iter().map(|(_, s)| s.frames).sum()
+    }
+
+    /// Total modeled cycles across all frames.
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.per_model.iter().map(|(_, s)| s.cycles).sum()
+    }
+
+    /// Total cycles spent waiting at the DRAM arbiter.
+    #[must_use]
+    pub fn total_arbiter_wait(&self) -> u64 {
+        self.per_model.iter().map(|(_, s)| s.arbiter_wait).sum()
+    }
+
+    /// Modeled end-to-end throughput in frames per second at `hz`
+    /// (frames are served back to back on one SoC).
+    #[must_use]
+    pub fn modeled_fps(&self, hz: u64) -> f64 {
+        if self.total_cycles() == 0 {
+            return 0.0;
+        }
+        self.total_frames() as f64 * hz as f64 / self.total_cycles() as f64
+    }
+
+    /// Host-side simulation throughput in frames per second.
+    #[must_use]
+    pub fn host_fps(&self) -> f64 {
+        if self.host_seconds <= 0.0 {
+            return 0.0;
+        }
+        self.total_frames() as f64 / self.host_seconds
+    }
+
+    /// Merge `other` into `self` (used to combine per-worker shards of
+    /// a [`run_parallel`] drain). Panics if the model lists differ.
+    fn merge(&mut self, other: &BatchReport) {
+        assert_eq!(self.per_model.len(), other.per_model.len(), "model sets");
+        for ((name_a, a), (name_b, b)) in self.per_model.iter_mut().zip(&other.per_model) {
+            assert_eq!(name_a, name_b, "model order");
+            a.frames += b.frames;
+            a.cycles += b.cycles;
+            a.instructions += b.instructions;
+            a.arbiter_wait += b.arbiter_wait;
+            a.dma_bytes += b.dma_bytes;
+        }
+        self.host_seconds = self.host_seconds.max(other.host_seconds);
+    }
+}
+
+/// One resident model: its artifacts, prebuilt firmware, and queue of
+/// quantized input frames.
+struct ModelSlot {
+    artifacts: Arc<Artifacts>,
+    fw: Firmware,
+    queue: VecDeque<Vec<u8>>,
+    stats: ModelStats,
+}
+
+/// Drains a tagged frame queue across several models resident on one
+/// SoC. See the [module docs](self) for the serving model.
+pub struct BatchScheduler {
+    soc: Soc,
+    policy: Policy,
+    models: Vec<ModelSlot>,
+    /// Next model index the round-robin rotation considers.
+    cursor: usize,
+}
+
+impl BatchScheduler {
+    /// A scheduler over a freshly built SoC.
+    #[must_use]
+    pub fn new(config: SocConfig, policy: Policy) -> Self {
+        BatchScheduler {
+            soc: Soc::new(config),
+            policy,
+            models: Vec::new(),
+            cursor: 0,
+        }
+    }
+
+    /// Register a model: build its firmware and pin its weight image
+    /// alongside the models already resident. Returns the model's index
+    /// for tagging frames.
+    ///
+    /// # Errors
+    ///
+    /// [`BatchError::Load`] when the model's DRAM footprint overlaps an
+    /// already-registered model's (lay the set out with
+    /// [`layout_models`]), [`BatchError::Firmware`] when codegen fails.
+    pub fn add_model(
+        &mut self,
+        artifacts: Arc<Artifacts>,
+        codegen: CodegenOptions,
+    ) -> Result<usize, BatchError> {
+        let fw = Firmware::build_with(&artifacts, codegen)?;
+        self.soc.load_artifacts(&artifacts)?;
+        self.models.push(ModelSlot {
+            artifacts,
+            fw,
+            queue: VecDeque::new(),
+            stats: ModelStats::default(),
+        });
+        Ok(self.models.len() - 1)
+    }
+
+    /// Queue one frame for `model`, quantizing the input.
+    ///
+    /// # Errors
+    ///
+    /// [`BatchError::UnknownModel`] for an index [`add_model`](Self::add_model)
+    /// never returned.
+    pub fn enqueue(&mut self, model: usize, input: &Tensor) -> Result<(), BatchError> {
+        let slot = self.models.get(model).ok_or(BatchError::UnknownModel {
+            index: model,
+            count: self.models.len(),
+        })?;
+        let bytes = slot.artifacts.quantize_input(input);
+        self.enqueue_bytes(model, bytes)
+    }
+
+    /// Queue one pre-quantized frame for `model`.
+    ///
+    /// # Errors
+    ///
+    /// [`BatchError::UnknownModel`] for an out-of-range index.
+    pub fn enqueue_bytes(&mut self, model: usize, bytes: Vec<u8>) -> Result<(), BatchError> {
+        let count = self.models.len();
+        let slot = self.models.get_mut(model).ok_or(BatchError::UnknownModel {
+            index: model,
+            count,
+        })?;
+        slot.queue.push_back(bytes);
+        Ok(())
+    }
+
+    /// Frames still queued across all models.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.models.iter().map(|m| m.queue.len()).sum()
+    }
+
+    /// Number of registered models.
+    #[must_use]
+    pub fn model_count(&self) -> usize {
+        self.models.len()
+    }
+
+    /// The underlying SoC (e.g. to inspect residency).
+    #[must_use]
+    pub fn soc(&self) -> &Soc {
+        &self.soc
+    }
+
+    /// Pick the model to serve next, per policy. `None` when idle.
+    fn next_model(&mut self) -> Option<usize> {
+        match self.policy {
+            Policy::RoundRobin => {
+                let n = self.models.len();
+                let pick = (0..n)
+                    .map(|off| (self.cursor + off) % n)
+                    .find(|&i| !self.models[i].queue.is_empty())?;
+                self.cursor = (pick + 1) % n;
+                Some(pick)
+            }
+            Policy::ShortestQueueFirst => self
+                .models
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| !m.queue.is_empty())
+                .min_by_key(|(i, m)| (m.queue.len(), *i))
+                .map(|(i, _)| i),
+        }
+    }
+
+    /// Drain every queued frame, invoking `on_frame(model, result)`
+    /// after each inference (tests and benches use the hook to check
+    /// bit-identity against cold single-model runs).
+    ///
+    /// # Errors
+    ///
+    /// [`BatchError::Run`] on the first failing frame; the failed
+    /// drain's earlier frames are not reported (each drain's statistics
+    /// start from zero, so a retry counts only the frames it serves).
+    pub fn run_with(
+        &mut self,
+        mut on_frame: impl FnMut(usize, &InferenceResult),
+    ) -> Result<BatchReport, BatchError> {
+        let start = Instant::now();
+        for m in &mut self.models {
+            m.stats = ModelStats::default();
+        }
+        while let Some(i) = self.next_model() {
+            let slot = &mut self.models[i];
+            let bytes = slot.queue.pop_front().expect("picked model has a frame");
+            let result = self
+                .soc
+                .run_firmware(&slot.artifacts, &bytes, &slot.fw)
+                .map_err(|source| BatchError::Run {
+                    model: slot.artifacts.model.clone(),
+                    source,
+                })?;
+            slot.stats.frames += 1;
+            slot.stats.cycles += result.cycles;
+            slot.stats.instructions += result.instructions;
+            slot.stats.arbiter_wait += result.cpu_arbiter_wait;
+            slot.stats.dma_bytes += result.nvdla.total_dma_bytes();
+            on_frame(i, &result);
+        }
+        let per_model = self
+            .models
+            .iter_mut()
+            .map(|m| (m.artifacts.model.clone(), std::mem::take(&mut m.stats)))
+            .collect();
+        Ok(BatchReport {
+            policy: self.policy,
+            per_model,
+            host_seconds: start.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// Drain every queued frame. See [`run_with`](Self::run_with).
+    ///
+    /// # Errors
+    ///
+    /// [`BatchError::Run`] on the first failing frame.
+    pub fn run(&mut self) -> Result<BatchReport, BatchError> {
+        self.run_with(|_, _| {})
+    }
+}
+
+/// A frame awaiting service: which model, and the quantized input.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// Index into the model list.
+    pub model: usize,
+    /// Pre-quantized input bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// Drain `frames` across `threads` SoC replicas, each with every model
+/// in `models` resident, sharding the stream round-robin (frame `i` to
+/// worker `i % threads`) and merging the per-worker reports. Modeled
+/// cycles are shard-independent — each frame is a full in-place reset —
+/// so the merged totals equal a single-SoC drain of the same frames;
+/// only host wall-clock changes with the fan-out.
+///
+/// # Errors
+///
+/// The first worker error, in worker order.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (propagated by [`fan_out`]).
+pub fn run_parallel(
+    config: &SocConfig,
+    policy: Policy,
+    models: &[Arc<Artifacts>],
+    codegen: CodegenOptions,
+    frames: &[Frame],
+    threads: usize,
+) -> Result<BatchReport, BatchError> {
+    let threads = threads.clamp(1, frames.len().max(1));
+    let mut shards = fan_out(threads, threads, |w| -> Result<BatchReport, BatchError> {
+        let mut sched = BatchScheduler::new(config.clone(), policy);
+        for artifacts in models {
+            sched.add_model(artifacts.clone(), codegen)?;
+        }
+        for frame in frames.iter().skip(w).step_by(threads) {
+            sched.enqueue_bytes(frame.model, frame.bytes.clone())?;
+        }
+        sched.run()
+    })
+    .into_iter();
+    let mut merged = shards.next().expect("at least one worker")?;
+    for shard in shards {
+        merged.merge(&shard?);
+    }
+    Ok(merged)
+}

@@ -15,7 +15,9 @@
 //! * [`baseline`] — the Linux-driver runtime model used as the Table II
 //!   comparison column (ref.\[8\], Ariane+NVDLA on ESP at 50 MHz),
 //! * [`resources`] — the analytical FPGA resource model behind Table I,
-//! * [`sweep`] — host-side worker fan-out for configuration sweeps.
+//! * [`sweep`] — host-side worker fan-out for configuration sweeps,
+//! * [`batch`] — the multi-model resident batch scheduler (several
+//!   weight images pinned in one DRAM, frames interleaved across them).
 //!
 //! # Example
 //!
@@ -36,6 +38,7 @@
 //! ```
 
 pub mod baseline;
+pub mod batch;
 pub mod firmware;
 pub mod profile;
 pub mod resources;

@@ -7,7 +7,7 @@ use rvnv_bus::arbiter::Arbiter;
 use rvnv_bus::bridge::{AhbToApb, AhbToAxi};
 use rvnv_bus::cdc::ClockCrossing;
 use rvnv_bus::decoder::{SystemBus, DRAM_BASE, DRAM_SIZE, NVDLA_BASE, NVDLA_SIZE};
-use rvnv_bus::dram::{Dram, DramTiming};
+use rvnv_bus::dram::{Dram, DramTiming, RangeSet};
 use rvnv_bus::smartconnect::{Side, SmartConnect};
 use rvnv_bus::sram::Sram;
 use rvnv_bus::width::WidthConverter;
@@ -232,22 +232,44 @@ impl ResidentKey {
     }
 }
 
+/// One weight image currently pinned in DRAM: its identity key, the id
+/// it is registered under in the [`Dram`] residency tracker, and the
+/// model's whole DRAM footprint `[dram_base, dram_used)` — used to
+/// decide whether two models can be resident side by side.
+#[derive(Debug, Clone)]
+struct ResidentImage {
+    key: ResidentKey,
+    id: u64,
+    span: (u32, u32),
+}
+
+impl ResidentImage {
+    fn span_overlaps(&self, other: (u32, u32)) -> bool {
+        self.span.0 < other.1 && other.0 < self.span.1
+    }
+}
+
 /// The SoC: shared DRAM path + NVDLA, rebuilt core per inference.
 ///
 /// A `Soc` is built **once** and reused: every run starts from an
 /// in-place power-on [`reset`](Soc::reset) of the whole fabric (no
-/// reallocation), and the weight image of the most recent artifacts
-/// stays *resident* in DRAM across runs, so the compile-once/run-many
-/// hot path skips the per-inference weight streaming entirely. Warm
-/// runs are bit-identical — same cycle counts, same output bytes — to
-/// runs on a freshly constructed SoC.
+/// reallocation), and weight images stay *resident* in DRAM across
+/// runs, so the compile-once/run-many hot path skips the per-inference
+/// weight streaming entirely. **Several** models can be resident at
+/// once when their DRAM footprints are disjoint (compile them at
+/// distinct bases — see `rvnv_soc::batch::layout_models`); the
+/// multi-model batch scheduler interleaves frames across them with
+/// every frame warm. Warm runs are bit-identical — same cycle counts,
+/// same output bytes — to runs on a freshly constructed SoC.
 #[derive(Debug)]
 pub struct Soc {
     config: SocConfig,
     dram: DramPath,
     nvdla: SocNvdla,
-    /// Which artifacts' weight image is currently resident in DRAM.
-    resident: Option<ResidentKey>,
+    /// Which artifacts' weight images are currently resident in DRAM.
+    resident: Vec<ResidentImage>,
+    /// Id for the next image registered with the DRAM tracker.
+    next_image_id: u64,
 }
 
 impl Soc {
@@ -259,7 +281,8 @@ impl Soc {
             config,
             dram,
             nvdla,
-            resident: None,
+            resident: Vec::new(),
+            next_image_id: 1,
         }
     }
 
@@ -274,15 +297,15 @@ impl Soc {
     }
 
     /// Power-on reset **in place**: fresh DRAM contents, bus timelines
-    /// and NVDLA state, discarding any resident weight image. Nothing is
-    /// reallocated — the DRAM zeroes only the extents previous runs
-    /// wrote — so a reset SoC replays exactly the timing of a freshly
-    /// built one at a fraction of the host cost.
+    /// and NVDLA state, discarding **all** resident weight images.
+    /// Nothing is reallocated — the DRAM zeroes only the extents
+    /// previous runs wrote — so a reset SoC replays exactly the timing
+    /// of a freshly built one at a fraction of the host cost.
     ///
     /// Runs reset themselves automatically (warm, keeping resident
     /// weights); call this only to force the next run cold.
     pub fn reset(&mut self) {
-        self.resident = None;
+        self.resident.clear();
         self.with_dram(Dram::clear_resident);
         // Resetting the accelerator chains down its DBB path — width
         // converter, arbiter, clock crossing, SmartConnect — into the
@@ -297,56 +320,138 @@ impl Soc {
         f(path.downstream_mut().downstream_mut().dram_mut())
     }
 
-    /// Make `artifacts`' weight image resident in DRAM: full power-on
-    /// reset, then stream every weight segment once and protect those
-    /// extents across subsequent resets. After this, every
+    /// The entry for `artifacts`, if its image is pinned and the DRAM
+    /// still holds it (a clobbering run may have dropped it there).
+    fn find_resident(&self, artifacts: &Artifacts) -> Option<&ResidentImage> {
+        self.resident
+            .iter()
+            .find(|img| img.key.matches(artifacts))
+            .filter(|img| self.with_dram(|d| d.is_image_resident(img.id)))
+    }
+
+    /// Drop pinned entries whose DRAM image no longer exists (dropped by
+    /// a clobber-detecting reset).
+    fn sync_residency(&mut self) {
+        let dram = &self.dram;
+        self.resident.retain(|img| {
+            let mut path = dram.lock();
+            path.downstream_mut()
+                .downstream_mut()
+                .dram_mut()
+                .is_image_resident(img.id)
+        });
+    }
+
+    /// Make `artifacts`' weight image resident in DRAM **alongside** any
+    /// images already pinned: stream every weight segment once and
+    /// protect those extents across subsequent resets. After this, every
     /// [`run_firmware`](Soc::run_firmware)/[`run_inference`](Soc::run_inference)
     /// call with the same artifacts is a *warm* run that resets the
     /// fabric in place and reloads only the input — the
-    /// compile-once/run-many hot path.
+    /// compile-once/run-many hot path. Pinning an image that is already
+    /// resident is a no-op.
     ///
-    /// Calling this is optional: runs make their artifacts resident on
-    /// first use automatically. It exists so servers can pay the preload
-    /// before the first frame arrives.
+    /// Calling this is optional for a single model (runs make their
+    /// artifacts resident on first use automatically); a multi-model
+    /// server pins each model before its first frame arrives.
     ///
     /// # Errors
     ///
-    /// Returns [`BusError`] if a weight segment does not fit in DRAM.
+    /// Returns [`BusError::ResidentOverlap`] when the model's DRAM
+    /// footprint `[dram_base, dram_used)` overlaps an already-resident
+    /// model's — compile the models at disjoint bases
+    /// (`rvnv_soc::batch::layout_models`) or [`unload`](Soc::unload_artifacts)
+    /// the other model first — and other [`BusError`]s if a weight
+    /// segment does not fit in DRAM.
     pub fn load_artifacts(&mut self, artifacts: &Artifacts) -> Result<(), BusError> {
-        self.reset();
+        self.sync_residency();
+        if self.find_resident(artifacts).is_some() {
+            return Ok(());
+        }
+        let span = (artifacts.dram_base, artifacts.dram_used);
+        if let Some(img) = self.resident.iter().find(|img| img.span_overlaps(span)) {
+            return Err(BusError::ResidentOverlap { image: img.id });
+        }
+        self.pin(artifacts)
+    }
+
+    /// Stream `artifacts`' weight segments and register them as a new
+    /// resident image. The caller has already ruled out span overlaps.
+    fn pin(&mut self, artifacts: &Artifacts) -> Result<(), BusError> {
         self.switch_dram_to(Side::ZynqPs);
+        let mut extents = RangeSet::new();
         for seg in artifacts.weights.segments() {
             self.dram_load(seg.addr, &seg.bytes)?;
+            extents.insert(seg.addr as usize, seg.addr as usize + seg.bytes.len());
         }
-        self.with_dram(Dram::mark_resident);
-        self.resident = Some(ResidentKey::of(artifacts));
+        let id = self.next_image_id;
+        self.next_image_id += 1;
+        self.with_dram(|d| d.add_resident(id, extents))?;
+        self.resident.push(ResidentImage {
+            key: ResidentKey::of(artifacts),
+            id,
+            span: (artifacts.dram_base, artifacts.dram_used),
+        });
         Ok(())
+    }
+
+    /// Evict `artifacts`' weight image, leaving other resident models
+    /// warm. The next run with these artifacts is cold. Unknown
+    /// artifacts are a no-op.
+    pub fn unload_artifacts(&mut self, artifacts: &Artifacts) {
+        if let Some(i) = self
+            .resident
+            .iter()
+            .position(|img| img.key.matches(artifacts))
+        {
+            let img = self.resident.remove(i);
+            self.with_dram(|d| d.remove_resident(img.id));
+        }
     }
 
     /// Whether `artifacts`' weight image is resident (the next run with
     /// them will be warm).
     #[must_use]
     pub fn is_resident(&self, artifacts: &Artifacts) -> bool {
-        self.resident.as_ref().is_some_and(|k| k.matches(artifacts))
+        self.find_resident(artifacts).is_some()
+    }
+
+    /// Number of weight images currently resident.
+    #[must_use]
+    pub fn resident_count(&self) -> usize {
+        self.resident.len()
     }
 
     /// Bring the SoC to the run-ready state for `artifacts`: a warm
     /// in-place reset when their weights are already resident, a cold
-    /// preload otherwise. Leaves the SmartConnect on the PS side, ready
+    /// preload otherwise. A cold preload evicts only the resident
+    /// images whose DRAM footprint overlaps this model's — disjoint
+    /// models stay warm. Leaves the SmartConnect on the PS side, ready
     /// for the input load.
     fn prepare(&mut self, artifacts: &Artifacts) -> Result<(), BusError> {
-        if self.is_resident(artifacts) {
-            // Warm path: the chain reset zeroes what the previous run
-            // wrote and keeps the resident weight extents.
-            self.nvdla.lock().reset();
-            if self.with_dram(|d| d.is_resident()) {
-                self.switch_dram_to(Side::ZynqPs);
-                return Ok(());
-            }
-            // The previous run overwrote a weight extent (the DRAM
-            // abandoned residency); fall through to a cold preload.
+        // Chain reset first, warm or cold: it zeroes the previous run's
+        // writes, detects clobbered images (dropping exactly those), and
+        // restores the fabric timing state.
+        self.nvdla.lock().reset();
+        self.sync_residency();
+        if self.find_resident(artifacts).is_some() {
+            self.switch_dram_to(Side::ZynqPs);
+            return Ok(());
         }
-        self.load_artifacts(artifacts)
+        // Cold: make room (evict footprint-overlapping models only),
+        // then stream this model's weights.
+        let span = (artifacts.dram_base, artifacts.dram_used);
+        let evicted: Vec<u64> = self
+            .resident
+            .iter()
+            .filter(|img| img.span_overlaps(span))
+            .map(|img| img.id)
+            .collect();
+        self.resident.retain(|img| !img.span_overlaps(span));
+        for id in evicted {
+            self.with_dram(|d| d.remove_resident(id));
+        }
+        self.pin(artifacts)
     }
 
     /// The configuration.
@@ -684,6 +789,113 @@ mod tests {
         let r = t.run_inference(&artifacts, &input).unwrap();
         assert!(r.timeline.is_empty(), "no timeline copy in sweep mode");
         assert!(r.nvdla.total_ops() > 0, "stats still collected");
+    }
+
+    #[test]
+    fn disjoint_models_stay_resident_side_by_side() {
+        let mut opt = CompileOptions::int8();
+        opt.calib_inputs = 1;
+        let a = compile(&zoo::lenet5(1), &opt).unwrap();
+        let base = a.dram_used.div_ceil(4096) * 4096;
+        let b = compile(&zoo::lenet5(2), &opt.clone().at_dram_base(base)).unwrap();
+
+        let mut soc = Soc::new(SocConfig::zcu102_timing_only());
+        soc.load_artifacts(&a).unwrap();
+        soc.load_artifacts(&b).unwrap();
+        assert_eq!(soc.resident_count(), 2);
+        let input = Tensor::random(zoo::lenet5(1).input_shape(), 3);
+        // Interleaved runs keep both images warm.
+        let ra = soc.run_inference(&a, &input).unwrap();
+        let rb = soc.run_inference(&b, &input).unwrap();
+        assert!(soc.is_resident(&a) && soc.is_resident(&b));
+        assert_eq!(soc.run_inference(&a, &input).unwrap().cycles, ra.cycles);
+        assert_eq!(soc.run_inference(&b, &input).unwrap().cycles, rb.cycles);
+        // Re-pinning a resident image is a no-op.
+        soc.load_artifacts(&a).unwrap();
+        assert_eq!(soc.resident_count(), 2);
+    }
+
+    #[test]
+    fn overlapping_footprints_rejected_by_load_but_evicted_by_run() {
+        let mut opt = CompileOptions::int8();
+        opt.calib_inputs = 1;
+        // Same base: the two compilations' footprints overlap.
+        let a = compile(&zoo::lenet5(1), &opt).unwrap();
+        let b = compile(&zoo::lenet5(2), &opt).unwrap();
+        let mut soc = Soc::new(SocConfig::zcu102_timing_only());
+        soc.load_artifacts(&a).unwrap();
+        let e = soc.load_artifacts(&b).unwrap_err();
+        assert!(matches!(e, BusError::ResidentOverlap { .. }), "{e}");
+        assert!(soc.is_resident(&a), "failed pin must not evict");
+        // A run with overlapping artifacts evicts instead (LRU-style).
+        let input = Tensor::random(zoo::lenet5(1).input_shape(), 3);
+        soc.run_inference(&b, &input).unwrap();
+        assert!(soc.is_resident(&b) && !soc.is_resident(&a));
+        assert_eq!(soc.resident_count(), 1);
+    }
+
+    #[test]
+    fn unload_artifacts_leaves_other_model_warm() {
+        let mut opt = CompileOptions::int8();
+        opt.calib_inputs = 1;
+        let a = compile(&zoo::lenet5(1), &opt).unwrap();
+        let base = a.dram_used.div_ceil(4096) * 4096;
+        let b = compile(&zoo::lenet5(2), &opt.clone().at_dram_base(base)).unwrap();
+        let mut soc = Soc::new(SocConfig::zcu102_nv_small());
+        soc.load_artifacts(&a).unwrap();
+        soc.load_artifacts(&b).unwrap();
+        let input = Tensor::random(zoo::lenet5(1).input_shape(), 8);
+        let rb = soc.run_inference(&b, &input).unwrap();
+        soc.unload_artifacts(&a);
+        assert!(!soc.is_resident(&a) && soc.is_resident(&b));
+        // b's numbers are unchanged by a's eviction.
+        let rb2 = soc.run_inference(&b, &input).unwrap();
+        assert_eq!(rb2.cycles, rb.cycles);
+        assert_eq!(rb2.raw_output, rb.raw_output);
+        soc.unload_artifacts(&a); // unknown: no-op
+        assert_eq!(soc.resident_count(), 1);
+    }
+
+    #[test]
+    fn unload_then_pin_at_same_base_stays_bit_identical() {
+        // Regression: after `unload_artifacts` the DRAM has no resident
+        // image, so the old model's input/activation bytes are no
+        // longer in the run tracker; pinning a new model at the same
+        // base and running must still replay a fresh SoC exactly (the
+        // reset zeroes by dirty extents, not by the run tracker).
+        let mut opt = CompileOptions::int8();
+        opt.calib_inputs = 1;
+        let a = compile(&zoo::lenet5(1), &opt).unwrap();
+        let b = compile(&zoo::lenet5(2), &opt).unwrap();
+        let input = Tensor::random(zoo::lenet5(1).input_shape(), 13);
+        let mut soc = Soc::new(SocConfig::zcu102_nv_small());
+        soc.run_inference(&a, &input).unwrap();
+        soc.unload_artifacts(&a);
+        soc.load_artifacts(&b).unwrap();
+        let warm = soc.run_inference(&b, &input).unwrap();
+        let mut fresh = Soc::new(SocConfig::zcu102_nv_small());
+        let truth = fresh.run_inference(&b, &input).unwrap();
+        assert_eq!(warm.cycles, truth.cycles);
+        assert_eq!(warm.raw_output, truth.raw_output);
+    }
+
+    #[test]
+    fn soc_reset_drops_every_resident_image() {
+        let mut opt = CompileOptions::int8();
+        opt.calib_inputs = 1;
+        let a = compile(&zoo::lenet5(1), &opt).unwrap();
+        let base = a.dram_used.div_ceil(4096) * 4096;
+        let b = compile(&zoo::lenet5(2), &opt.clone().at_dram_base(base)).unwrap();
+        let mut soc = Soc::new(SocConfig::zcu102_timing_only());
+        soc.load_artifacts(&a).unwrap();
+        soc.load_artifacts(&b).unwrap();
+        soc.reset();
+        assert_eq!(soc.resident_count(), 0);
+        assert!(!soc.is_resident(&a) && !soc.is_resident(&b));
+        // Cold rerun after the wipe still works.
+        let input = Tensor::random(zoo::lenet5(1).input_shape(), 3);
+        soc.run_inference(&a, &input).unwrap();
+        assert!(soc.is_resident(&a));
     }
 
     #[test]

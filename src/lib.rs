@@ -47,6 +47,9 @@ pub mod prelude {
     pub use rvnv_nn::zoo::Model;
     pub use rvnv_nn::{Shape, Tensor};
     pub use rvnv_nvdla::{HwConfig, Nvdla, Precision};
+    pub use rvnv_soc::batch::{
+        layout_models, run_parallel, BatchReport, BatchScheduler, Frame, Policy,
+    };
     pub use rvnv_soc::firmware::Firmware;
     pub use rvnv_soc::soc::{InferenceResult, Soc, SocConfig};
 }

@@ -5,10 +5,15 @@
 //! rv-nvdla compile <model> [--fp16] [--unfused] [--out DIR]
 //! rv-nvdla run     <model> [--fp16] [--unfused] [--wfi] [--timing-only] [--repeat N]
 //! rv-nvdla sweep   <model> [--fp16] [--unfused] [--clocks MHZ,..] [--threads N]
+//! rv-nvdla batch   --models A,B[,..] [--frames N] [--policy rr|sqf] [--threads N]
+//!                  [--functional] [--wfi] [--fp16] [--unfused]
 //! rv-nvdla traces
 //! rv-nvdla resources
 //! rv-nvdla models
 //! ```
+//!
+//! Unknown flags are rejected with the command's accepted flag list —
+//! a mistyped option can never be silently ignored.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -22,12 +27,13 @@ fn main() -> ExitCode {
         Some("compile") => cmd_compile(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
+        Some("batch") => cmd_batch(&args[1..]),
         Some("traces") => cmd_traces(),
         Some("resources") => cmd_resources(),
         Some("models") => cmd_models(),
         _ => {
             eprintln!(
-                "usage: rv-nvdla <compile|run|sweep|traces|resources|models> [options]\n\
+                "usage: rv-nvdla <compile|run|sweep|batch|traces|resources|models> [options]\n\
                  \n\
                  compile <model> [--fp16] [--unfused] [--out DIR]\n\
                  \tCompile a zoo model; write config file, weight .bin,\n\
@@ -39,6 +45,13 @@ fn main() -> ExitCode {
                  sweep <model> [--fp16] [--unfused] [--clocks 50,100,150,200] [--threads N]\n\
                  \tTiming-only system-clock sweep (wfi firmware) against\n\
                  \tthe 100 MHz MIG, fanned out across worker threads.\n\
+                 batch --models A,B[,..] [--frames N] [--policy rr|sqf] [--threads N]\n\
+                 \x20     [--functional] [--wfi] [--fp16] [--unfused]\n\
+                 \tKeep every listed model resident in DRAM at disjoint\n\
+                 \tbases and drain an interleaved frame queue across them\n\
+                 \ton one SoC per worker thread (timing-only + wfi unless\n\
+                 \t--functional). Reports per-model cycles, arbiter\n\
+                 \tcontention and end-to-end throughput.\n\
                  traces\n\
                  \tRun the standard NVDLA validation traces as firmware.\n\
                  resources\n\
@@ -77,7 +90,63 @@ fn find_model(name: &str) -> Result<Model, AnyError> {
 
 /// Flags that consume the following argument as their value (the model
 /// name scan must not mistake such a value for the model).
-const VALUE_FLAGS: [&str; 4] = ["--out", "--repeat", "--clocks", "--threads"];
+const VALUE_FLAGS: [&str; 7] = [
+    "--out",
+    "--repeat",
+    "--clocks",
+    "--threads",
+    "--models",
+    "--frames",
+    "--policy",
+];
+
+/// Strict argument validation: every `--flag` must be in the command's
+/// accepted set (`bools` or `values`, the latter consuming the next
+/// argument), and at most `max_positionals` bare arguments (the model
+/// name) may appear. A mistyped flag is an error naming the accepted
+/// flags, never a silent no-op.
+fn validate_args(
+    cmd: &str,
+    args: &[String],
+    bools: &[&str],
+    values: &[&str],
+    max_positionals: usize,
+) -> Result<(), AnyError> {
+    let mut positionals = 0usize;
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if a.starts_with('-') {
+            if values.contains(&a) {
+                i += 2; // the value is consumed by the flag
+                continue;
+            }
+            if !bools.contains(&a) {
+                let mut accepted: Vec<&str> = bools.iter().chain(values).copied().collect();
+                accepted.sort_unstable();
+                return Err(format!(
+                    "unknown flag `{a}` for `{cmd}` (accepted: {})",
+                    accepted.join(", ")
+                )
+                .into());
+            }
+        } else {
+            positionals += 1;
+            if positionals > max_positionals {
+                return Err(format!(
+                    "unexpected argument `{a}` for `{cmd}` ({} expected)",
+                    match max_positionals {
+                        0 => "no positional argument".to_string(),
+                        n => format!("at most {n}"),
+                    }
+                )
+                .into());
+            }
+        }
+        i += 1;
+    }
+    Ok(())
+}
 
 /// Find `--flag`'s value anywhere in `args`; `Ok(None)` when absent,
 /// an error when the flag dangles with no value.
@@ -131,6 +200,7 @@ fn parse_options(args: &[String]) -> Result<(Model, CompileOptions, bool, bool),
 }
 
 fn cmd_compile(args: &[String]) -> Result<(), AnyError> {
+    validate_args("compile", args, &["--fp16", "--unfused"], &["--out"], 1)?;
     let (model, opt, _, _) = parse_options(args)?;
     let out_dir = parse_value(args, "--out")?.map_or_else(|| PathBuf::from("."), PathBuf::from);
     std::fs::create_dir_all(&out_dir)?;
@@ -163,6 +233,13 @@ fn cmd_compile(args: &[String]) -> Result<(), AnyError> {
 }
 
 fn cmd_run(args: &[String]) -> Result<(), AnyError> {
+    validate_args(
+        "run",
+        args,
+        &["--fp16", "--unfused", "--wfi", "--timing-only"],
+        &["--repeat"],
+        1,
+    )?;
     let (model, opt, wfi, timing_only) = parse_options(args)?;
     let repeat = parse_number(args, "--repeat")?.unwrap_or(1).max(1);
     let net = model.build(1);
@@ -242,6 +319,13 @@ struct SweepRow {
 }
 
 fn cmd_sweep(args: &[String]) -> Result<(), AnyError> {
+    validate_args(
+        "sweep",
+        args,
+        &["--fp16", "--unfused"],
+        &["--clocks", "--threads"],
+        1,
+    )?;
     let (model, opt, _, _) = parse_options(args)?;
     let clocks: Vec<u64> = match parse_value(args, "--clocks")? {
         None => vec![50, 100, 150, 200],
@@ -320,6 +404,109 @@ fn cmd_sweep(args: &[String]) -> Result<(), AnyError> {
             1000.0 / r.ms
         );
     }
+    Ok(())
+}
+
+fn cmd_batch(args: &[String]) -> Result<(), AnyError> {
+    validate_args(
+        "batch",
+        args,
+        &["--fp16", "--unfused", "--wfi", "--functional"],
+        &["--models", "--frames", "--policy", "--threads"],
+        0,
+    )?;
+    let model_list = parse_value(args, "--models")?
+        .ok_or("batch needs --models A,B[,..] (try `rv-nvdla models`)")?;
+    let models: Vec<Model> = model_list
+        .split(',')
+        .map(|name| find_model(name.trim()))
+        .collect::<Result<_, _>>()?;
+    if models.is_empty() {
+        return Err("--models list must not be empty".into());
+    }
+    let frames = parse_number(args, "--frames")?.unwrap_or(16).max(1) as usize;
+    let policy: Policy = parse_value(args, "--policy")?.unwrap_or("rr").parse()?;
+    let threads = parse_number(args, "--threads")?
+        .map_or_else(
+            || std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            |n| n as usize,
+        )
+        .clamp(1, frames);
+    let functional = args.iter().any(|a| a == "--functional");
+    let fp16 = args.iter().any(|a| a == "--fp16");
+    let mut opt = if fp16 {
+        CompileOptions::fp16()
+    } else {
+        let mut o = CompileOptions::int8();
+        o.calib_inputs = 1;
+        o
+    };
+    if args.iter().any(|a| a == "--unfused") {
+        opt = opt.unfused();
+    }
+    // The server flow is timing throughput; wfi firmware is its wait
+    // mode (as in `sweep`). `--functional` computes real outputs with
+    // the poll firmware `run` uses, unless `--wfi` asks otherwise.
+    let wfi = args.iter().any(|a| a == "--wfi") || !functional;
+    let mut config = if functional {
+        SocConfig::zcu102_nv_small()
+    } else {
+        SocConfig::zcu102_timing_only()
+    };
+    config.hw = opt.hw.clone();
+    let codegen = CodegenOptions {
+        wait_mode: if wfi { WaitMode::Wfi } else { WaitMode::Poll },
+        ..CodegenOptions::default()
+    };
+
+    // Lay the models out at disjoint DRAM bases and build the frame
+    // stream: frame i exercises model i % N with its own random input.
+    let nets: Vec<_> = models.iter().map(|m| m.build(1)).collect();
+    let cache = ArtifactCache::new();
+    let artifacts = layout_models(&cache, &nets, &opt)?;
+    let frame_stream: Vec<Frame> = (0..frames)
+        .map(|i| {
+            let m = i % models.len();
+            let input = Tensor::random(nets[m].input_shape(), 1000 + i as u64);
+            Frame {
+                model: m,
+                bytes: artifacts[m].quantize_input(&input),
+            }
+        })
+        .collect();
+
+    let start = Instant::now();
+    let report = run_parallel(&config, policy, &artifacts, codegen, &frame_stream, threads)?;
+    let host_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    println!(
+        "batch: {} models resident, {} frames, policy {}, {} worker SoC(s):",
+        artifacts.len(),
+        report.total_frames(),
+        policy.name(),
+        threads,
+    );
+    println!("  model       frames  cycles/frame   latency     arbiter wait");
+    for (name, stats) in &report.per_model {
+        println!(
+            "  {:10} {:>6}  {:>12}  {:>7.2} ms  {:>12}",
+            name,
+            stats.frames,
+            stats.cycles_per_frame(),
+            config.cycles_to_ms(stats.cycles_per_frame()),
+            stats.arbiter_wait,
+        );
+    }
+    println!(
+        "  total: {} cycles | modeled {:.1} frames/s @{} MHz | host {:.0} ms ({:.1} frames/s)",
+        report.total_cycles(),
+        report.modeled_fps(config.soc_hz),
+        config.soc_hz / 1_000_000,
+        host_ms,
+        // Both host numbers from the same interval (end to end,
+        // including per-worker setup), so the pair is self-consistent.
+        report.total_frames() as f64 / (host_ms / 1e3).max(1e-9),
+    );
     Ok(())
 }
 

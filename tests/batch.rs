@@ -1,0 +1,274 @@
+//! Multi-model residency oracles: N models resident on one SoC, driven
+//! by the batch scheduler, must be **bit-identical** — cycle counts,
+//! output bytes, statistics — to the same models run cold on freshly
+//! built SoCs, in both functional and timing-only modes. Plus the
+//! residency edge cases: overlapping layouts are rejected, clobbering
+//! one image leaves the others warm, and `Soc::reset()` drops all.
+
+use std::sync::Arc;
+
+use rv_nvdla::prelude::*;
+use rvnv_soc::batch;
+
+fn quick_int8() -> CompileOptions {
+    let mut opt = CompileOptions::int8();
+    opt.calib_inputs = 1;
+    opt
+}
+
+/// Two distinct LeNet-5 compilations (different seeds → different
+/// weights) laid out at disjoint DRAM bases.
+fn two_models(opt: &CompileOptions) -> Vec<Arc<Artifacts>> {
+    let cache = ArtifactCache::new();
+    let nets = [Model::LeNet5.build(1), Model::LeNet5.build(2)];
+    let artifacts = batch::layout_models(&cache, &nets, opt).expect("layout");
+    assert!(
+        artifacts[0].dram_used <= artifacts[1].dram_base,
+        "layout_models must separate the footprints"
+    );
+    artifacts
+}
+
+/// Drain an interleaved frame queue through the scheduler and check
+/// every frame against a cold run of the same bytes on a fresh SoC.
+fn assert_batch_matches_cold(config: &SocConfig, codegen: CodegenOptions, policy: Policy) {
+    let artifacts = two_models(&quick_int8());
+    let shape = Model::LeNet5.build(1).input_shape();
+
+    let mut sched = BatchScheduler::new(config.clone(), policy);
+    for a in &artifacts {
+        sched.add_model(a.clone(), codegen).expect("pin model");
+    }
+    assert_eq!(sched.soc().resident_count(), 2);
+    // 3 frames per model, interleaved enqueue order.
+    let frames: Vec<(usize, Vec<u8>)> = (0..6)
+        .map(|i| {
+            let m = i % 2;
+            let input = Tensor::random(shape, 500 + i as u64);
+            (m, artifacts[m].quantize_input(&input))
+        })
+        .collect();
+    for (m, bytes) in &frames {
+        sched.enqueue_bytes(*m, bytes.clone()).expect("enqueue");
+    }
+    assert_eq!(sched.pending(), 6);
+
+    // Collect per-frame warm results in service order.
+    let mut served: Vec<(usize, u64, Vec<u8>, u64)> = Vec::new();
+    let report = sched
+        .run_with(|m, r| served.push((m, r.cycles, r.raw_output.clone(), r.cpu_arbiter_wait)))
+        .expect("drain");
+    assert_eq!(served.len(), 6);
+    assert_eq!(report.total_frames(), 6);
+    assert_eq!(sched.pending(), 0);
+
+    // Cold oracle: same frame bytes on a fresh single-model SoC.
+    let mut next_per_model = [0usize; 2];
+    let fws: Vec<Firmware> = artifacts
+        .iter()
+        .map(|a| Firmware::build_with(a, codegen).expect("fw"))
+        .collect();
+    for (m, cycles, raw, wait) in &served {
+        // The scheduler serves each model's frames in FIFO order; find
+        // this served frame's bytes from the enqueue stream.
+        let idx = frames
+            .iter()
+            .enumerate()
+            .filter(|(_, (fm, _))| fm == m)
+            .map(|(i, _)| i)
+            .nth(next_per_model[*m])
+            .expect("frame exists");
+        next_per_model[*m] += 1;
+        let mut cold = Soc::new(config.clone());
+        let c = cold
+            .run_firmware(&artifacts[*m], &frames[idx].1, &fws[*m])
+            .expect("cold run");
+        assert_eq!(*cycles, c.cycles, "warm batch cycles == cold cycles");
+        assert_eq!(*raw, c.raw_output, "warm batch output == cold output");
+        assert_eq!(*wait, c.cpu_arbiter_wait, "arbiter stats identical");
+    }
+    // Per-model totals line up with the per-frame sums.
+    for m in 0..2 {
+        let total: u64 = served
+            .iter()
+            .filter(|(fm, ..)| *fm == m)
+            .map(|(_, c, ..)| c)
+            .sum();
+        assert_eq!(report.per_model[m].1.cycles, total);
+        assert_eq!(report.per_model[m].1.frames, 3);
+    }
+}
+
+#[test]
+fn batch_matches_cold_functional() {
+    assert_batch_matches_cold(
+        &SocConfig::zcu102_nv_small(),
+        CodegenOptions::default(),
+        Policy::RoundRobin,
+    );
+}
+
+#[test]
+fn batch_matches_cold_timing_only() {
+    let codegen = CodegenOptions {
+        wait_mode: WaitMode::Wfi,
+        ..CodegenOptions::default()
+    };
+    assert_batch_matches_cold(
+        &SocConfig::zcu102_timing_only(),
+        codegen,
+        Policy::RoundRobin,
+    );
+}
+
+#[test]
+fn policies_agree_on_totals_but_order_differently() {
+    let artifacts = two_models(&quick_int8());
+    let shape = Model::LeNet5.build(1).input_shape();
+    let config = SocConfig::zcu102_timing_only();
+    let codegen = CodegenOptions {
+        wait_mode: WaitMode::Wfi,
+        ..CodegenOptions::default()
+    };
+
+    let drain = |policy: Policy, frames_a: usize, frames_b: usize| {
+        let mut sched = BatchScheduler::new(config.clone(), policy);
+        for a in &artifacts {
+            sched.add_model(a.clone(), codegen).expect("pin");
+        }
+        for i in 0..frames_a {
+            let input = Tensor::random(shape, 10 + i as u64);
+            sched.enqueue(0, &input).expect("enqueue a");
+        }
+        for i in 0..frames_b {
+            let input = Tensor::random(shape, 20 + i as u64);
+            sched.enqueue(1, &input).expect("enqueue b");
+        }
+        let mut order = Vec::new();
+        let report = sched.run_with(|m, _| order.push(m)).expect("drain");
+        (order, report)
+    };
+
+    // Uneven queues: model 0 has 4 frames, model 1 has 1.
+    let (rr_order, rr) = drain(Policy::RoundRobin, 4, 1);
+    let (sqf_order, sqf) = drain(Policy::ShortestQueueFirst, 4, 1);
+    assert_eq!(rr_order, vec![0, 1, 0, 0, 0], "rr rotates while both pend");
+    assert_eq!(sqf_order, vec![1, 0, 0, 0, 0], "sqf drains the straggler");
+    // Modeled cycles are policy-independent: every frame is a full
+    // in-place reset, so only the service order may differ.
+    assert_eq!(rr.total_cycles(), sqf.total_cycles());
+    assert_eq!(rr.per_model[0].1.cycles, sqf.per_model[0].1.cycles);
+}
+
+#[test]
+fn parallel_fan_out_matches_single_worker() {
+    let artifacts = two_models(&quick_int8());
+    let shape = Model::LeNet5.build(1).input_shape();
+    let config = SocConfig::zcu102_timing_only();
+    let codegen = CodegenOptions {
+        wait_mode: WaitMode::Wfi,
+        ..CodegenOptions::default()
+    };
+    let frames: Vec<Frame> = (0..8)
+        .map(|i| {
+            let m = i % 2;
+            let input = Tensor::random(shape, 700 + i as u64);
+            Frame {
+                model: m,
+                bytes: artifacts[m].quantize_input(&input),
+            }
+        })
+        .collect();
+    let one = run_parallel(&config, Policy::RoundRobin, &artifacts, codegen, &frames, 1)
+        .expect("1 worker");
+    let four = run_parallel(&config, Policy::RoundRobin, &artifacts, codegen, &frames, 4)
+        .expect("4 workers");
+    assert_eq!(one.total_frames(), four.total_frames());
+    assert_eq!(one.total_cycles(), four.total_cycles());
+    for m in 0..2 {
+        assert_eq!(one.per_model[m].1, four.per_model[m].1);
+    }
+}
+
+#[test]
+fn overlapping_layouts_are_rejected() {
+    // Compiled at the same base, the two footprints overlap; a strict
+    // pin must refuse (and leave the resident image untouched).
+    let opt = quick_int8();
+    let a = compile(&Model::LeNet5.build(1), &opt).expect("a");
+    let b = compile(&Model::LeNet5.build(2), &opt).expect("b");
+    let mut sched = BatchScheduler::new(SocConfig::zcu102_timing_only(), Policy::RoundRobin);
+    sched
+        .add_model(Arc::new(a.clone()), CodegenOptions::default())
+        .expect("first pin");
+    let err = sched
+        .add_model(Arc::new(b), CodegenOptions::default())
+        .expect_err("overlap must be rejected");
+    assert!(
+        err.to_string().contains("overlap"),
+        "helpful error, got: {err}"
+    );
+    assert!(sched.soc().is_resident(&a), "first image survives");
+}
+
+#[test]
+fn clobbering_one_image_leaves_the_others_warm() {
+    let artifacts = two_models(&quick_int8());
+    let shape = Model::LeNet5.build(1).input_shape();
+    let input = Tensor::random(shape, 77);
+    let mut soc = Soc::new(SocConfig::zcu102_timing_only());
+    soc.load_artifacts(&artifacts[0]).expect("pin 0");
+    soc.load_artifacts(&artifacts[1]).expect("pin 1");
+    let r1 = soc.run_inference(&artifacts[1], &input).expect("warm 1");
+
+    // Trample model 0's first weight segment through the backdoor — as
+    // a buggy run would — and reset via the next run's prepare.
+    let seg = &artifacts[0].weights.segments()[0];
+    let garbage = vec![0xAB; seg.bytes.len()];
+    soc.dram_load(seg.addr, &garbage).expect("clobber");
+    let r1b = soc
+        .run_inference(&artifacts[1], &input)
+        .expect("still warm");
+    assert!(
+        !soc.is_resident(&artifacts[0]),
+        "clobbered image must be dropped"
+    );
+    assert!(soc.is_resident(&artifacts[1]), "other image stays warm");
+    assert_eq!(r1b.cycles, r1.cycles);
+    assert_eq!(r1b.raw_output, r1.raw_output);
+
+    // Model 0 reloads cold and is correct again.
+    let mut fresh = Soc::new(SocConfig::zcu102_timing_only());
+    let truth = fresh.run_inference(&artifacts[0], &input).expect("truth");
+    let again = soc.run_inference(&artifacts[0], &input).expect("reload");
+    assert_eq!(again.cycles, truth.cycles);
+    assert_eq!(again.raw_output, truth.raw_output);
+}
+
+#[test]
+fn soc_reset_drops_all_images() {
+    let artifacts = two_models(&quick_int8());
+    let mut soc = Soc::new(SocConfig::zcu102_timing_only());
+    soc.load_artifacts(&artifacts[0]).expect("pin 0");
+    soc.load_artifacts(&artifacts[1]).expect("pin 1");
+    assert_eq!(soc.resident_count(), 2);
+    soc.reset();
+    assert_eq!(soc.resident_count(), 0);
+    for a in &artifacts {
+        assert!(!soc.is_resident(a));
+    }
+}
+
+#[test]
+fn scheduler_rejects_unknown_model_indices() {
+    let artifacts = two_models(&quick_int8());
+    let mut sched = BatchScheduler::new(SocConfig::zcu102_timing_only(), Policy::RoundRobin);
+    sched
+        .add_model(artifacts[0].clone(), CodegenOptions::default())
+        .expect("pin");
+    let shape = Model::LeNet5.build(1).input_shape();
+    let err = sched
+        .enqueue(5, &Tensor::random(shape, 1))
+        .expect_err("index out of range");
+    assert!(err.to_string().contains("out of range"), "got: {err}");
+}

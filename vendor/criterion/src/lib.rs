@@ -14,6 +14,12 @@
 //!   benchmark body runs exactly once so the target is exercised and
 //!   fails loudly if it panics, without burning CI time.
 //!
+//! Either mode also drops a machine-readable one-line JSON summary per
+//! benchmark under `target/criterion/` (upstream criterion's report
+//! directory; override with `CRITERION_OUTPUT_DIR`), so CI can archive
+//! the perf trajectory of every push as a build artifact. Write
+//! failures are ignored — a read-only checkout must not fail a bench.
+//!
 //! No plots, no reports, no statistics beyond the three numbers.
 
 use std::time::{Duration, Instant};
@@ -99,6 +105,9 @@ impl Criterion {
                 elapsed: Duration::ZERO,
             };
             routine(&mut b);
+            if !cfg!(test) {
+                write_summary(id, &test_summary_json(id, b.elapsed.as_secs_f64()));
+            }
             println!("test-mode {id}: ok");
             return;
         }
@@ -125,6 +134,12 @@ impl Criterion {
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = samples.iter().cloned().fold(0.0f64, f64::max);
+        if !cfg!(test) {
+            write_summary(
+                id,
+                &bench_summary_json(id, mean, min, max, sample_size, iters),
+            );
+        }
         println!(
             "{id:40} mean {:>12} min {:>12} max {:>12} ({sample_size} samples x {iters} iters)",
             fmt_time(mean),
@@ -132,6 +147,64 @@ impl Criterion {
             fmt_time(max),
         );
     }
+}
+
+/// One-line JSON for a timed (bench-mode) run.
+fn bench_summary_json(
+    id: &str,
+    mean_s: f64,
+    min_s: f64,
+    max_s: f64,
+    samples: usize,
+    iters: u64,
+) -> String {
+    format!(
+        "{{\"id\":\"{id}\",\"mode\":\"bench\",\"mean_s\":{mean_s:e},\
+         \"min_s\":{min_s:e},\"max_s\":{max_s:e},\
+         \"samples\":{samples},\"iters_per_sample\":{iters}}}"
+    )
+}
+
+/// One-line JSON for a test-mode run (one iteration; the time is a
+/// smoke number, not a statistic).
+fn test_summary_json(id: &str, once_s: f64) -> String {
+    format!("{{\"id\":\"{id}\",\"mode\":\"test\",\"once_s\":{once_s:e}}}")
+}
+
+/// File stem for a benchmark id (`group/name` → `group_name`).
+fn summary_file_stem(id: &str) -> String {
+    id.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// The summary directory: `CRITERION_OUTPUT_DIR` when set, else
+/// `criterion/` inside the build's target directory (found by walking
+/// up from the bench executable — cargo runs bench binaries with the
+/// *package* directory as cwd, so a relative path would scatter
+/// summaries across workspace members).
+fn output_dir() -> std::path::PathBuf {
+    if let Ok(dir) = std::env::var("CRITERION_OUTPUT_DIR") {
+        return dir.into();
+    }
+    if let Ok(exe) = std::env::current_exe() {
+        if let Some(target) = exe
+            .ancestors()
+            .find(|p| p.file_name().is_some_and(|n| n == "target"))
+        {
+            return target.join("criterion");
+        }
+    }
+    std::path::PathBuf::from("target/criterion")
+}
+
+/// Persist a summary, best-effort: benches must not fail on a
+/// read-only checkout.
+fn write_summary(id: &str, json: &str) {
+    let dir = output_dir();
+    let path = dir.join(format!("{}.json", summary_file_stem(id)));
+    let _ = std::fs::create_dir_all(&dir);
+    let _ = std::fs::write(path, format!("{json}\n"));
 }
 
 fn fmt_time(secs: f64) -> String {
@@ -223,6 +296,19 @@ mod tests {
         assert_eq!(calls, 0);
         c.bench_function("does_match_me", |b| b.iter(|| calls += 1));
         assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn summary_json_is_well_formed() {
+        let j = bench_summary_json("g/warm", 1.5e-3, 1.0e-3, 2.0e-3, 10, 33);
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"id\":\"g/warm\""));
+        assert!(j.contains("\"mode\":\"bench\""));
+        assert!(j.contains("\"samples\":10"));
+        assert!(j.contains("\"iters_per_sample\":33"));
+        let t = test_summary_json("g/warm", 2.5e-4);
+        assert!(t.contains("\"mode\":\"test\"") && t.contains("once_s"));
+        assert_eq!(summary_file_stem("g/warm-2"), "g_warm_2");
     }
 
     #[test]
