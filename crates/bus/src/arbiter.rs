@@ -83,6 +83,45 @@ impl<T: Target> Arbiter<T> {
         self.busy_until = self.busy_until.max(done);
         self.stats.entry(master).or_default().bytes += bytes as u64;
     }
+
+    /// [`Target::read_block`] with an explicit requesting master, for
+    /// ports the blanket DBB attribution does not fit — the Zynq PS
+    /// streaming a pipelined input preload while the SoC computes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the downstream device's [`BusError`].
+    pub fn read_block_as(
+        &mut self,
+        master: MasterId,
+        addr: u32,
+        buf: &mut [u8],
+        now: Cycle,
+    ) -> Result<Cycle, BusError> {
+        let start = self.grant(master, now);
+        let done = self.downstream.read_block(addr, buf, start)?;
+        self.release(master, done, buf.len());
+        Ok(done)
+    }
+
+    /// [`Target::write_block`] with an explicit requesting master. See
+    /// [`Arbiter::read_block_as`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the downstream device's [`BusError`].
+    pub fn write_block_as(
+        &mut self,
+        master: MasterId,
+        addr: u32,
+        buf: &[u8],
+        now: Cycle,
+    ) -> Result<Cycle, BusError> {
+        let start = self.grant(master, now);
+        let done = self.downstream.write_block(addr, buf, start)?;
+        self.release(master, done, buf.len());
+        Ok(done)
+    }
 }
 
 impl<T: Reset> Reset for Arbiter<T> {
@@ -105,19 +144,15 @@ impl<T: Target> Target for Arbiter<T> {
     }
 
     fn read_block(&mut self, addr: u32, buf: &mut [u8], now: Cycle) -> Result<Cycle, BusError> {
-        // Block reads are attributed to the DBB: only NVDLA issues bursts
-        // in this SoC, and the Target block API carries no master id.
-        let start = self.grant(MasterId::NvdlaDbb, now);
-        let done = self.downstream.read_block(addr, buf, start)?;
-        self.release(MasterId::NvdlaDbb, done, buf.len());
-        Ok(done)
+        // Block transfers on the trait API are attributed to the DBB:
+        // only NVDLA issues them in this SoC, and the Target block API
+        // carries no master id. Other ports (the Zynq PS preload) use
+        // [`Arbiter::read_block_as`] / [`Arbiter::write_block_as`].
+        self.read_block_as(MasterId::NvdlaDbb, addr, buf, now)
     }
 
     fn write_block(&mut self, addr: u32, buf: &[u8], now: Cycle) -> Result<Cycle, BusError> {
-        let start = self.grant(MasterId::NvdlaDbb, now);
-        let done = self.downstream.write_block(addr, buf, start)?;
-        self.release(MasterId::NvdlaDbb, done, buf.len());
-        Ok(done)
+        self.write_block_as(MasterId::NvdlaDbb, addr, buf, now)
     }
 }
 
@@ -194,6 +229,25 @@ mod tests {
         assert_eq!(a.done_at, b.done_at, "reset chain replays fresh timing");
         assert_eq!(a.data, b.data, "written data zeroed");
         assert_eq!(used.port_stats(MasterId::Cpu).grants, 1);
+    }
+
+    #[test]
+    fn ps_burst_contends_with_dbb_and_is_attributed() {
+        let mut a = Arbiter::new(Dram::new(64 << 10, Default::default()));
+        // PS streams the next frame's input first (pipelined preload)...
+        let ps_done = a
+            .write_block_as(MasterId::ZynqPs, 0x2000, &[1u8; 1024], 0)
+            .unwrap();
+        // ...so NVDLA's DMA issued mid-preload waits for it plus the
+        // ownership turnaround.
+        let mut buf = [0u8; 64];
+        let dma_done = a.read_block(0, &mut buf, 10).unwrap();
+        assert!(dma_done > ps_done);
+        let ps = a.port_stats(MasterId::ZynqPs);
+        assert_eq!(ps.grants, 1);
+        assert_eq!(ps.bytes, 1024);
+        assert_eq!(ps.wait_cycles, 0, "preload issued on a quiet bus");
+        assert!(a.port_stats(MasterId::NvdlaDbb).wait_cycles > 0);
     }
 
     #[test]

@@ -62,6 +62,12 @@ impl<T: Target> ClockCrossing<T> {
         self.crossings
     }
 
+    /// Synchronizer stages per crossing direction, in slave cycles.
+    #[must_use]
+    pub fn sync_cycles(&self) -> Cycle {
+        self.sync_cycles
+    }
+
     /// Access the wrapped downstream target directly (backdoor).
     pub fn downstream_mut(&mut self) -> &mut T {
         &mut self.downstream

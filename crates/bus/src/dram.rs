@@ -162,6 +162,41 @@ impl DramTiming {
             bytes_per_beat: 4,
         }
     }
+
+    /// Memory-clock cycles a burst of `len` bytes at `addr` takes on an
+    /// **uncontended** device: controller + CAS overhead, row activates
+    /// (tracked against the caller-held `open_row` register, so a chunk
+    /// sequence models row hits across chunks exactly like the device),
+    /// then one data beat per cycle.
+    ///
+    /// This is the same arithmetic [`Dram`] charges when nothing else is
+    /// queued — a pure function the pipelined frame scheduler uses to
+    /// account an input preload without touching device state
+    /// (`dram_quiet_burst_matches_model` pins the equivalence).
+    #[must_use]
+    pub fn burst_cycles_tracked(&self, open_row: &mut Option<u32>, addr: u32, len: usize) -> Cycle {
+        let mut cycles = self.controller + self.cas;
+        let first = addr / self.row_bytes;
+        let last = (addr + len.max(1) as u32 - 1) / self.row_bytes;
+        for row in first..=last {
+            if *open_row != Some(row) {
+                cycles += if open_row.is_some() {
+                    self.rp + self.rcd
+                } else {
+                    self.rcd
+                };
+                *open_row = Some(row);
+            }
+        }
+        cycles + (len as u64).div_ceil(u64::from(self.bytes_per_beat))
+    }
+
+    /// [`DramTiming::burst_cycles_tracked`] from the post-reset state
+    /// (no open row).
+    #[must_use]
+    pub fn burst_cycles(&self, addr: u32, len: usize) -> Cycle {
+        self.burst_cycles_tracked(&mut None, addr, len)
+    }
 }
 
 impl Default for DramTiming {
@@ -207,6 +242,10 @@ pub struct Dram {
     /// Extents written since residency went active (tracked only while
     /// at least one image is resident).
     run_writes: RangeSet,
+    /// One-shot scoped-reset extents ([`Dram::preserve_across_reset`]):
+    /// the next [`Reset::reset`] keeps these bytes (and their dirty
+    /// marks) instead of zeroing them, then clears the set.
+    preserve: RangeSet,
 }
 
 impl Dram {
@@ -222,7 +261,14 @@ impl Dram {
             dirty: RangeSet::new(),
             resident: Vec::new(),
             run_writes: RangeSet::new(),
+            preserve: RangeSet::new(),
         }
+    }
+
+    /// The device's timing parameters.
+    #[must_use]
+    pub fn timing(&self) -> DramTiming {
+        self.timing
     }
 
     /// 512 MB DDR4 with MIG timing — the paper's configuration.
@@ -327,6 +373,25 @@ impl Dram {
     pub fn clear_resident(&mut self) {
         self.resident.clear();
         self.run_writes.clear();
+    }
+
+    /// Scope the **next** [`Reset::reset`]: extents in `keep` survive it
+    /// with their bytes and dirty marks intact, without being registered
+    /// as resident images. One-shot — the reset consumes the set.
+    ///
+    /// This is the pipelined-frame primitive: frame N+1's input, streamed
+    /// into its double-buffer slot while frame N computed, must outlive
+    /// the inter-frame reset that zeroes frame N's input/activation/
+    /// output extents. Unlike a resident image, a preserved extent has no
+    /// identity and no clobber detection — it is whatever the last writer
+    /// left there, protected exactly once.
+    ///
+    /// Preservation only shields bytes from the reset's zeroing; writes
+    /// into *resident* images are still detected as clobbers by their own
+    /// tracking, so preserving an extent can never resurrect a trampled
+    /// weight image.
+    pub fn preserve_across_reset(&mut self, keep: RangeSet) {
+        self.preserve = keep;
     }
 
     /// Whether any resident image is active.
@@ -461,10 +526,18 @@ impl Reset for Dram {
     /// zeroed, while untouched images stay warm. Only the extents
     /// actually written are zeroed, so resetting a 512 MB device after a
     /// small-model inference costs microseconds, not a reallocation.
+    ///
+    /// A set armed with [`Dram::preserve_across_reset`] additionally
+    /// survives this one reset (bytes and dirty marks), scoping the
+    /// zeroing to everything *else* the run wrote — the input/activation
+    /// clearing of a pipelined frame boundary.
     fn reset(&mut self) {
+        let keep = std::mem::take(&mut self.preserve);
         if self.resident.is_empty() {
-            Self::zero_ranges(&mut self.data, &self.dirty);
-            self.dirty.clear();
+            let mut to_zero = std::mem::take(&mut self.dirty);
+            to_zero.subtract(&keep);
+            Self::zero_ranges(&mut self.data, &to_zero);
+            self.dirty = keep;
         } else {
             // Drop every image the run clobbered, then zero **all**
             // written bytes except the surviving images' extents. Keying
@@ -482,10 +555,12 @@ impl Reset for Dram {
             for (_, extents) in &survivors {
                 to_zero.subtract(extents);
             }
+            to_zero.subtract(&keep);
             Self::zero_ranges(&mut self.data, &to_zero);
             for (_, extents) in &survivors {
                 self.dirty.union_with(extents);
             }
+            self.dirty.union_with(&keep);
             self.resident = survivors;
         }
         self.run_writes.clear();
@@ -889,6 +964,73 @@ mod tests {
         assert!(!d.is_resident(), "clobbered weights cannot stay resident");
         assert!(d.peek(0x100, 4).iter().all(|&b| b == 0));
         assert_eq!(d.dirty_bytes(), 0);
+    }
+
+    #[test]
+    fn preserve_across_reset_is_scoped_and_one_shot() {
+        let mut d = small();
+        d.load(0x100, &[9, 8, 7, 6]).unwrap(); // weights
+        d.add_resident(1, extents(&[(0x100, 0x104)])).unwrap();
+        d.load(0x2000, &[1; 8]).unwrap(); // staged next input
+        d.load(0x3000, &[2; 8]).unwrap(); // this frame's activations
+        d.preserve_across_reset(extents(&[(0x2000, 0x2008)]));
+        d.reset();
+        assert_eq!(d.peek(0x100, 4), &[9, 8, 7, 6], "weights warm");
+        assert_eq!(d.peek(0x2000, 8), &[1; 8], "staged input survives");
+        assert!(d.peek(0x3000, 8).iter().all(|&b| b == 0), "scratch zeroed");
+        assert_eq!(d.dirty_bytes(), 4 + 8, "image + preserved stay dirty");
+        // One-shot: the next reset zeroes the previously preserved slot.
+        d.reset();
+        assert!(d.peek(0x2000, 8).iter().all(|&b| b == 0));
+        assert_eq!(d.peek(0x100, 4), &[9, 8, 7, 6]);
+    }
+
+    #[test]
+    fn preserve_without_residency_also_scopes_the_zeroing() {
+        let mut d = small();
+        d.load(0x400, &[5; 4]).unwrap();
+        d.load(0x800, &[6; 4]).unwrap();
+        d.preserve_across_reset(extents(&[(0x400, 0x404)]));
+        d.reset();
+        assert_eq!(d.peek(0x400, 4), &[5; 4]);
+        assert!(d.peek(0x800, 4).iter().all(|&b| b == 0));
+        assert_eq!(d.dirty_bytes(), 4);
+    }
+
+    #[test]
+    fn preserve_cannot_resurrect_a_clobbered_image() {
+        let mut d = small();
+        d.load(0x100, &[1; 4]).unwrap();
+        d.add_resident(1, extents(&[(0x100, 0x104)])).unwrap();
+        // The run tramples the image; preserving an unrelated extent
+        // must not stop the clobber detection from dropping it.
+        d.access(&Request::write32(0x100, 0xDEAD_BEEF), 0).unwrap();
+        d.load(0x2000, &[7; 4]).unwrap();
+        d.preserve_across_reset(extents(&[(0x2000, 0x2004)]));
+        d.reset();
+        assert!(!d.is_image_resident(1), "clobbered image still dropped");
+        assert!(d.peek(0x100, 4).iter().all(|&b| b == 0));
+        assert_eq!(d.peek(0x2000, 4), &[7; 4]);
+    }
+
+    #[test]
+    fn dram_quiet_burst_matches_model() {
+        // DramTiming::burst_cycles must equal what the device charges
+        // for the same burst as its first post-reset transaction.
+        let t = DramTiming::mig_ddr4();
+        for (addr, len) in [
+            (0u32, 64usize),
+            (0x100, 784),
+            (1024, 3072),
+            (2040, 16),   // straddles a row boundary
+            (4096, 4096), // several rows
+            (0, 0),
+        ] {
+            let mut d = small();
+            let buf = vec![0xA5; len];
+            let done = d.write_block(addr, &buf, 0).unwrap();
+            assert_eq!(done, t.burst_cycles(addr, len), "addr {addr:#x} len {len}");
+        }
     }
 
     #[test]

@@ -33,6 +33,13 @@ pub struct SmartConnect<T> {
     owner: Side,
     switches: u64,
     rejected: u64,
+    /// Dual-port (pipelined) configuration: when set, the Zynq PS may
+    /// stream preload bursts while the SoC side owns the mux. Like the
+    /// clock configuration this survives [`Reset::reset`] — it models a
+    /// synthesis-time crossbar topology, not run state.
+    pipelined: bool,
+    /// PS-side preload bursts admitted while the SoC owned the mux.
+    ps_bursts: u64,
 }
 
 impl<T: Target> SmartConnect<T> {
@@ -47,6 +54,8 @@ impl<T: Target> SmartConnect<T> {
             owner: Side::ZynqPs,
             switches: 0,
             rejected: 0,
+            pipelined: false,
+            ps_bursts: 0,
         }
     }
 
@@ -72,6 +81,59 @@ impl<T: Target> SmartConnect<T> {
     /// Number of rejected (wrong-side) transactions.
     pub fn rejected(&self) -> u64 {
         self.rejected
+    }
+
+    /// Configure the dual-port (pipelined) topology: with `on`, the
+    /// Zynq PS may stream preload bursts ([`SmartConnect::admit_ps_burst`])
+    /// while the SoC side owns the mux — the AXI SmartConnect is a
+    /// crossbar in hardware, and the strict mux is merely how the paper's
+    /// harness drives it. Contention with the SoC's traffic is then
+    /// resolved downstream on the shared device timeline, which is
+    /// exactly what makes an overlapped preload cost real cycles.
+    ///
+    /// Configuration, not state: survives [`Reset::reset`].
+    pub fn set_pipelined(&mut self, on: bool) {
+        self.pipelined = on;
+    }
+
+    /// Whether the dual-port (pipelined) topology is configured.
+    pub fn pipelined(&self) -> bool {
+        self.pipelined
+    }
+
+    /// PS-side preload bursts admitted while the SoC owned the mux.
+    pub fn ps_bursts(&self) -> u64 {
+        self.ps_bursts
+    }
+
+    /// Gate one PS-side preload burst. While the PS owns the mux this is
+    /// the ordinary preload path and always admits; while the SoC owns
+    /// it, the burst is admitted (and counted) only in the pipelined
+    /// topology.
+    ///
+    /// The block-transfer API is master-blind, so the SoC-level preload
+    /// helper calls this explicitly before issuing the burst through the
+    /// arbiter.
+    ///
+    /// # Errors
+    ///
+    /// [`BusError::SlaveError`] when the SoC owns the mux and pipelining
+    /// is not configured.
+    pub fn admit_ps_burst(&mut self, addr: u32) -> Result<(), BusError> {
+        match self.owner {
+            Side::ZynqPs => Ok(()),
+            Side::Soc if self.pipelined => {
+                self.ps_bursts += 1;
+                Ok(())
+            }
+            Side::Soc => {
+                self.rejected += 1;
+                Err(BusError::SlaveError {
+                    addr,
+                    reason: "SmartConnect: PS burst while SoC owns the mux (not pipelined)",
+                })
+            }
+        }
     }
 
     /// Access the DRAM directly (backdoor).
@@ -102,10 +164,12 @@ impl<T: Target> SmartConnect<T> {
 impl<T: Reset> Reset for SmartConnect<T> {
     /// Board reset: ownership returns to the Zynq PS (it must initialize
     /// DRAM first), counters clear, then the DRAM behind the mux resets.
+    /// The pipelined topology flag is configuration and survives.
     fn reset(&mut self) {
         self.owner = Side::ZynqPs;
         self.switches = 0;
         self.rejected = 0;
+        self.ps_bursts = 0;
         self.dram.reset();
     }
 }
@@ -170,6 +234,26 @@ mod tests {
         let mut sc = SmartConnect::new(Sram::new(4));
         sc.switch_to(Side::ZynqPs);
         assert_eq!(sc.switches(), 0);
+    }
+
+    #[test]
+    fn ps_bursts_gated_on_pipelined_topology() {
+        let mut sc = SmartConnect::new(Sram::new(64));
+        // PS owns: the ordinary preload path, always admitted.
+        sc.admit_ps_burst(0).unwrap();
+        assert_eq!(sc.ps_bursts(), 0, "PS-owned preload is not an overlap");
+        sc.switch_to(Side::Soc);
+        // SoC owns, strict mux: rejected.
+        assert!(sc.admit_ps_burst(0x2000).is_err());
+        assert_eq!(sc.rejected(), 1);
+        // SoC owns, pipelined crossbar: admitted and counted.
+        sc.set_pipelined(true);
+        sc.admit_ps_burst(0x2000).unwrap();
+        assert_eq!(sc.ps_bursts(), 1);
+        // Reset clears the counter but keeps the topology.
+        sc.reset();
+        assert!(sc.pipelined());
+        assert_eq!(sc.ps_bursts(), 0);
     }
 
     #[test]

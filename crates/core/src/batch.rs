@@ -10,7 +10,7 @@
 //! beyond the reset, which is what makes interleaved (round-robin)
 //! service practical.
 //!
-//! Two drain policies:
+//! Three drain policies:
 //!
 //! * [`Policy::RoundRobin`] — rotate across models with pending frames;
 //!   the fair interleaving an online server uses, and the worst case
@@ -18,15 +18,36 @@
 //! * [`Policy::ShortestQueueFirst`] — always serve the model with the
 //!   fewest pending frames, draining stragglers early; batches same-
 //!   model frames back to back once queues diverge.
+//! * [`Policy::EarliestFinish`] — serve the frame with the earliest
+//!   estimated completion given the pipeline state; meaningful only
+//!   under overlapped preload (see below), where it trades fairness for
+//!   throughput.
 //!
-//! Modeled cycles are policy-independent (every frame is a full reset),
-//! so both policies must report identical totals — a property
-//! `tests/batch.rs` pins. The scheduler reports per-model cycles,
-//! arbiter-contention statistics and end-to-end throughput.
+//! Two execution models share those policies:
 //!
-//! For host-side scale-out, [`run_parallel`] shards a frame stream
-//! across worker threads via [`crate::sweep::fan_out`], one SoC replica
-//! (with all models resident) per worker.
+//! * [`BatchScheduler`] — **serial** frames: every frame replays from a
+//!   full in-place reset, so modeled *compute* cycles are
+//!   policy-independent and bit-identical to cold runs (a property
+//!   `tests/batch.rs` pins); only the service order changes. Each
+//!   frame's reported latency adds the quiet input-preload cost
+//!   ([`crate::soc::Soc::input_preload_cycles`]) it pays on its
+//!   critical path.
+//! * [`PipelinedScheduler`] — **pipelined** frames: while frame N
+//!   computes, the Zynq PS streams frame N+1's input into the other
+//!   half of a double-buffered slot pair through the SmartConnect, and
+//!   the preload chunks contend with frame N's DMA traffic at the DRAM
+//!   arbiter. Output bytes stay bit-identical to serial; modeled cycles
+//!   become genuinely **policy-dependent**, because the contention each
+//!   frame suffers depends on which frame is preloaded behind it. See
+//!   `docs/SCHEDULING.md` for the cycle timeline.
+//!
+//! Both report per-model cycles, per-frame service latency, arbiter
+//! contention and end-to-end throughput in a [`BatchReport`].
+//!
+//! For host-side scale-out, [`run_parallel`] (and its pipelined twin
+//! [`run_parallel_pipelined`]) shards a frame stream across worker
+//! threads via [`crate::sweep::fan_out`], one SoC replica (with all
+//! models resident) per worker.
 
 use std::collections::VecDeque;
 use std::error::Error;
@@ -91,6 +112,13 @@ pub enum Policy {
     RoundRobin,
     /// Serve the model with the fewest pending frames first.
     ShortestQueueFirst,
+    /// Serve the frame with the earliest estimated completion given the
+    /// pipeline state: estimated preload (as far as it cannot hide
+    /// under the current frame's estimated compute) plus the model's
+    /// last observed compute cycles. Under a serial drain nothing can
+    /// hide, so this degenerates to shortest-estimated-job-first; it
+    /// earns its keep only under [`PipelinedScheduler`] contention.
+    EarliestFinish,
 }
 
 impl Policy {
@@ -100,6 +128,7 @@ impl Policy {
         match self {
             Policy::RoundRobin => "rr",
             Policy::ShortestQueueFirst => "sqf",
+            Policy::EarliestFinish => "eff",
         }
     }
 }
@@ -111,7 +140,8 @@ impl FromStr for Policy {
         match s {
             "rr" | "round-robin" => Ok(Policy::RoundRobin),
             "sqf" | "shortest-queue-first" => Ok(Policy::ShortestQueueFirst),
-            other => Err(format!("unknown policy `{other}` (expected rr|sqf)")),
+            "eff" | "earliest-finish" => Ok(Policy::EarliestFinish),
+            other => Err(format!("unknown policy `{other}` (expected rr|sqf|eff)")),
         }
     }
 }
@@ -190,6 +220,14 @@ pub struct ModelStats {
     pub arbiter_wait: u64,
     /// NVDLA DMA traffic in bytes, summed over the model's frames.
     pub dma_bytes: u64,
+    /// Modeled cycles spent streaming the model's inputs from the Zynq
+    /// PS, summed over the model's frames: the quiet preload cost in a
+    /// serial drain, the (possibly contended) measured stream time in a
+    /// pipelined one — where all but the pipeline fill overlap compute.
+    pub preload_cycles: u64,
+    /// Modeled end-to-end service latency, summed over the model's
+    /// frames (see [`FrameLatency::cycles`] for the definition).
+    pub latency_cycles: u64,
 }
 
 impl ModelStats {
@@ -198,6 +236,32 @@ impl ModelStats {
     pub fn cycles_per_frame(&self) -> u64 {
         self.cycles.checked_div(self.frames).unwrap_or(0)
     }
+
+    /// Modeled service latency per frame (0 when no frame was served).
+    #[must_use]
+    pub fn latency_per_frame(&self) -> u64 {
+        self.latency_cycles.checked_div(self.frames).unwrap_or(0)
+    }
+}
+
+/// One served frame's modeled service latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameLatency {
+    /// Index of the model the frame hit, as returned by `add_model`.
+    pub model: usize,
+    /// Completion-to-completion service cycles. In a serial drain this
+    /// is the frame's quiet input preload plus its compute; in a
+    /// pipelined drain it is the time the frame added to the stream's
+    /// makespan — its (contention-stretched) compute, plus whatever
+    /// part of its preload the previous frame's compute failed to hide
+    /// (the pipeline fill, for the first frame).
+    pub cycles: u64,
+    /// Whether this frame carried a pipeline fill (the first frame of a
+    /// pipelined drain, whose preload nothing could hide). Always
+    /// `false` in a serial drain. Merged parallel reports keep one fill
+    /// per worker shard, which is why warm-latency statistics filter on
+    /// this flag rather than on position.
+    pub fill: bool,
 }
 
 /// Result of draining a frame queue.
@@ -205,8 +269,18 @@ impl ModelStats {
 pub struct BatchReport {
     /// Drain policy used.
     pub policy: Policy,
+    /// Whether the drain overlapped preloads ([`PipelinedScheduler`]).
+    pub pipelined: bool,
     /// Per-model statistics, indexed like the scheduler's models.
     pub per_model: Vec<(String, ModelStats)>,
+    /// Per-frame service latencies in service order (concatenated per
+    /// worker shard after a parallel drain).
+    pub frame_latencies: Vec<FrameLatency>,
+    /// Modeled cycles from the first preload starting to the last
+    /// frame's completion — the stream's end-to-end span on one SoC
+    /// (summed across worker shards after a parallel drain, keeping the
+    /// single-SoC serving semantics of the other totals).
+    pub makespan_cycles: u64,
     /// Host wall-clock seconds spent draining.
     pub host_seconds: f64,
 }
@@ -249,10 +323,53 @@ impl BatchReport {
         self.total_frames() as f64 / self.host_seconds
     }
 
+    /// Modeled end-to-end throughput in frames per second at `hz` over
+    /// the full stream span ([`BatchReport::makespan_cycles`] — preload
+    /// included, unlike [`BatchReport::modeled_fps`] which counts
+    /// compute cycles only).
+    #[must_use]
+    pub fn e2e_fps(&self, hz: u64) -> f64 {
+        if self.makespan_cycles == 0 {
+            return 0.0;
+        }
+        self.total_frames() as f64 * hz as f64 / self.makespan_cycles as f64
+    }
+
+    /// Mean modeled service latency per frame, in cycles (0 when no
+    /// frame was served).
+    #[must_use]
+    pub fn mean_frame_latency(&self) -> u64 {
+        let n = self.frame_latencies.len() as u64;
+        if n == 0 {
+            return 0;
+        }
+        self.frame_latencies.iter().map(|f| f.cycles).sum::<u64>() / n
+    }
+
+    /// Mean modeled service latency of the **warm** frames — every
+    /// frame that did not carry a pipeline fill
+    /// ([`FrameLatency::fill`]; one per worker shard in a merged
+    /// parallel report). Falls back to
+    /// [`BatchReport::mean_frame_latency`] when every frame was a fill.
+    #[must_use]
+    pub fn warm_frame_latency(&self) -> u64 {
+        let warm: Vec<u64> = self
+            .frame_latencies
+            .iter()
+            .filter(|f| !f.fill)
+            .map(|f| f.cycles)
+            .collect();
+        if warm.is_empty() {
+            return self.mean_frame_latency();
+        }
+        warm.iter().sum::<u64>() / warm.len() as u64
+    }
+
     /// Merge `other` into `self` (used to combine per-worker shards of
     /// a [`run_parallel`] drain). Panics if the model lists differ.
     fn merge(&mut self, other: &BatchReport) {
         assert_eq!(self.per_model.len(), other.per_model.len(), "model sets");
+        assert_eq!(self.pipelined, other.pipelined, "execution model");
         for ((name_a, a), (name_b, b)) in self.per_model.iter_mut().zip(&other.per_model) {
             assert_eq!(name_a, name_b, "model order");
             a.frames += b.frames;
@@ -260,7 +377,12 @@ impl BatchReport {
             a.instructions += b.instructions;
             a.arbiter_wait += b.arbiter_wait;
             a.dma_bytes += b.dma_bytes;
+            a.preload_cycles += b.preload_cycles;
+            a.latency_cycles += b.latency_cycles;
         }
+        self.frame_latencies
+            .extend_from_slice(&other.frame_latencies);
+        self.makespan_cycles += other.makespan_cycles;
         self.host_seconds = self.host_seconds.max(other.host_seconds);
     }
 }
@@ -272,6 +394,12 @@ struct ModelSlot {
     fw: Firmware,
     queue: VecDeque<Vec<u8>>,
     stats: ModelStats,
+    /// Quiet-fabric cycles to stream one input image (the serial
+    /// preload cost, and the [`Policy::EarliestFinish`] estimate).
+    preload_cycles: u64,
+    /// Last observed compute cycles per frame (0 until served once);
+    /// the [`Policy::EarliestFinish`] compute estimate.
+    est_cycles: u64,
 }
 
 /// Drains a tagged frame queue across several models resident on one
@@ -312,11 +440,16 @@ impl BatchScheduler {
     ) -> Result<usize, BatchError> {
         let fw = Firmware::build_with(&artifacts, codegen)?;
         self.soc.load_artifacts(&artifacts)?;
+        let preload_cycles = self
+            .soc
+            .input_preload_cycles(artifacts.input_addr, artifacts.input_len);
         self.models.push(ModelSlot {
             artifacts,
             fw,
             queue: VecDeque::new(),
             stats: ModelStats::default(),
+            preload_cycles,
+            est_cycles: 0,
         });
         Ok(self.models.len() - 1)
     }
@@ -370,7 +503,11 @@ impl BatchScheduler {
     }
 
     /// Pick the model to serve next, per policy. `None` when idle.
-    fn next_model(&mut self) -> Option<usize> {
+    /// `current` is the frame about to compute while the picked frame
+    /// preloads (pipelined drains); a serial drain passes `None`, so
+    /// nothing can hide and [`Policy::EarliestFinish`] degenerates to
+    /// shortest-estimated-job-first.
+    fn next_model_with(&mut self, current: Option<usize>) -> Option<usize> {
         match self.policy {
             Policy::RoundRobin => {
                 let n = self.models.len();
@@ -387,7 +524,24 @@ impl BatchScheduler {
                 .filter(|(_, m)| !m.queue.is_empty())
                 .min_by_key(|(i, m)| (m.queue.len(), *i))
                 .map(|(i, _)| i),
+            Policy::EarliestFinish => {
+                // Estimated completion: the picked frame's preload runs
+                // under the current frame's compute (what overlap can
+                // hide, hides), then its own compute follows.
+                let hide = current.map_or(0, |i| self.models[i].est_cycles);
+                self.models
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, m)| !m.queue.is_empty())
+                    .min_by_key(|(i, m)| (m.preload_cycles.max(hide) + m.est_cycles, *i))
+                    .map(|(i, _)| i)
+            }
         }
+    }
+
+    /// [`BatchScheduler::next_model_with`] for the serial drain.
+    fn next_model(&mut self) -> Option<usize> {
+        self.next_model_with(None)
     }
 
     /// Drain every queued frame, invoking `on_frame(model, result)`
@@ -406,7 +560,10 @@ impl BatchScheduler {
         let start = Instant::now();
         for m in &mut self.models {
             m.stats = ModelStats::default();
+            m.est_cycles = 0;
         }
+        let mut frame_latencies = Vec::new();
+        let mut makespan = 0u64;
         while let Some(i) = self.next_model() {
             let slot = &mut self.models[i];
             let bytes = slot.queue.pop_front().expect("picked model has a frame");
@@ -417,11 +574,23 @@ impl BatchScheduler {
                     model: slot.artifacts.model.clone(),
                     source,
                 })?;
+            // A serial frame's service latency: stream the input (quiet
+            // fabric — nothing else runs), then compute.
+            let latency = slot.preload_cycles + result.cycles;
             slot.stats.frames += 1;
             slot.stats.cycles += result.cycles;
             slot.stats.instructions += result.instructions;
             slot.stats.arbiter_wait += result.cpu_arbiter_wait;
             slot.stats.dma_bytes += result.nvdla.total_dma_bytes();
+            slot.stats.preload_cycles += slot.preload_cycles;
+            slot.stats.latency_cycles += latency;
+            slot.est_cycles = result.cycles;
+            frame_latencies.push(FrameLatency {
+                model: i,
+                cycles: latency,
+                fill: false,
+            });
+            makespan += latency;
             on_frame(i, &result);
         }
         let per_model = self
@@ -431,12 +600,45 @@ impl BatchScheduler {
             .collect();
         Ok(BatchReport {
             policy: self.policy,
+            pipelined: false,
             per_model,
+            frame_latencies,
+            makespan_cycles: makespan,
             host_seconds: start.elapsed().as_secs_f64(),
         })
     }
 
     /// Drain every queued frame. See [`run_with`](Self::run_with).
+    ///
+    /// ```
+    /// use rvnv_compiler::codegen::CodegenOptions;
+    /// use rvnv_compiler::{compile, CompileOptions};
+    /// use rvnv_nn::{zoo, Tensor};
+    /// use rvnv_soc::batch::{BatchScheduler, Policy};
+    /// use rvnv_soc::soc::SocConfig;
+    /// use std::sync::Arc;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let net = zoo::lenet5(1);
+    /// let mut opt = CompileOptions::int8();
+    /// opt.calib_inputs = 1;
+    /// let artifacts = Arc::new(compile(&net, &opt)?);
+    ///
+    /// let mut sched =
+    ///     BatchScheduler::new(SocConfig::zcu102_timing_only(), Policy::RoundRobin);
+    /// let model = sched.add_model(artifacts, CodegenOptions::default())?;
+    /// sched.enqueue(model, &Tensor::random(net.input_shape(), 7))?;
+    /// sched.enqueue(model, &Tensor::random(net.input_shape(), 8))?;
+    ///
+    /// let report = sched.run()?;
+    /// assert_eq!(report.total_frames(), 2);
+    /// // Serial frames replay from a full reset: compute cycles are
+    /// // policy-independent, and each frame's latency adds its quiet
+    /// // input-preload cost on top.
+    /// assert!(report.mean_frame_latency() > report.total_cycles() / 2);
+    /// # Ok(())
+    /// # }
+    /// ```
     ///
     /// # Errors
     ///
@@ -462,6 +664,39 @@ pub struct Frame {
 /// so the merged totals equal a single-SoC drain of the same frames;
 /// only host wall-clock changes with the fan-out.
 ///
+/// ```
+/// use rvnv_compiler::codegen::CodegenOptions;
+/// use rvnv_compiler::{ArtifactCache, CompileOptions};
+/// use rvnv_nn::{zoo, Tensor};
+/// use rvnv_soc::batch::{layout_models, run_parallel, Frame, Policy};
+/// use rvnv_soc::soc::SocConfig;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let net = zoo::lenet5(1);
+/// let mut opt = CompileOptions::int8();
+/// opt.calib_inputs = 1;
+/// let cache = ArtifactCache::new();
+/// let models = layout_models(&cache, &[net.clone()], &opt)?;
+/// let frames: Vec<Frame> = (0..2)
+///     .map(|i| Frame {
+///         model: 0,
+///         bytes: models[0].quantize_input(&Tensor::random(net.input_shape(), i)),
+///     })
+///     .collect();
+///
+/// let report = run_parallel(
+///     &SocConfig::zcu102_timing_only(),
+///     Policy::RoundRobin,
+///     &models,
+///     CodegenOptions::default(),
+///     &frames,
+///     2,
+/// )?;
+/// assert_eq!(report.total_frames(), 2);
+/// # Ok(())
+/// # }
+/// ```
+///
 /// # Errors
 ///
 /// The first worker error, in worker order.
@@ -480,6 +715,337 @@ pub fn run_parallel(
     let threads = threads.clamp(1, frames.len().max(1));
     let mut shards = fan_out(threads, threads, |w| -> Result<BatchReport, BatchError> {
         let mut sched = BatchScheduler::new(config.clone(), policy);
+        for artifacts in models {
+            sched.add_model(artifacts.clone(), codegen)?;
+        }
+        for frame in frames.iter().skip(w).step_by(threads) {
+            sched.enqueue_bytes(frame.model, frame.bytes.clone())?;
+        }
+        sched.run()
+    })
+    .into_iter();
+    let mut merged = shards.next().expect("at least one worker")?;
+    for shard in shards {
+        merged.merge(&shard?);
+    }
+    Ok(merged)
+}
+
+/// The double-buffered input layout for a pipelined drain over
+/// `models` (laid out by [`layout_models`]): two [`MODEL_BASE_ALIGN`]ed
+/// staging slots past every model's footprint, each large enough for
+/// the largest input image. Returns the two slot base addresses and the
+/// slot capacity in bytes.
+///
+/// While frame N computes reading its input from slot `N % 2` (flipped
+/// to the model's input buffer at frame start), the Zynq PS streams
+/// frame N+1's input into slot `(N+1) % 2` — never into DRAM the
+/// models own, so an in-flight preload can't clobber weights or the
+/// computing frame's data.
+#[must_use]
+pub fn input_slots(models: &[Arc<Artifacts>]) -> ([u32; 2], usize) {
+    // u64 arithmetic throughout: a footprint near the top of the 4 GB
+    // address space must saturate (and then fail the scheduler's
+    // bounds check) rather than wrap a slot down into the models' DRAM.
+    let align = u64::from(MODEL_BASE_ALIGN);
+    let high = models
+        .iter()
+        .map(|a| u64::from(a.dram_used))
+        .max()
+        .unwrap_or(0);
+    let base = high.div_ceil(align) * align;
+    let len = models.iter().map(|a| a.input_len).max().unwrap_or(0);
+    let stride = (len as u64).div_ceil(align).max(1) * align;
+    let cap = u64::from(u32::MAX);
+    ([base.min(cap) as u32, (base + stride).min(cap) as u32], len)
+}
+
+/// Drains a tagged frame queue with **overlapped preload**: while frame
+/// N computes on the NVDLA, the Zynq PS streams frame N+1's input into
+/// the other half of a double-buffered slot pair ([`input_slots`])
+/// through the SmartConnect, chunk by chunk, contending with frame N's
+/// DMA traffic at the DRAM arbiter. Between frames the fabric takes a
+/// **scoped** reset that clears the previous frame's input/activation
+/// extents while keeping both the resident weight images and the
+/// in-flight preload intact.
+///
+/// Output bytes are bit-identical to a serial [`BatchScheduler`] drain
+/// of the same frames (the overlap moves cycles, never data), but
+/// modeled cycles become policy-dependent: each frame's contention
+/// depends on which frame preloads behind it, so [`Policy`] choices
+/// genuinely trade per-frame latency against stream makespan. See the
+/// [module docs](self) and `docs/SCHEDULING.md`.
+pub struct PipelinedScheduler {
+    inner: BatchScheduler,
+}
+
+impl PipelinedScheduler {
+    /// A pipelined scheduler over a freshly built SoC.
+    #[must_use]
+    pub fn new(config: SocConfig, policy: Policy) -> Self {
+        PipelinedScheduler {
+            inner: BatchScheduler::new(config, policy),
+        }
+    }
+
+    /// Register a model. See [`BatchScheduler::add_model`].
+    ///
+    /// # Errors
+    ///
+    /// [`BatchError::Load`] on footprint overlap,
+    /// [`BatchError::Firmware`] when codegen fails.
+    pub fn add_model(
+        &mut self,
+        artifacts: Arc<Artifacts>,
+        codegen: CodegenOptions,
+    ) -> Result<usize, BatchError> {
+        self.inner.add_model(artifacts, codegen)
+    }
+
+    /// Queue one frame for `model`, quantizing the input.
+    ///
+    /// # Errors
+    ///
+    /// [`BatchError::UnknownModel`] for an out-of-range index.
+    pub fn enqueue(&mut self, model: usize, input: &Tensor) -> Result<(), BatchError> {
+        self.inner.enqueue(model, input)
+    }
+
+    /// Queue one pre-quantized frame for `model`.
+    ///
+    /// # Errors
+    ///
+    /// [`BatchError::UnknownModel`] for an out-of-range index.
+    pub fn enqueue_bytes(&mut self, model: usize, bytes: Vec<u8>) -> Result<(), BatchError> {
+        self.inner.enqueue_bytes(model, bytes)
+    }
+
+    /// Frames still queued across all models.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.inner.pending()
+    }
+
+    /// Number of registered models.
+    #[must_use]
+    pub fn model_count(&self) -> usize {
+        self.inner.model_count()
+    }
+
+    /// The underlying SoC (e.g. to inspect residency).
+    #[must_use]
+    pub fn soc(&self) -> &Soc {
+        self.inner.soc()
+    }
+
+    /// The double-buffer staging layout the drain will use.
+    ///
+    /// # Errors
+    ///
+    /// [`BatchError::Load`] when the slots do not fit in DRAM.
+    fn staging(&self) -> Result<([u32; 2], usize), BatchError> {
+        let models: Vec<Arc<Artifacts>> = self
+            .inner
+            .models
+            .iter()
+            .map(|m| m.artifacts.clone())
+            .collect();
+        let (slots, len) = input_slots(&models);
+        let high = models
+            .iter()
+            .map(|a| u64::from(a.dram_used))
+            .max()
+            .unwrap_or(0);
+        let dram = self.inner.soc.config().dram_bytes as u64;
+        // Strict layout invariants, robust against the saturated-slot
+        // case: slot 0 past every footprint, slot 1 past slot 0, both
+        // inside the device.
+        let ok = u64::from(slots[0]) >= high
+            && u64::from(slots[1]) >= u64::from(slots[0]) + len as u64
+            && u64::from(slots[1]) + len as u64 <= dram;
+        if !ok {
+            return Err(BatchError::Load(rvnv_bus::BusError::OutOfRange {
+                addr: slots[1],
+                len,
+                size: self.inner.soc.config().dram_bytes,
+            }));
+        }
+        Ok((slots, len))
+    }
+
+    /// Drain every queued frame with overlapped preload, invoking
+    /// `on_frame(model, result)` after each inference (tests and
+    /// benches use the hook to check bit-identity against serial
+    /// drains).
+    ///
+    /// The first frame's input streams on a quiet fabric (the pipeline
+    /// fill); every later frame's input streams under the previous
+    /// frame's compute. A frame's recorded latency is the time it added
+    /// to the stream's makespan (completion-to-completion).
+    ///
+    /// # Errors
+    ///
+    /// [`BatchError::Run`] on the first failing frame,
+    /// [`BatchError::Load`] when the staging slots do not fit in DRAM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a registered model's firmware no longer fits program
+    /// memory (impossible through [`add_model`](Self::add_model)).
+    pub fn run_with(
+        &mut self,
+        mut on_frame: impl FnMut(usize, &InferenceResult),
+    ) -> Result<BatchReport, BatchError> {
+        let start = Instant::now();
+        for m in &mut self.inner.models {
+            m.stats = ModelStats::default();
+            m.est_cycles = 0;
+        }
+        let (slots, _) = self.staging()?;
+        let sched = &mut self.inner;
+        let mut frame_latencies = Vec::new();
+        let report = |sched: &mut BatchScheduler, latencies: Vec<FrameLatency>, span: u64| {
+            let per_model = sched
+                .models
+                .iter_mut()
+                .map(|m| (m.artifacts.model.clone(), std::mem::take(&mut m.stats)))
+                .collect();
+            BatchReport {
+                policy: sched.policy,
+                pipelined: true,
+                per_model,
+                frame_latencies: latencies,
+                makespan_cycles: span,
+                host_seconds: start.elapsed().as_secs_f64(),
+            }
+        };
+        let Some(mut cur) = sched.next_model_with(None) else {
+            return Ok(report(sched, frame_latencies, 0));
+        };
+        let first_bytes = sched.models[cur]
+            .queue
+            .pop_front()
+            .expect("picked model has a frame");
+        let mut cur_slot = 0usize;
+        // Pipeline fill: the first input streams on a quiet, PS-owned
+        // fabric — the one preload nothing can hide.
+        sched.soc.set_pipelined(true);
+        sched.soc.quiesce();
+        let fill = sched
+            .soc
+            .ps_stream(slots[cur_slot], &first_bytes, 0)
+            .map_err(BatchError::Load)?;
+        drop(first_bytes);
+        // Global pipeline clock: `t_global` is where the current frame's
+        // compute window starts, `pending_preload` the cycles spent
+        // streaming the current frame's input (attributed to it).
+        let mut pending_preload = fill;
+        let mut t_global = fill;
+        let mut prev_completion = 0u64;
+        let mut carries_fill = true;
+        loop {
+            let next = sched.next_model_with(Some(cur));
+            let next_bytes = next.map(|i| {
+                sched.models[i]
+                    .queue
+                    .pop_front()
+                    .expect("picked model has a frame")
+            });
+            let next_slot = cur_slot ^ 1;
+            let out = match sched.soc.run_firmware_staged(
+                &sched.models[cur].artifacts,
+                slots[cur_slot],
+                &sched.models[cur].fw,
+                next_bytes.as_deref().map(|b| (slots[next_slot], b)),
+            ) {
+                Ok(out) => out,
+                Err(source) => {
+                    // Hand the staged-but-unserved frame back before
+                    // reporting, so a retry still sees it queued.
+                    if let (Some(i), Some(b)) = (next, next_bytes) {
+                        sched.models[i].queue.push_front(b);
+                    }
+                    return Err(BatchError::Run {
+                        model: sched.models[cur].artifacts.model.clone(),
+                        source,
+                    });
+                }
+            };
+            let result = out.result;
+            // The next window opens once this compute *and* the
+            // overlapped preload (flushed past `ebreak` if compute was
+            // too short to cover it) are both done.
+            let window = result.cycles.max(out.preload_done);
+            let completion = t_global + result.cycles;
+            let latency = completion - prev_completion;
+            let stats = &mut sched.models[cur].stats;
+            stats.frames += 1;
+            stats.cycles += result.cycles;
+            stats.instructions += result.instructions;
+            stats.arbiter_wait += result.cpu_arbiter_wait;
+            stats.dma_bytes += result.nvdla.total_dma_bytes();
+            stats.preload_cycles += pending_preload;
+            stats.latency_cycles += latency;
+            sched.models[cur].est_cycles = result.cycles;
+            frame_latencies.push(FrameLatency {
+                model: cur,
+                cycles: latency,
+                fill: carries_fill,
+            });
+            carries_fill = false;
+            prev_completion = completion;
+            t_global += window;
+            on_frame(cur, &result);
+            match next {
+                Some(i) => {
+                    pending_preload = out.preload_done;
+                    cur = i;
+                    cur_slot = next_slot;
+                }
+                None => break,
+            }
+        }
+        // The stream's span ends at the last frame's completion.
+        Ok(report(sched, frame_latencies, prev_completion))
+    }
+
+    /// Drain every queued frame with overlapped preload. See
+    /// [`run_with`](Self::run_with).
+    ///
+    /// # Errors
+    ///
+    /// [`BatchError::Run`] on the first failing frame,
+    /// [`BatchError::Load`] when the staging slots do not fit in DRAM.
+    pub fn run(&mut self) -> Result<BatchReport, BatchError> {
+        self.run_with(|_, _| {})
+    }
+}
+
+/// [`run_parallel`] with **pipelined** workers: each worker SoC replica
+/// drains its shard through a [`PipelinedScheduler`], overlapping every
+/// shard-internal preload. Output bytes stay bit-identical to the
+/// serial drain; each worker's modeled cycles reflect its own shard's
+/// contention, and the merged makespan keeps the single-SoC serving
+/// semantics (shards summed).
+///
+/// # Errors
+///
+/// The first worker error, in worker order.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (propagated by [`fan_out`]).
+pub fn run_parallel_pipelined(
+    config: &SocConfig,
+    policy: Policy,
+    models: &[Arc<Artifacts>],
+    codegen: CodegenOptions,
+    frames: &[Frame],
+    threads: usize,
+) -> Result<BatchReport, BatchError> {
+    let threads = threads.clamp(1, frames.len().max(1));
+    let mut shards = fan_out(threads, threads, |w| -> Result<BatchReport, BatchError> {
+        let mut sched = PipelinedScheduler::new(config.clone(), policy);
         for artifacts in models {
             sched.add_model(artifacts.clone(), codegen)?;
         }

@@ -25,6 +25,38 @@ pub type DramPath = Shared<Arbiter<ClockCrossing<SmartConnect<Dram>>>>;
 /// The NVDLA instance with its width-converted DBB.
 pub type SocNvdla = Shared<Nvdla<WidthConverter<DramPath>>>;
 
+/// Largest single burst the Zynq PS preload DMA issues (AXI bursts are
+/// bounded — 4 KB address boundary, 256 beats — and the PS DMA moves
+/// data in bounded descriptors). A [`Soc::ps_stream`] larger than this
+/// becomes a chunk sequence, which is what lets an overlapped preload
+/// *interleave* with the NVDLA's DMA bursts at the arbiter instead of
+/// holding the DRAM for the whole image.
+pub const PS_CHUNK_BYTES: usize = 512;
+
+/// An in-flight PS preload: the chunked stream of one input image into
+/// its double-buffer slot, pumped forward as modeled time advances.
+struct PreloadPump<'a> {
+    addr: u32,
+    bytes: &'a [u8],
+    offset: usize,
+    /// When the next chunk issues (the PS streams back to back).
+    next_due: u64,
+    /// Completion cycle of the last chunk issued so far.
+    done: u64,
+}
+
+impl<'a> PreloadPump<'a> {
+    fn new(addr: u32, bytes: &'a [u8], now: u64) -> Self {
+        PreloadPump {
+            addr,
+            bytes,
+            offset: 0,
+            next_due: now,
+            done: now,
+        }
+    }
+}
+
 /// SoC configuration.
 #[derive(Debug, Clone)]
 pub struct SocConfig {
@@ -177,6 +209,19 @@ impl InferenceResult {
     pub fn latency_ms(&self, hz: u64) -> f64 {
         self.cycles as f64 * 1000.0 / hz as f64
     }
+}
+
+/// Outcome of one pipelined frame ([`Soc::run_firmware_staged`]).
+#[derive(Debug, Clone)]
+pub struct StagedRun {
+    /// The frame's inference result. `result.cycles` includes any
+    /// contention the overlapped preload caused on the shared DRAM.
+    pub result: InferenceResult,
+    /// Cycle, on this frame's timeline, at which the overlapped preload
+    /// of the *next* frame's input completed; 0 when none was issued.
+    /// The next frame cannot start before both this frame's compute and
+    /// this preload are done.
+    pub preload_done: u64,
 }
 
 /// Identity of a weight image made resident in DRAM by
@@ -507,6 +552,153 @@ impl Soc {
             .switch_to(side);
     }
 
+    /// Configure the SmartConnect's dual-port (pipelined) topology:
+    /// with `on`, [`Soc::ps_stream`] may inject Zynq-PS preload bursts
+    /// while the SoC side owns the DRAM — the overlapped next-frame
+    /// input load of the pipelined batch scheduler. Survives resets
+    /// (topology, not state).
+    pub fn set_pipelined(&self, on: bool) {
+        self.dram
+            .lock()
+            .downstream_mut()
+            .downstream_mut()
+            .set_pipelined(on);
+    }
+
+    /// Stream `bytes` from the Zynq PS into DRAM at `addr` as a
+    /// continuous sequence of [`PS_CHUNK_BYTES`]-bounded timed bursts
+    /// through the real fabric path — arbiter grant per chunk (master
+    /// [`MasterId::ZynqPs`]), clock crossing, SmartConnect routing, DRAM
+    /// burst timing — each chunk issued when the previous one completes,
+    /// the first not before `now`. Returns the completion cycle of the
+    /// last chunk (`now` for empty `bytes`).
+    ///
+    /// While the PS owns the mux this is the ordinary timed preload;
+    /// while the SoC owns it the chunks are admitted only in the
+    /// [pipelined topology](Soc::set_pipelined), where they contend with
+    /// the core's and NVDLA's traffic on the shared device timeline —
+    /// the accounted cost of overlapping frame N+1's input load with
+    /// frame N's compute.
+    ///
+    /// # Errors
+    ///
+    /// [`BusError::SlaveError`] when the SoC owns the mux and the
+    /// pipelined topology is off; [`BusError::OutOfRange`] when the
+    /// bytes do not fit.
+    pub fn ps_stream(&self, addr: u32, bytes: &[u8], now: u64) -> Result<u64, BusError> {
+        let mut pump = PreloadPump::new(addr, bytes, now);
+        self.pump_preload(&mut pump, u64::MAX)?;
+        Ok(pump.done.max(now))
+    }
+
+    /// Issue every preload chunk due at or before `until` (the PS
+    /// streams continuously: each chunk is due when the previous one
+    /// completed). `u64::MAX` flushes the stream.
+    fn pump_preload(&self, p: &mut PreloadPump<'_>, until: u64) -> Result<(), BusError> {
+        while p.offset < p.bytes.len() && p.next_due <= until {
+            let n = (p.bytes.len() - p.offset).min(PS_CHUNK_BYTES);
+            let addr = p.addr + p.offset as u32;
+            let mut path = self.dram.lock();
+            path.downstream_mut()
+                .downstream_mut()
+                .admit_ps_burst(addr)?;
+            let done = path.write_block_as(
+                MasterId::ZynqPs,
+                addr,
+                &p.bytes[p.offset..p.offset + n],
+                p.next_due,
+            )?;
+            p.offset += n;
+            p.next_due = done;
+            p.done = done;
+        }
+        Ok(())
+    }
+
+    /// Modeled cycles a [`Soc::ps_stream`] of `len` bytes at `addr`
+    /// takes on a **quiet** fabric (no contention, no open DRAM row),
+    /// computed without touching device state: per chunk, an arbiter
+    /// grant at issue, the clock-domain crossing out, SmartConnect
+    /// routing, the DRAM burst (row state carried across chunks), and
+    /// the crossing back. This is the input-preload cost a *serial*
+    /// frame pays on its critical path — and what a pipelined frame
+    /// hides under the previous frame's compute.
+    #[must_use]
+    pub fn input_preload_cycles(&self, addr: u32, len: usize) -> u64 {
+        let mut path = self.dram.lock();
+        let cdc = path.downstream_mut();
+        let sync = cdc.sync_cycles();
+        let timing = cdc.downstream_mut().dram_mut().timing();
+        let mut open_row = None;
+        let mut busy_slave = 0u64;
+        let mut t = 0u64;
+        let mut offset = 0usize;
+        while offset < len {
+            let n = (len - offset).min(PS_CHUNK_BYTES);
+            let a = addr + offset as u32;
+            let start = (cdc.to_slave(t) + sync + SmartConnect::<Dram>::ROUTE).max(busy_slave);
+            busy_slave = start + timing.burst_cycles_tracked(&mut open_row, a, n);
+            t = cdc.to_master(busy_slave + sync);
+            offset += n;
+        }
+        t
+    }
+
+    /// Chain-reset the fabric in place while keeping every resident
+    /// weight image warm (what each run's prepare does, without a
+    /// model): use it to bring the SoC to a quiet, PS-owned state before
+    /// streaming the first pipelined input.
+    pub fn quiesce(&mut self) {
+        self.nvdla.lock().reset();
+        self.sync_residency();
+    }
+
+    /// Run one **pipelined** frame: the frame's input was already
+    /// streamed into the double-buffer slot at `staged_at` (by the
+    /// previous frame's overlapped [`Soc::ps_stream`], or a pipeline
+    /// fill), and while this frame computes, the *next* frame's input
+    /// optionally streams into the other slot.
+    ///
+    /// The inter-frame reset is **scoped**: it zeroes the previous
+    /// frame's input/activation/output extents but preserves the staged
+    /// slot (and, as always, the resident weight images). The staged
+    /// bytes are then flipped to [`Artifacts::input_addr`] — the
+    /// zero-cycle control-plane buffer remap of a double-buffered
+    /// design; our compiled command streams address one fixed input
+    /// buffer, so the flip is modeled as a remap rather than re-pointing
+    /// the descriptors. Compute is bit-identical to a serial run of the
+    /// same bytes; only timing feels the overlapped preload.
+    ///
+    /// # Errors
+    ///
+    /// [`SocError`] on CPU faults, preload bus errors or timeout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the firmware does not fit the program memory.
+    pub fn run_firmware_staged(
+        &mut self,
+        artifacts: &Artifacts,
+        staged_at: u32,
+        fw: &Firmware,
+        next_preload: Option<(u32, &[u8])>,
+    ) -> Result<StagedRun, SocError> {
+        let len = artifacts.input_len;
+        let mut keep = RangeSet::new();
+        keep.insert(staged_at as usize, staged_at as usize + len);
+        self.with_dram(|d| d.preserve_across_reset(keep));
+        self.prepare(artifacts)?;
+        // The flip: staged slot -> the command stream's input buffer.
+        let staged = self.dram_peek(staged_at, len);
+        self.dram_load(artifacts.input_addr, &staged)?;
+        self.switch_dram_to(Side::Soc);
+        let (result, preload_done) = self.execute_prepared(artifacts, fw, next_preload)?;
+        Ok(StagedRun {
+            result,
+            preload_done,
+        })
+    }
+
     /// Build the system bus seen by the core's data port.
     fn build_bus(&self) -> SystemBus {
         let mut bus = SystemBus::new();
@@ -568,6 +760,30 @@ impl Soc {
         self.prepare(artifacts)?;
         self.dram_load(artifacts.input_addr, input_bytes)?;
         self.switch_dram_to(Side::Soc);
+        let (result, _) = self.execute_prepared(artifacts, fw, None)?;
+        Ok(result)
+    }
+
+    /// Execute `fw` on a SoC whose DRAM is already preloaded and handed
+    /// over: build the core, run to `ebreak`, collect the result. The
+    /// shared tail of [`run_firmware`](Soc::run_firmware) and
+    /// [`run_firmware_staged`](Soc::run_firmware_staged).
+    ///
+    /// With `preload`, the next frame's input streams chunk by chunk
+    /// into its slot *as modeled time advances* — each chunk is issued
+    /// when the core's clock reaches its due time, so the preload
+    /// interleaves with (and contends against) this frame's CPU and
+    /// NVDLA traffic on the shared DRAM timeline. Returns the inference
+    /// result and the preload's completion cycle (0 without one); a
+    /// preload still unfinished at `ebreak` is flushed, so its
+    /// completion may exceed the compute cycles.
+    fn execute_prepared(
+        &mut self,
+        artifacts: &Artifacts,
+        fw: &Firmware,
+        preload: Option<(u32, &[u8])>,
+    ) -> Result<(InferenceResult, u64), SocError> {
+        let mut pump = preload.map(|(addr, bytes)| PreloadPump::new(addr, bytes, 0));
         self.nvdla.lock().set_functional(self.config.functional);
 
         // Program memory.
@@ -590,6 +806,13 @@ impl Soc {
             if instructions >= self.config.max_instructions {
                 return Err(SocError::Timeout { instructions });
             }
+            if let Some(p) = pump.as_mut() {
+                // Issue every preload chunk whose due time has passed,
+                // *before* the instruction at this cycle touches the
+                // bus, so chunk and compute traffic interleave in
+                // timeline order.
+                self.pump_preload(p, core.cycle()).map_err(SocError::Bus)?;
+            }
             instructions += 1;
             match core.step()? {
                 None => {}
@@ -603,6 +826,11 @@ impl Soc {
                     if dla.busy(now) {
                         let wake = dla.idle_at(now) + 1;
                         drop(dla);
+                        if let Some(p) = pump.as_mut() {
+                            // Chunks due during the sleep issue at
+                            // their own times, not at the wake.
+                            self.pump_preload(p, wake).map_err(SocError::Bus)?;
+                        }
                         core.advance_cycle(wake);
                     } else if dla.intr_pending(now) {
                         // Already complete: resume immediately.
@@ -612,6 +840,14 @@ impl Soc {
                 }
                 Some(stop) => break stop,
             }
+        };
+        // A preload the compute did not cover streams out its tail.
+        let preload_done = match pump {
+            Some(mut p) => {
+                self.pump_preload(&mut p, u64::MAX).map_err(SocError::Bus)?;
+                p.done
+            }
+            None => 0,
         };
         if stop != StopReason::Ebreak {
             return Err(SocError::UnexpectedStop(stop));
@@ -638,18 +874,21 @@ impl Soc {
             };
             (dla.stats().clone(), timeline)
         };
-        Ok(InferenceResult {
-            cycles: core.cycle(),
-            firmware_cycles: u64::from(t1.wrapping_sub(t0)),
-            instructions,
-            output,
-            raw_output,
-            pipeline: core.pipeline_stats(),
-            nvdla: nvdla_stats,
-            cpu_arbiter_wait: cpu_wait,
-            firmware_bytes: fw.size_bytes(),
-            timeline,
-        })
+        Ok((
+            InferenceResult {
+                cycles: core.cycle(),
+                firmware_cycles: u64::from(t1.wrapping_sub(t0)),
+                instructions,
+                output,
+                raw_output,
+                pipeline: core.pipeline_stats(),
+                nvdla: nvdla_stats,
+                cpu_arbiter_wait: cpu_wait,
+                firmware_bytes: fw.size_bytes(),
+                timeline,
+            },
+            preload_done,
+        ))
     }
 }
 
@@ -896,6 +1135,78 @@ mod tests {
         let input = Tensor::random(zoo::lenet5(1).input_shape(), 3);
         soc.run_inference(&a, &input).unwrap();
         assert!(soc.is_resident(&a));
+    }
+
+    #[test]
+    fn analytic_preload_cycles_match_real_stream() {
+        // `input_preload_cycles` must equal what `ps_stream` actually
+        // takes on a quiet, PS-owned fabric — the serial-latency
+        // accounting and the pipeline-fill measurement are one model.
+        for (addr, len) in [(0x20_0000u32, 784usize), (0x30_0010, 3072), (0x1ffc, 64)] {
+            let soc = Soc::new(SocConfig::zcu102_timing_only());
+            let bytes = vec![0x5Au8; len];
+            let done = soc.ps_stream(addr, &bytes, 0).unwrap();
+            assert_eq!(
+                done,
+                soc.input_preload_cycles(addr, len),
+                "addr {addr:#x} len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn ps_stream_rejected_mid_compute_unless_pipelined() {
+        let soc = Soc::new(SocConfig::zcu102_timing_only());
+        soc.switch_dram_to(Side::Soc);
+        let e = soc.ps_stream(0x20_0000, &[1; 4], 0).unwrap_err();
+        assert!(matches!(e, BusError::SlaveError { .. }), "{e}");
+        soc.set_pipelined(true);
+        soc.ps_stream(0x20_0000, &[1; 4], 0).unwrap();
+    }
+
+    #[test]
+    fn staged_run_is_bit_identical_to_serial() {
+        // A frame whose input arrives via the double-buffer slot (scoped
+        // reset + flip), with the *next* frame's preload contending on
+        // the bus, must produce the exact bytes of a serial cold run —
+        // only cycles may grow, and the frame after it stays warm.
+        let net = zoo::lenet5(1);
+        let artifacts = compile(&net, &CompileOptions::int8()).unwrap();
+        let input = Tensor::random(net.input_shape(), 5);
+        let bytes = artifacts.quantize_input(&input);
+        let fw = Firmware::build(&artifacts).unwrap();
+
+        let mut cold = Soc::new(SocConfig::zcu102_nv_small());
+        let truth = cold.run_firmware(&artifacts, &bytes, &fw).unwrap();
+
+        let mut soc = Soc::new(SocConfig::zcu102_nv_small());
+        soc.load_artifacts(&artifacts).unwrap();
+        soc.set_pipelined(true);
+        // Stage the input in a slot past the model's footprint.
+        let slot = artifacts.dram_used.div_ceil(4096) * 4096;
+        let other = slot + 4096;
+        soc.quiesce();
+        soc.ps_stream(slot, &bytes, 0).unwrap();
+        let staged = soc
+            .run_firmware_staged(&artifacts, slot, &fw, Some((other, &bytes)))
+            .unwrap();
+        assert_eq!(staged.result.raw_output, truth.raw_output, "bytes equal");
+        assert!(staged.preload_done > 0);
+        assert!(
+            staged.result.cycles >= truth.cycles,
+            "contention can only add cycles"
+        );
+        assert!(soc.is_resident(&artifacts), "weights stay warm");
+        // The overlapped preload survives the next scoped reset: run the
+        // staged slot it filled, with no further preload.
+        let second = soc
+            .run_firmware_staged(&artifacts, other, &fw, None)
+            .unwrap();
+        assert_eq!(second.result.raw_output, truth.raw_output);
+        assert_eq!(
+            second.result.cycles, truth.cycles,
+            "no preload -> serial timing"
+        );
     }
 
     #[test]

@@ -48,7 +48,8 @@ pub mod prelude {
     pub use rvnv_nn::{Shape, Tensor};
     pub use rvnv_nvdla::{HwConfig, Nvdla, Precision};
     pub use rvnv_soc::batch::{
-        layout_models, run_parallel, BatchReport, BatchScheduler, Frame, Policy,
+        layout_models, run_parallel, run_parallel_pipelined, BatchReport, BatchScheduler, Frame,
+        FrameLatency, PipelinedScheduler, Policy,
     };
     pub use rvnv_soc::firmware::Firmware;
     pub use rvnv_soc::soc::{InferenceResult, Soc, SocConfig};

@@ -5,8 +5,8 @@
 //! rv-nvdla compile <model> [--fp16] [--unfused] [--out DIR]
 //! rv-nvdla run     <model> [--fp16] [--unfused] [--wfi] [--timing-only] [--repeat N]
 //! rv-nvdla sweep   <model> [--fp16] [--unfused] [--clocks MHZ,..] [--threads N]
-//! rv-nvdla batch   --models A,B[,..] [--frames N] [--policy rr|sqf] [--threads N]
-//!                  [--functional] [--wfi] [--fp16] [--unfused]
+//! rv-nvdla batch   --models A,B[,..] [--frames N] [--policy rr|sqf|eff] [--threads N]
+//!                  [--pipeline] [--functional] [--wfi] [--fp16] [--unfused]
 //! rv-nvdla traces
 //! rv-nvdla resources
 //! rv-nvdla models
@@ -45,13 +45,16 @@ fn main() -> ExitCode {
                  sweep <model> [--fp16] [--unfused] [--clocks 50,100,150,200] [--threads N]\n\
                  \tTiming-only system-clock sweep (wfi firmware) against\n\
                  \tthe 100 MHz MIG, fanned out across worker threads.\n\
-                 batch --models A,B[,..] [--frames N] [--policy rr|sqf] [--threads N]\n\
-                 \x20     [--functional] [--wfi] [--fp16] [--unfused]\n\
+                 batch --models A,B[,..] [--frames N] [--policy rr|sqf|eff] [--threads N]\n\
+                 \x20     [--pipeline] [--functional] [--wfi] [--fp16] [--unfused]\n\
                  \tKeep every listed model resident in DRAM at disjoint\n\
                  \tbases and drain an interleaved frame queue across them\n\
                  \ton one SoC per worker thread (timing-only + wfi unless\n\
-                 \t--functional). Reports per-model cycles, arbiter\n\
-                 \tcontention and end-to-end throughput.\n\
+                 \t--functional). --pipeline double-buffers the inputs:\n\
+                 \tframe N+1's preload streams during frame N's compute\n\
+                 \tand contends at the DRAM arbiter. Reports per-model\n\
+                 \tcycles, per-frame latency, arbiter contention and\n\
+                 \tend-to-end throughput.\n\
                  traces\n\
                  \tRun the standard NVDLA validation traces as firmware.\n\
                  resources\n\
@@ -411,7 +414,7 @@ fn cmd_batch(args: &[String]) -> Result<(), AnyError> {
     validate_args(
         "batch",
         args,
-        &["--fp16", "--unfused", "--wfi", "--functional"],
+        &["--fp16", "--unfused", "--wfi", "--functional", "--pipeline"],
         &["--models", "--frames", "--policy", "--threads"],
         0,
     )?;
@@ -426,6 +429,7 @@ fn cmd_batch(args: &[String]) -> Result<(), AnyError> {
     }
     let frames = parse_number(args, "--frames")?.unwrap_or(16).max(1) as usize;
     let policy: Policy = parse_value(args, "--policy")?.unwrap_or("rr").parse()?;
+    let pipeline = args.iter().any(|a| a == "--pipeline");
     let threads = parse_number(args, "--threads")?
         .map_or_else(
             || std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
@@ -476,32 +480,43 @@ fn cmd_batch(args: &[String]) -> Result<(), AnyError> {
         .collect();
 
     let start = Instant::now();
-    let report = run_parallel(&config, policy, &artifacts, codegen, &frame_stream, threads)?;
+    let report = if pipeline {
+        run_parallel_pipelined(&config, policy, &artifacts, codegen, &frame_stream, threads)?
+    } else {
+        run_parallel(&config, policy, &artifacts, codegen, &frame_stream, threads)?
+    };
     let host_ms = start.elapsed().as_secs_f64() * 1e3;
 
     println!(
-        "batch: {} models resident, {} frames, policy {}, {} worker SoC(s):",
+        "batch: {} models resident, {} frames, policy {}, {}, {} worker SoC(s):",
         artifacts.len(),
         report.total_frames(),
         policy.name(),
+        if report.pipelined {
+            "pipelined preload"
+        } else {
+            "serial preload"
+        },
         threads,
     );
-    println!("  model       frames  cycles/frame   latency     arbiter wait");
+    println!("  model       frames  cycles/frame  service lat   arbiter wait");
     for (name, stats) in &report.per_model {
         println!(
-            "  {:10} {:>6}  {:>12}  {:>7.2} ms  {:>12}",
+            "  {:10} {:>6}  {:>12}  {:>8.2} ms  {:>12}",
             name,
             stats.frames,
             stats.cycles_per_frame(),
-            config.cycles_to_ms(stats.cycles_per_frame()),
+            config.cycles_to_ms(stats.latency_per_frame()),
             stats.arbiter_wait,
         );
     }
     println!(
-        "  total: {} cycles | modeled {:.1} frames/s @{} MHz | host {:.0} ms ({:.1} frames/s)",
+        "  total: {} cycles | modeled {:.1} frames/s compute, {:.1} e2e @{} MHz | warm frame {:.2} ms | host {:.0} ms ({:.1} frames/s)",
         report.total_cycles(),
         report.modeled_fps(config.soc_hz),
+        report.e2e_fps(config.soc_hz),
         config.soc_hz / 1_000_000,
+        config.cycles_to_ms(report.warm_frame_latency()),
         host_ms,
         // Both host numbers from the same interval (end to end,
         // including per-worker setup), so the pair is self-consistent.

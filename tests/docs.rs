@@ -1,0 +1,148 @@
+//! Docs-consistency checks, run as a tier-1 test and as a dedicated CI
+//! step: every intra-repo markdown link must resolve to a real file,
+//! and every `rv-nvdla` subcommand a document names must exist in the
+//! binary's `--help` (usage) output — documentation can't drift from
+//! the CLI it describes.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::process::Command;
+
+/// The documentation surfaces under contract. Walking the whole repo
+/// would drag in generated or vendored text; these are the files we
+/// promise stay consistent.
+fn doc_files() -> Vec<PathBuf> {
+    let root = repo_root();
+    let mut files = vec![
+        root.join("README.md"),
+        root.join("ROADMAP.md"),
+        root.join("CHANGES.md"),
+        root.join("vendor/README.md"),
+    ];
+    for entry in std::fs::read_dir(root.join("docs")).expect("docs/ exists") {
+        let path = entry.expect("readable entry").path();
+        if path.extension().is_some_and(|e| e == "md") {
+            files.push(path);
+        }
+    }
+    files
+}
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Extract `](target)` markdown link targets, skipping absolute URLs
+/// and pure in-page anchors.
+fn relative_links(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(i) = rest.find("](") {
+        rest = &rest[i + 2..];
+        let Some(end) = rest.find(')') else { break };
+        let target = &rest[..end];
+        rest = &rest[end..];
+        if target.is_empty()
+            || target.starts_with("http://")
+            || target.starts_with("https://")
+            || target.starts_with("mailto:")
+            || target.starts_with('#')
+        {
+            continue;
+        }
+        // Strip an in-page anchor from a file link.
+        let path = target.split('#').next().unwrap_or(target);
+        out.push(path.to_string());
+    }
+    out
+}
+
+#[test]
+fn intra_repo_markdown_links_resolve() {
+    let mut missing = Vec::new();
+    for file in doc_files() {
+        let text = std::fs::read_to_string(&file)
+            .unwrap_or_else(|e| panic!("read {}: {e}", file.display()));
+        let dir = file.parent().expect("doc files have a parent");
+        for link in relative_links(&text) {
+            if !dir.join(&link).exists() {
+                missing.push(format!("{} -> {link}", file.display()));
+            }
+        }
+    }
+    assert!(
+        missing.is_empty(),
+        "markdown links that resolve to nothing:\n{}",
+        missing.join("\n")
+    );
+}
+
+/// Subcommands the binary itself advertises, parsed from the usage
+/// banner's `<compile|run|...>` list.
+fn advertised_subcommands() -> BTreeSet<String> {
+    let out = Command::new(env!("CARGO_BIN_EXE_rv-nvdla"))
+        .output()
+        .expect("run rv-nvdla with no arguments");
+    let usage = String::from_utf8_lossy(&out.stderr).into_owned();
+    let start = usage.find('<').expect("usage lists <subcommands>");
+    let end = usage[start..].find('>').expect("closing >") + start;
+    usage[start + 1..end]
+        .split('|')
+        .map(str::to_string)
+        .collect()
+}
+
+/// Every `rv-nvdla <word>` mention in **command position** — a line
+/// starting with the binary name, a `$ rv-nvdla ...` shell example, or
+/// inline code like `` `rv-nvdla run ...` `` — must name a real
+/// subcommand. Prose such as "the rv-nvdla binary" is not a command.
+fn mentioned_subcommands(text: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for line in text.lines() {
+        let mut rest = line;
+        while let Some(i) = rest.find("rv-nvdla ") {
+            let command_position = i == 0
+                || rest[..i].trim_end().is_empty()
+                || rest[..i].ends_with("$ ")
+                || rest[..i].ends_with('`')
+                || rest[..i].ends_with("./target/release/");
+            rest = &rest[i + "rv-nvdla ".len()..];
+            if !command_position {
+                continue;
+            }
+            let word: String = rest
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric())
+                .collect();
+            if !word.is_empty() {
+                out.insert(word);
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn documented_subcommands_exist_in_help_output() {
+    let known = advertised_subcommands();
+    assert!(
+        known.contains("batch") && known.contains("run"),
+        "usage parse sanity: {known:?}"
+    );
+    let mut unknown = Vec::new();
+    for file in doc_files() {
+        let text = std::fs::read_to_string(&file)
+            .unwrap_or_else(|e| panic!("read {}: {e}", file.display()));
+        for word in mentioned_subcommands(&text) {
+            if !known.contains(&word) {
+                unknown.push(format!("{}: rv-nvdla {word}", file.display()));
+            }
+        }
+    }
+    assert!(
+        unknown.is_empty(),
+        "documents name rv-nvdla subcommands missing from --help:\n{}\n(known: {:?})",
+        unknown.join("\n"),
+        known
+    );
+}

@@ -4,7 +4,7 @@ use proptest::prelude::*;
 
 use rvnv_bus::dram::{Dram, DramTiming};
 use rvnv_bus::sram::Sram;
-use rvnv_bus::{Request, Target};
+use rvnv_bus::{Request, Reset, Target};
 use rvnv_compiler::layout::{Allocator, WeightImage};
 use rvnv_compiler::trace::{parse_config_file, write_config_file, ConfigCmd};
 use rvnv_nn::quant::QuantScale;
@@ -271,5 +271,52 @@ proptest! {
         let r = F16::round_f32(v);
         let rel = ((r - v) / v).abs();
         prop_assert!(rel <= 2f32.powi(-11) + f32::EPSILON, "{v} -> {r}");
+    }
+
+    /// Scoped reset (`preserve_across_reset`) — the pipelined frame
+    /// boundary — never clobbers a resident weight image, never loses
+    /// the preserved (in-flight preload) bytes, and still zeroes every
+    /// other written extent. Layout randomized: two disjoint "weight
+    /// images", one staged slot, one scratch write, all in distinct
+    /// 256-byte lanes of a 64 KB device.
+    #[test]
+    fn scoped_reset_preserves_slot_and_images(
+        lane_a in 0usize..4,
+        lane_b in 4usize..8,
+        lane_s in 8usize..12,
+        lane_x in 12usize..16,
+        img_a in proptest::collection::vec(1u8..255, 1..64),
+        img_b in proptest::collection::vec(1u8..255, 1..64),
+        staged in proptest::collection::vec(1u8..255, 1..64),
+        scratch_len in 1usize..64,
+    ) {
+        let at = |lane: usize| lane * 256;
+        let (la, lb, ls, lx) = (at(lane_a), at(lane_b), at(lane_s), at(lane_x));
+        let mut d = Dram::new(64 << 10, DramTiming::mig_ddr4());
+        let extent = |s: usize, e: usize| {
+            let mut r = rvnv_bus::dram::RangeSet::new();
+            r.insert(s, e);
+            r
+        };
+        // Two resident images (weights), a staged slot (next frame's
+        // preload, landed mid-run), and run scratch (activations).
+        d.load(la, &img_a).unwrap();
+        d.add_resident(1, extent(la, la + img_a.len())).unwrap();
+        d.load(lb, &img_b).unwrap();
+        d.add_resident(2, extent(lb, lb + img_b.len())).unwrap();
+        d.write_block(ls as u32, &staged, 0).unwrap();
+        d.write_block(lx as u32, &vec![0xEE; scratch_len], 10).unwrap();
+        d.preserve_across_reset(extent(ls, ls + staged.len()));
+        d.reset();
+        prop_assert!(d.is_image_resident(1) && d.is_image_resident(2));
+        prop_assert_eq!(d.peek(la, img_a.len()), &img_a[..], "image A intact");
+        prop_assert_eq!(d.peek(lb, img_b.len()), &img_b[..], "image B intact");
+        prop_assert_eq!(d.peek(ls, staged.len()), &staged[..], "staged preload intact");
+        prop_assert!(d.peek(lx, scratch_len).iter().all(|&b| b == 0), "scratch zeroed");
+        // The preserve is one-shot: a second (full) reset drops the slot
+        // but still keeps the images.
+        d.reset();
+        prop_assert!(d.peek(ls, staged.len()).iter().all(|&b| b == 0));
+        prop_assert_eq!(d.peek(la, img_a.len()), &img_a[..]);
     }
 }
