@@ -168,6 +168,16 @@ pub enum BatchError {
         /// Number of models registered.
         count: usize,
     },
+    /// A [`BatchScheduler::run_sequence`] plan asked for more frames of
+    /// a model than its queue holds.
+    SequenceOverrun {
+        /// The model index whose queue ran dry.
+        index: usize,
+        /// Frames the sequence demands of that model.
+        demanded: usize,
+        /// Frames actually queued for it.
+        queued: usize,
+    },
 }
 
 impl fmt::Display for BatchError {
@@ -179,6 +189,17 @@ impl fmt::Display for BatchError {
             BatchError::UnknownModel { index, count } => {
                 write!(f, "model index {index} out of range ({count} models)")
             }
+            BatchError::SequenceOverrun {
+                index,
+                demanded,
+                queued,
+            } => {
+                write!(
+                    f,
+                    "sequence demands {demanded} frame(s) of model index {index} \
+                     but only {queued} are queued"
+                )
+            }
         }
     }
 }
@@ -189,7 +210,7 @@ impl Error for BatchError {
             BatchError::Load(e) => Some(e),
             BatchError::Firmware(e) => Some(e),
             BatchError::Run { source, .. } => Some(source),
-            BatchError::UnknownModel { .. } => None,
+            BatchError::UnknownModel { .. } | BatchError::SequenceOverrun { .. } => None,
         }
     }
 }
@@ -544,6 +565,104 @@ impl BatchScheduler {
         self.next_model_with(None)
     }
 
+    /// Zero the per-drain statistics (every drain reports only the
+    /// frames it serves).
+    fn reset_run_state(&mut self) {
+        for m in &mut self.models {
+            m.stats = ModelStats::default();
+            m.est_cycles = 0;
+        }
+    }
+
+    /// Collect the drained statistics into a [`BatchReport`].
+    fn report(
+        &mut self,
+        pipelined: bool,
+        frame_latencies: Vec<FrameLatency>,
+        makespan_cycles: u64,
+        start: Instant,
+    ) -> BatchReport {
+        let per_model = self
+            .models
+            .iter_mut()
+            .map(|m| (m.artifacts.model.clone(), std::mem::take(&mut m.stats)))
+            .collect();
+        BatchReport {
+            policy: self.policy,
+            pipelined,
+            per_model,
+            frame_latencies,
+            makespan_cycles,
+            host_seconds: start.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Check that `seq` fits the registered models and their queues
+    /// (every model index in range, no queue asked for more frames than
+    /// it holds), so a sequence drain can never panic mid-stream.
+    fn validate_sequence(&self, seq: &[usize]) -> Result<(), BatchError> {
+        let mut demanded = vec![0usize; self.models.len()];
+        for &i in seq {
+            let slot = demanded.get_mut(i).ok_or(BatchError::UnknownModel {
+                index: i,
+                count: self.models.len(),
+            })?;
+            *slot += 1;
+        }
+        for (i, &d) in demanded.iter().enumerate() {
+            let queued = self.models[i].queue.len();
+            if d > queued {
+                return Err(BatchError::SequenceOverrun {
+                    index: i,
+                    demanded: d,
+                    queued,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Serve the head frame of model `i` serially (full in-place reset,
+    /// quiet input preload, compute), updating the model's statistics —
+    /// the shared step of [`run_with`](Self::run_with) and
+    /// [`run_sequence`](Self::run_sequence).
+    fn serve_one(
+        &mut self,
+        i: usize,
+        makespan: &mut u64,
+        frame_latencies: &mut Vec<FrameLatency>,
+        on_frame: &mut impl FnMut(usize, &InferenceResult),
+    ) -> Result<(), BatchError> {
+        let slot = &mut self.models[i];
+        let bytes = slot.queue.pop_front().expect("picked model has a frame");
+        let result = self
+            .soc
+            .run_firmware(&slot.artifacts, &bytes, &slot.fw)
+            .map_err(|source| BatchError::Run {
+                model: slot.artifacts.model.clone(),
+                source,
+            })?;
+        // A serial frame's service latency: stream the input (quiet
+        // fabric — nothing else runs), then compute.
+        let latency = slot.preload_cycles + result.cycles;
+        slot.stats.frames += 1;
+        slot.stats.cycles += result.cycles;
+        slot.stats.instructions += result.instructions;
+        slot.stats.arbiter_wait += result.cpu_arbiter_wait;
+        slot.stats.dma_bytes += result.nvdla.total_dma_bytes();
+        slot.stats.preload_cycles += slot.preload_cycles;
+        slot.stats.latency_cycles += latency;
+        slot.est_cycles = result.cycles;
+        frame_latencies.push(FrameLatency {
+            model: i,
+            cycles: latency,
+            fill: false,
+        });
+        *makespan += latency;
+        on_frame(i, &result);
+        Ok(())
+    }
+
     /// Drain every queued frame, invoking `on_frame(model, result)`
     /// after each inference (tests and benches use the hook to check
     /// bit-identity against cold single-model runs).
@@ -558,54 +677,64 @@ impl BatchScheduler {
         mut on_frame: impl FnMut(usize, &InferenceResult),
     ) -> Result<BatchReport, BatchError> {
         let start = Instant::now();
-        for m in &mut self.models {
-            m.stats = ModelStats::default();
-            m.est_cycles = 0;
-        }
+        self.reset_run_state();
         let mut frame_latencies = Vec::new();
         let mut makespan = 0u64;
         while let Some(i) = self.next_model() {
-            let slot = &mut self.models[i];
-            let bytes = slot.queue.pop_front().expect("picked model has a frame");
-            let result = self
-                .soc
-                .run_firmware(&slot.artifacts, &bytes, &slot.fw)
-                .map_err(|source| BatchError::Run {
-                    model: slot.artifacts.model.clone(),
-                    source,
-                })?;
-            // A serial frame's service latency: stream the input (quiet
-            // fabric — nothing else runs), then compute.
-            let latency = slot.preload_cycles + result.cycles;
-            slot.stats.frames += 1;
-            slot.stats.cycles += result.cycles;
-            slot.stats.instructions += result.instructions;
-            slot.stats.arbiter_wait += result.cpu_arbiter_wait;
-            slot.stats.dma_bytes += result.nvdla.total_dma_bytes();
-            slot.stats.preload_cycles += slot.preload_cycles;
-            slot.stats.latency_cycles += latency;
-            slot.est_cycles = result.cycles;
-            frame_latencies.push(FrameLatency {
-                model: i,
-                cycles: latency,
-                fill: false,
-            });
-            makespan += latency;
-            on_frame(i, &result);
+            self.serve_one(i, &mut makespan, &mut frame_latencies, &mut on_frame)?;
         }
-        let per_model = self
-            .models
-            .iter_mut()
-            .map(|m| (m.artifacts.model.clone(), std::mem::take(&mut m.stats)))
-            .collect();
-        Ok(BatchReport {
-            policy: self.policy,
-            pipelined: false,
-            per_model,
-            frame_latencies,
-            makespan_cycles: makespan,
-            host_seconds: start.elapsed().as_secs_f64(),
-        })
+        Ok(self.report(false, frame_latencies, makespan, start))
+    }
+
+    /// Serve frames in an externally chosen model order, bypassing the
+    /// policy: entry `k` of `seq` pops the head of model `seq[k]`'s
+    /// queue. Frames not named by `seq` stay queued. This is the
+    /// dispatch primitive of the serving layer ([`crate::serve`]),
+    /// whose admission simulation decides the order and then replays it
+    /// on a real worker SoC.
+    ///
+    /// ```
+    /// use rvnv_compiler::codegen::CodegenOptions;
+    /// use rvnv_compiler::{compile, CompileOptions};
+    /// use rvnv_nn::{zoo, Tensor};
+    /// use rvnv_soc::batch::{BatchScheduler, Policy};
+    /// use rvnv_soc::soc::SocConfig;
+    /// use std::sync::Arc;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let net = zoo::lenet5(1);
+    /// let mut opt = CompileOptions::int8();
+    /// opt.calib_inputs = 1;
+    /// let artifacts = Arc::new(compile(&net, &opt)?);
+    /// let mut sched =
+    ///     BatchScheduler::new(SocConfig::zcu102_timing_only(), Policy::RoundRobin);
+    /// let model = sched.add_model(artifacts, CodegenOptions::default())?;
+    /// for seed in 0..3 {
+    ///     sched.enqueue(model, &Tensor::random(net.input_shape(), seed))?;
+    /// }
+    /// // Serve only the first two queued frames, in plan order.
+    /// let report = sched.run_sequence(&[model, model])?;
+    /// assert_eq!(report.total_frames(), 2);
+    /// assert_eq!(sched.pending(), 1);
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// [`BatchError::UnknownModel`] / [`BatchError::SequenceOverrun`]
+    /// when `seq` does not fit the queues (checked up front, before any
+    /// frame runs), [`BatchError::Run`] on the first failing frame.
+    pub fn run_sequence(&mut self, seq: &[usize]) -> Result<BatchReport, BatchError> {
+        self.validate_sequence(seq)?;
+        let start = Instant::now();
+        self.reset_run_state();
+        let mut frame_latencies = Vec::new();
+        let mut makespan = 0u64;
+        for &i in seq {
+            self.serve_one(i, &mut makespan, &mut frame_latencies, &mut |_, _| {})?;
+        }
+        Ok(self.report(false, frame_latencies, makespan, start))
     }
 
     /// Drain every queued frame. See [`run_with`](Self::run_with).
@@ -742,6 +871,29 @@ pub fn run_parallel(
 /// frame N+1's input into slot `(N+1) % 2` — never into DRAM the
 /// models own, so an in-flight preload can't clobber weights or the
 /// computing frame's data.
+///
+/// ```
+/// use rvnv_compiler::{ArtifactCache, CompileOptions};
+/// use rvnv_nn::zoo;
+/// use rvnv_soc::batch::{input_slots, layout_models};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut opt = CompileOptions::int8();
+/// opt.calib_inputs = 1;
+/// let cache = ArtifactCache::new();
+/// let models = layout_models(&cache, &[zoo::lenet5(1), zoo::lenet5(2)], &opt)?;
+///
+/// let (slots, len) = input_slots(&models);
+/// // Slot 0 past every model footprint, slot 1 past slot 0 — both
+/// // disjoint from the resident weight images.
+/// let high = models.iter().map(|a| a.dram_used).max().unwrap();
+/// assert!(slots[0] >= high);
+/// assert!(u64::from(slots[1]) >= u64::from(slots[0]) + len as u64);
+/// // Either slot fits the largest model's input image.
+/// assert_eq!(len, models.iter().map(|a| a.input_len).max().unwrap());
+/// # Ok(())
+/// # }
+/// ```
 #[must_use]
 pub fn input_slots(models: &[Arc<Artifacts>]) -> ([u32; 2], usize) {
     // u64 arithmetic throughout: a footprint near the top of the 4 GB
@@ -894,13 +1046,23 @@ impl PipelinedScheduler {
     /// memory (impossible through [`add_model`](Self::add_model)).
     pub fn run_with(
         &mut self,
+        on_frame: impl FnMut(usize, &InferenceResult),
+    ) -> Result<BatchReport, BatchError> {
+        self.drain_with(BatchScheduler::next_model_with, on_frame)
+    }
+
+    /// The pipelined drain loop, generalized over how the next frame is
+    /// chosen: `pick(sched, current)` returns the model whose head
+    /// frame preloads behind `current`'s compute (`None` ends the
+    /// stream). [`run_with`](Self::run_with) picks by policy;
+    /// [`run_sequence`](Self::run_sequence) replays an external plan.
+    fn drain_with(
+        &mut self,
+        mut pick: impl FnMut(&mut BatchScheduler, Option<usize>) -> Option<usize>,
         mut on_frame: impl FnMut(usize, &InferenceResult),
     ) -> Result<BatchReport, BatchError> {
         let start = Instant::now();
-        for m in &mut self.inner.models {
-            m.stats = ModelStats::default();
-            m.est_cycles = 0;
-        }
+        self.inner.reset_run_state();
         let (slots, _) = self.staging()?;
         let sched = &mut self.inner;
         let mut frame_latencies = Vec::new();
@@ -919,7 +1081,7 @@ impl PipelinedScheduler {
                 host_seconds: start.elapsed().as_secs_f64(),
             }
         };
-        let Some(mut cur) = sched.next_model_with(None) else {
+        let Some(mut cur) = pick(sched, None) else {
             return Ok(report(sched, frame_latencies, 0));
         };
         let first_bytes = sched.models[cur]
@@ -944,7 +1106,7 @@ impl PipelinedScheduler {
         let mut prev_completion = 0u64;
         let mut carries_fill = true;
         loop {
-            let next = sched.next_model_with(Some(cur));
+            let next = pick(sched, Some(cur));
             let next_bytes = next.map(|i| {
                 sched.models[i]
                     .queue
@@ -1012,12 +1174,64 @@ impl PipelinedScheduler {
     /// Drain every queued frame with overlapped preload. See
     /// [`run_with`](Self::run_with).
     ///
+    /// ```
+    /// use rvnv_compiler::codegen::CodegenOptions;
+    /// use rvnv_compiler::{compile, CompileOptions};
+    /// use rvnv_nn::{zoo, Tensor};
+    /// use rvnv_soc::batch::{PipelinedScheduler, Policy};
+    /// use rvnv_soc::soc::SocConfig;
+    /// use std::sync::Arc;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let net = zoo::lenet5(1);
+    /// let mut opt = CompileOptions::int8();
+    /// opt.calib_inputs = 1;
+    /// let artifacts = Arc::new(compile(&net, &opt)?);
+    ///
+    /// let mut sched =
+    ///     PipelinedScheduler::new(SocConfig::zcu102_timing_only(), Policy::RoundRobin);
+    /// let model = sched.add_model(artifacts, CodegenOptions::default())?;
+    /// sched.enqueue(model, &Tensor::random(net.input_shape(), 7))?;
+    /// sched.enqueue(model, &Tensor::random(net.input_shape(), 8))?;
+    ///
+    /// let report = sched.run()?;
+    /// assert_eq!(report.total_frames(), 2);
+    /// assert!(report.pipelined);
+    /// // Exactly one frame carried the pipeline fill (the first
+    /// // preload, which nothing could hide); the other ran warm with
+    /// // its input streamed during the fill frame's compute.
+    /// let fills = report.frame_latencies.iter().filter(|f| f.fill).count();
+    /// assert_eq!(fills, 1);
+    /// assert!(report.warm_frame_latency() <= report.mean_frame_latency());
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
     /// # Errors
     ///
     /// [`BatchError::Run`] on the first failing frame,
     /// [`BatchError::Load`] when the staging slots do not fit in DRAM.
     pub fn run(&mut self) -> Result<BatchReport, BatchError> {
         self.run_with(|_, _| {})
+    }
+
+    /// Drain one pipelined **burst** in an externally chosen model
+    /// order, bypassing the policy: entry `k` of `seq` pops the head of
+    /// model `seq[k]`'s queue, and entry `k+1`'s input streams behind
+    /// entry `k`'s compute. Frames not named by `seq` stay queued, so a
+    /// serving worker can replay its dispatch plan burst by burst (each
+    /// burst paying one pipeline fill — see [`crate::serve`]).
+    ///
+    /// # Errors
+    ///
+    /// [`BatchError::UnknownModel`] / [`BatchError::SequenceOverrun`]
+    /// when `seq` does not fit the queues (checked up front, before any
+    /// frame runs), [`BatchError::Run`] on the first failing frame,
+    /// [`BatchError::Load`] when the staging slots do not fit in DRAM.
+    pub fn run_sequence(&mut self, seq: &[usize]) -> Result<BatchReport, BatchError> {
+        self.inner.validate_sequence(seq)?;
+        let mut order = seq.iter().copied();
+        self.drain_with(move |_, _| order.next(), |_, _| {})
     }
 }
 

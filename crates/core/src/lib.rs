@@ -17,7 +17,10 @@
 //! * [`resources`] — the analytical FPGA resource model behind Table I,
 //! * [`sweep`] — host-side worker fan-out for configuration sweeps,
 //! * [`batch`] — the multi-model resident batch scheduler (several
-//!   weight images pinned in one DRAM, frames interleaved across them).
+//!   weight images pinned in one DRAM, frames interleaved across them),
+//! * [`serve`] — open-loop inference serving on top of [`batch`]:
+//!   seeded arrival traces, a bounded admission queue, a warm-SoC
+//!   worker pool and SLO-percentile reporting.
 //!
 //! # Example
 //!
@@ -42,6 +45,7 @@ pub mod batch;
 pub mod firmware;
 pub mod profile;
 pub mod resources;
+pub mod serve;
 pub mod soc;
 pub mod sweep;
 pub mod zynq;

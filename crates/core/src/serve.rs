@@ -1,0 +1,1445 @@
+//! Open-loop inference serving on the co-simulated SoC.
+//!
+//! [`batch`](crate::batch) drains a pre-built frame queue; a *server*
+//! faces load it does not control: requests arrive on their own clock,
+//! queue up when every accelerator is busy, and get dropped when the
+//! admission queue overflows. This module turns the batch machinery
+//! into that closed loop, entirely in **modeled time**:
+//!
+//! 1. **Arrival process** — a seeded, deterministic open-loop workload
+//!    generator ([`RequestTrace::generate`]): Poisson or fixed-rate
+//!    arrivals at a configured request rate, each request tagged with
+//!    one of the resident models. The trace replays bit-identically
+//!    from its seed, so every experiment is reproducible.
+//! 2. **Admission queue** — a bounded queue ([`ServeSpec::queue_depth`])
+//!    in front of the worker pool. A request arriving when every worker
+//!    is busy and the queue is full is **dropped** (counted, and held
+//!    against SLO attainment).
+//! 3. **Worker pool** — [`ServeSpec::workers`] workers, each owning a
+//!    warm [`Soc`] with the full model set resident (the multi-image
+//!    residency of [`crate::batch::layout_models`]). Dispatch reuses
+//!    [`Policy`] (rr/sqf/eff) over the queued models, in either the
+//!    **serial** worker mode (each frame pays its quiet input preload,
+//!    then computes) or the **pipelined** one (the next request's input
+//!    streams behind the current frame's compute and contends at the
+//!    DRAM arbiter, exactly as in [`PipelinedScheduler`]).
+//!
+//! # Calibrate → simulate → replay
+//!
+//! The SoC simulator is *deterministic*: a model's warm frame always
+//! costs the same modeled cycles, and a pipelined frame's (contended
+//! compute, overlapped-preload completion) depends only on the
+//! `(current, next)` model pair — not on chain position, double-buffer
+//! parity or input bytes. [`ServiceModel::calibrate`] measures those
+//! per-model and per-pair costs once on a real SoC (`N` warm frames
+//! plus `N²` staged pairs); [`simulate`] then runs the queueing system
+//! event by event against a request trace, which scales to arbitrarily
+//! long traces without stepping the ISS per request; finally
+//! [`Server::serve`] **replays** the simulated dispatch plan on real
+//! per-worker SoCs (fanned out via [`crate::sweep::fan_out`], using
+//! [`BatchScheduler::run_sequence`](crate::batch::BatchScheduler::run_sequence)
+//! / [`PipelinedScheduler::run_sequence`](crate::batch::PipelinedScheduler::run_sequence))
+//! and cross-checks every frame's modeled latency against the plan —
+//! [`ServeReport::replay_divergence`] is the number of frames where
+//! the simulator disagreed with the real machine, and `tests/serve.rs`
+//! pins it at zero.
+//!
+//! # Latency accounting
+//!
+//! Every served request's modeled latency is split as
+//! `total = queue_wait + service`:
+//!
+//! * **serial worker** — `queue_wait` = arrival → dequeue; `service` =
+//!   quiet input preload + compute (the
+//!   [`FrameLatency`](crate::batch::FrameLatency) definition).
+//! * **pipelined worker** — `queue_wait` = arrival → compute start
+//!   (this includes the request's own input streaming, hidden under
+//!   the previous frame's compute or paid as a burst fill);
+//!   `service` = the contended compute itself.
+//!
+//! [`ServeReport`] reports p50/p95/p99 percentiles of all three
+//! distributions, per-model and per-worker breakdowns, offered vs.
+//! achieved throughput, and SLO attainment at a configurable target
+//! (dropped requests count as SLO misses). See `docs/SERVING.md` for
+//! the queueing model and how to read the rate-vs-p99 hockey stick.
+
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+use std::sync::Arc;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rvnv_compiler::codegen::CodegenOptions;
+use rvnv_compiler::Artifacts;
+
+use crate::batch::{input_slots, BatchError, BatchScheduler, PipelinedScheduler, Policy};
+use crate::firmware::Firmware;
+use crate::soc::{Soc, SocConfig};
+use crate::sweep::fan_out;
+
+/// How request arrivals are spaced in modeled time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalProcess {
+    /// Exponentially distributed inter-arrival gaps (a memoryless
+    /// open-loop client population) at the configured mean rate.
+    Poisson,
+    /// Evenly spaced arrivals at exactly the configured rate.
+    Fixed,
+}
+
+impl ArrivalProcess {
+    /// CLI spelling of the process.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ArrivalProcess::Poisson => "poisson",
+            ArrivalProcess::Fixed => "fixed",
+        }
+    }
+}
+
+impl FromStr for ArrivalProcess {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "poisson" => Ok(ArrivalProcess::Poisson),
+            "fixed" => Ok(ArrivalProcess::Fixed),
+            other => Err(format!(
+                "unknown arrival process `{other}` (expected poisson|fixed)"
+            )),
+        }
+    }
+}
+
+/// One request of an open-loop trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Arrival time in modeled cycles at the SoC clock.
+    pub arrival: u64,
+    /// Index of the resident model the request targets.
+    pub model: usize,
+}
+
+/// A replayable open-loop request trace: arrivals in nondecreasing
+/// modeled-cycle order, each tagged with a model index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestTrace {
+    /// The requests, sorted by arrival cycle.
+    pub requests: Vec<Request>,
+    /// The window (in cycles) over which arrivals were generated; the
+    /// offered rate is `requests.len()` per `duration` cycles.
+    pub duration: u64,
+}
+
+impl RequestTrace {
+    /// Generate a seeded trace: arrivals per `process` at a mean of
+    /// `rate_rps` requests per second (of modeled time at `soc_hz`)
+    /// over `duration` cycles, each request tagged with a model drawn
+    /// uniformly from `0..models`. Deterministic: the same arguments
+    /// always produce the bit-identical trace (`tests/properties.rs`
+    /// pins the replay property).
+    #[must_use]
+    pub fn generate(
+        process: ArrivalProcess,
+        rate_rps: u64,
+        duration: u64,
+        models: usize,
+        seed: u64,
+        soc_hz: u64,
+    ) -> Self {
+        let mut requests = Vec::new();
+        if rate_rps == 0 || models == 0 || soc_hz == 0 {
+            return RequestTrace { requests, duration };
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        match process {
+            ArrivalProcess::Poisson => {
+                let mean_gap = soc_hz as f64 / rate_rps as f64;
+                let mut t = 0.0f64;
+                loop {
+                    let u: f64 = rng.gen_range(0.0..1.0);
+                    t += -(1.0 - u).ln() * mean_gap;
+                    if t >= duration as f64 {
+                        break;
+                    }
+                    requests.push(Request {
+                        arrival: t as u64,
+                        model: rng.gen_range(0..models),
+                    });
+                }
+            }
+            ArrivalProcess::Fixed => {
+                for i in 0u64.. {
+                    let arrival =
+                        u64::try_from(u128::from(i) * u128::from(soc_hz) / u128::from(rate_rps))
+                            .unwrap_or(u64::MAX);
+                    if arrival >= duration {
+                        break;
+                    }
+                    requests.push(Request {
+                        arrival,
+                        model: rng.gen_range(0..models),
+                    });
+                }
+            }
+        }
+        RequestTrace { requests, duration }
+    }
+
+    /// Offered request rate in requests per second of modeled time.
+    #[must_use]
+    pub fn offered_rate(&self, soc_hz: u64) -> f64 {
+        if self.duration == 0 {
+            return 0.0;
+        }
+        self.requests.len() as f64 * soc_hz as f64 / self.duration as f64
+    }
+}
+
+/// The serving experiment: load, pool shape, dispatch and SLO target.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeSpec {
+    /// Arrival spacing.
+    pub process: ArrivalProcess,
+    /// Offered request rate in requests per second of modeled time.
+    pub rate_rps: u64,
+    /// Length of the arrival window in modeled milliseconds.
+    pub duration_ms: u64,
+    /// Workload seed (arrival times, model mix, input bytes).
+    pub seed: u64,
+    /// Workers in the pool, each a warm SoC with every model resident.
+    pub workers: usize,
+    /// Dispatch policy over the queued models.
+    pub policy: Policy,
+    /// Pipelined worker mode: overlap the next request's input preload
+    /// with the current frame's compute (per worker).
+    pub pipelined: bool,
+    /// Admission-queue bound; an arrival past it is dropped.
+    pub queue_depth: usize,
+    /// SLO target on total (queue wait + service) latency, in modeled
+    /// microseconds.
+    pub slo_us: u64,
+}
+
+impl Default for ServeSpec {
+    fn default() -> Self {
+        ServeSpec {
+            process: ArrivalProcess::Poisson,
+            rate_rps: 150,
+            duration_ms: 400,
+            seed: 42,
+            workers: 1,
+            policy: Policy::RoundRobin,
+            pipelined: false,
+            queue_depth: 8,
+            slo_us: 20_000,
+        }
+    }
+}
+
+impl ServeSpec {
+    /// Reject degenerate parameters with a clear message: a rate,
+    /// duration, worker count or queue depth of zero describes no
+    /// serving system at all.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Config`] naming the offending parameter.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.rate_rps == 0 {
+            return Err(ServeError::Config("--rate must be >= 1 request/s".into()));
+        }
+        if self.duration_ms == 0 {
+            return Err(ServeError::Config("--duration must be >= 1 ms".into()));
+        }
+        if self.workers == 0 {
+            return Err(ServeError::Config("--workers must be >= 1".into()));
+        }
+        if self.queue_depth == 0 {
+            return Err(ServeError::Config(
+                "--queue-depth must be >= 1 (an unqueued server drops every burst)".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The arrival window in cycles at `soc_hz`.
+    #[must_use]
+    pub fn duration_cycles(&self, soc_hz: u64) -> u64 {
+        self.duration_ms.saturating_mul(soc_hz / 1000)
+    }
+
+    /// The SLO target in cycles at `soc_hz`.
+    #[must_use]
+    pub fn slo_cycles(&self, soc_hz: u64) -> u64 {
+        self.slo_us.saturating_mul(soc_hz / 1_000_000)
+    }
+}
+
+/// Serving failure.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A degenerate or inconsistent specification.
+    Config(String),
+    /// The underlying batch machinery failed (model load, firmware,
+    /// a frame run).
+    Batch(BatchError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Config(msg) => write!(f, "{msg}"),
+            ServeError::Batch(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Config(_) => None,
+            ServeError::Batch(e) => Some(e),
+        }
+    }
+}
+
+impl From<BatchError> for ServeError {
+    fn from(e: BatchError) -> Self {
+        ServeError::Batch(e)
+    }
+}
+
+/// Calibrated modeled service costs of the resident model set — the
+/// deterministic per-model and per-pair cycle counts the queueing
+/// simulation runs on. Measured once per server on a real SoC
+/// ([`ServiceModel::calibrate`]); the replay check
+/// ([`ServeReport::replay_divergence`]) proves they stay exact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceModel {
+    /// Quiet input-preload cycles into the model's own input buffer
+    /// (the serial worker's per-frame preload cost).
+    pub preload: Vec<u64>,
+    /// Quiet input-preload cycles into the double-buffer staging slot
+    /// (the pipelined worker's burst-fill cost).
+    pub fill: Vec<u64>,
+    /// Warm compute cycles with nothing streaming behind the frame.
+    pub compute: Vec<u64>,
+    /// `compute_with[cur][next]`: `cur`'s compute cycles while `next`'s
+    /// input streams behind it and contends at the DRAM arbiter.
+    pub compute_with: Vec<Vec<u64>>,
+    /// `preload_done[cur][next]`: the cycle, on `cur`'s frame timeline,
+    /// at which `next`'s overlapped preload completes (may exceed
+    /// `compute_with[cur][next]` when compute is too short to hide it).
+    pub preload_done: Vec<Vec<u64>>,
+}
+
+impl ServiceModel {
+    /// Number of models the profile covers.
+    #[must_use]
+    pub fn models(&self) -> usize {
+        self.compute.len()
+    }
+
+    /// Measure the profile on a real SoC: every model pinned resident
+    /// at its compiled base, one warm frame per model (serial compute),
+    /// and one staged pair per ordered `(cur, next)` combination (the
+    /// pipelined contention matrix). `N + N²` frames total, after which
+    /// the scratch SoC is dropped.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Batch`] when a model fails to pin, its firmware
+    /// fails to build, or a calibration frame fails.
+    pub fn calibrate(
+        config: &SocConfig,
+        artifacts: &[Arc<Artifacts>],
+        codegen: CodegenOptions,
+    ) -> Result<Self, ServeError> {
+        let n = artifacts.len();
+        if n == 0 {
+            return Err(ServeError::Config(
+                "serving needs at least one model".into(),
+            ));
+        }
+        let mut soc = Soc::new(config.clone());
+        let mut fws = Vec::with_capacity(n);
+        for a in artifacts {
+            let fw = Firmware::build_with(a, codegen).map_err(BatchError::Firmware)?;
+            soc.load_artifacts(a).map_err(BatchError::Load)?;
+            fws.push(fw);
+        }
+        let zeros: Vec<Vec<u8>> = artifacts.iter().map(|a| vec![0u8; a.input_len]).collect();
+        let run_err = |a: &Arc<Artifacts>| {
+            let model = a.model.clone();
+            move |source| BatchError::Run { model, source }
+        };
+
+        let mut compute = Vec::with_capacity(n);
+        for (m, a) in artifacts.iter().enumerate() {
+            let r = soc
+                .run_firmware(a, &zeros[m], &fws[m])
+                .map_err(run_err(a))?;
+            compute.push(r.cycles);
+        }
+        let preload: Vec<u64> = artifacts
+            .iter()
+            .map(|a| soc.input_preload_cycles(a.input_addr, a.input_len))
+            .collect();
+
+        let (slots, _) = input_slots(artifacts);
+        soc.set_pipelined(true);
+        // Burst fill: measured through the real PS path (not the
+        // analytic model) from the post-run fabric state a burst start
+        // actually sees.
+        let mut fill = Vec::with_capacity(n);
+        for (m, a) in artifacts.iter().enumerate() {
+            soc.quiesce();
+            let done = soc
+                .ps_stream(slots[0], &zeros[m], 0)
+                .map_err(BatchError::Load)?;
+            fill.push(done);
+            // Consume the staged bytes so the next measurement starts
+            // from the same just-ran state.
+            soc.run_firmware_staged(a, slots[0], &fws[m], None)
+                .map_err(run_err(a))?;
+        }
+        let mut compute_with = vec![vec![0u64; n]; n];
+        let mut preload_done = vec![vec![0u64; n]; n];
+        for (cur, a) in artifacts.iter().enumerate() {
+            for next in 0..n {
+                soc.quiesce();
+                soc.ps_stream(slots[0], &zeros[cur], 0)
+                    .map_err(BatchError::Load)?;
+                let out = soc
+                    .run_firmware_staged(a, slots[0], &fws[cur], Some((slots[1], &zeros[next])))
+                    .map_err(run_err(a))?;
+                compute_with[cur][next] = out.result.cycles;
+                preload_done[cur][next] = out.preload_done;
+            }
+        }
+        Ok(ServiceModel {
+            preload,
+            fill,
+            compute,
+            compute_with,
+            preload_done,
+        })
+    }
+}
+
+/// Latency percentiles over one distribution of modeled cycles.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyStats {
+    /// Median (nearest-rank).
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Arithmetic mean.
+    pub mean: u64,
+    /// Maximum.
+    pub max: u64,
+}
+
+impl LatencyStats {
+    /// Compute the statistics of `samples` (sorted in place). All
+    /// zeros when empty.
+    #[must_use]
+    pub fn from_samples(samples: &mut [u64]) -> Self {
+        if samples.is_empty() {
+            return LatencyStats::default();
+        }
+        samples.sort_unstable();
+        let sum: u128 = samples.iter().map(|&v| u128::from(v)).sum();
+        LatencyStats {
+            p50: percentile(samples, 50.0),
+            p95: percentile(samples, 95.0),
+            p99: percentile(samples, 99.0),
+            mean: u64::try_from(sum / samples.len() as u128).unwrap_or(u64::MAX),
+            max: *samples.last().expect("nonempty"),
+        }
+    }
+}
+
+/// Nearest-rank percentile of an already **sorted** sample set:
+/// the smallest value such that at least `pct`% of the samples are at
+/// or below it. 0 when empty. Monotone in `pct` by construction
+/// (`tests/properties.rs` pins p50 ≤ p95 ≤ p99).
+#[must_use]
+pub fn percentile(sorted: &[u64], pct: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let n = sorted.len();
+    let rank = ((pct / 100.0) * n as f64).ceil().max(0.0) as usize;
+    sorted[rank.clamp(1, n) - 1]
+}
+
+/// Per-model serving outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeModelStats {
+    /// Model name.
+    pub name: String,
+    /// Requests the trace offered for this model.
+    pub offered: u64,
+    /// Requests served to completion.
+    pub served: u64,
+    /// Requests dropped at the admission queue.
+    pub dropped: u64,
+    /// Service-latency statistics of the served requests.
+    pub service: LatencyStats,
+    /// Total-latency (queue wait + service) statistics.
+    pub total: LatencyStats,
+    /// Served requests whose total latency met the SLO target.
+    pub slo_attained: u64,
+}
+
+/// Per-worker serving outcome.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Frames the worker served.
+    pub frames: u64,
+    /// Modeled cycles the worker spent busy (preload fills, compute
+    /// windows).
+    pub busy_cycles: u64,
+}
+
+/// What one request experienced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestOutcome {
+    /// Served to completion.
+    Served {
+        /// Worker that ran the frame.
+        worker: usize,
+        /// Arrival → dispatch (see the [module docs](self) for the
+        /// split's exact meaning per worker mode).
+        queue_wait: u64,
+        /// Dispatch → completion.
+        service: u64,
+        /// Absolute completion cycle.
+        completion: u64,
+    },
+    /// Dropped at the admission queue (queue full, no idle worker).
+    Dropped,
+}
+
+/// One request's record in a [`ServeReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestRecord {
+    /// Model the request targeted.
+    pub model: usize,
+    /// Arrival cycle.
+    pub arrival: u64,
+    /// What happened to it.
+    pub outcome: RequestOutcome,
+}
+
+/// Result of serving one trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Dispatch policy used.
+    pub policy: Policy,
+    /// Whether workers ran in the pipelined mode.
+    pub pipelined: bool,
+    /// Worker-pool size.
+    pub workers: usize,
+    /// Admission-queue bound.
+    pub queue_depth: usize,
+    /// Arrival process.
+    pub process: ArrivalProcess,
+    /// Configured offered rate in requests per second.
+    pub rate_rps: u64,
+    /// Workload seed.
+    pub seed: u64,
+    /// SoC clock the cycle figures are denominated in.
+    pub soc_hz: u64,
+    /// Arrival-window length in cycles.
+    pub duration_cycles: u64,
+    /// SLO target in cycles.
+    pub slo_cycles: u64,
+    /// Requests the trace offered.
+    pub offered: u64,
+    /// Requests served to completion.
+    pub served: u64,
+    /// Requests dropped at the admission queue.
+    pub dropped: u64,
+    /// Last completion cycle (0 when nothing was served).
+    pub makespan_cycles: u64,
+    /// Queue-wait statistics of the served requests.
+    pub queue_wait: LatencyStats,
+    /// Service-latency statistics of the served requests.
+    pub service: LatencyStats,
+    /// Total-latency (queue wait + service) statistics.
+    pub total: LatencyStats,
+    /// Per-model breakdown, in model order.
+    pub per_model: Vec<ServeModelStats>,
+    /// Per-worker breakdown, in worker order.
+    pub per_worker: Vec<WorkerStats>,
+    /// Served requests whose total latency met the SLO target.
+    pub slo_attained: u64,
+    /// Per-request records, in trace order.
+    pub records: Vec<RequestRecord>,
+    /// Frames whose replayed (real-SoC) latency disagreed with the
+    /// simulated plan: 0 after [`Server::serve`] on a healthy build,
+    /// and always 0 after a plan-only [`Server::plan`].
+    pub replay_divergence: u64,
+    /// Host wall-clock seconds spent (calibration excluded).
+    pub host_seconds: f64,
+}
+
+impl ServeReport {
+    /// Offered request rate in requests per second of modeled time.
+    #[must_use]
+    pub fn offered_rate(&self) -> f64 {
+        if self.duration_cycles == 0 {
+            return 0.0;
+        }
+        self.offered as f64 * self.soc_hz as f64 / self.duration_cycles as f64
+    }
+
+    /// Achieved (served) request rate in requests per second of
+    /// modeled time, over the longer of the arrival window and the
+    /// drain. Never exceeds [`ServeReport::offered_rate`]
+    /// (`tests/properties.rs` pins the invariant).
+    #[must_use]
+    pub fn achieved_rate(&self) -> f64 {
+        let span = self.duration_cycles.max(self.makespan_cycles);
+        if span == 0 {
+            return 0.0;
+        }
+        self.served as f64 * self.soc_hz as f64 / span as f64
+    }
+
+    /// Fraction of offered requests dropped at the admission queue.
+    #[must_use]
+    pub fn drop_rate(&self) -> f64 {
+        if self.offered == 0 {
+            return 0.0;
+        }
+        self.dropped as f64 / self.offered as f64
+    }
+
+    /// Fraction of **offered** requests whose total latency met the
+    /// SLO target — a dropped request is an SLO miss, not a footnote.
+    #[must_use]
+    pub fn slo_attainment(&self) -> f64 {
+        if self.offered == 0 {
+            return 1.0;
+        }
+        self.slo_attained as f64 / self.offered as f64
+    }
+}
+
+/// One planned frame of a worker burst: which request, and the modeled
+/// per-frame latency ([`crate::batch::FrameLatency`] semantics) the
+/// replay must reproduce.
+#[derive(Debug, Clone, Copy)]
+struct PlannedFrame {
+    request: usize,
+    predicted: u64,
+}
+
+/// A worker's dispatch plan: bursts of frames. In the pipelined mode a
+/// burst is a maximal chain of overlap-staged frames (one pipeline
+/// fill each); a serial worker has one burst holding every frame.
+#[derive(Debug, Clone, Default)]
+struct WorkerPlan {
+    bursts: Vec<Vec<PlannedFrame>>,
+}
+
+impl WorkerPlan {
+    fn frames(&self) -> usize {
+        self.bursts.iter().map(Vec::len).sum()
+    }
+}
+
+/// Event-driven state of one simulated worker.
+struct SimWorker {
+    /// When the worker's next decision point occurs.
+    free_at: u64,
+    /// Pipelined mode: the request whose input is (being) staged and
+    /// whose compute starts at `free_at`.
+    staged: Option<usize>,
+    /// Completion cycle of the previous frame in the open burst.
+    burst_prev_completion: u64,
+    stats: WorkerStats,
+    plan: WorkerPlan,
+}
+
+/// The admission queue plus dispatch-policy state.
+struct Dispatcher<'a> {
+    service: &'a ServiceModel,
+    policy: Policy,
+    /// Per-model FIFO of queued request indices.
+    queues: Vec<VecDeque<usize>>,
+    queued: usize,
+    /// Round-robin rotation cursor.
+    cursor: usize,
+}
+
+impl Dispatcher<'_> {
+    /// Pick the model to dequeue next, mirroring
+    /// [`Policy`]'s semantics in [`crate::batch`]: `current` is the
+    /// model about to compute while the picked request's input streams
+    /// behind it (pipelined); estimates come from the calibrated
+    /// profile rather than batch's last-observed cycles, since a
+    /// server knows its residents. `None` when the queue is empty.
+    fn pick(&mut self, current: Option<usize>) -> Option<usize> {
+        let n = self.queues.len();
+        match self.policy {
+            Policy::RoundRobin => {
+                let pick = (0..n)
+                    .map(|off| (self.cursor + off) % n)
+                    .find(|&m| !self.queues[m].is_empty())?;
+                self.cursor = (pick + 1) % n;
+                Some(pick)
+            }
+            Policy::ShortestQueueFirst => self
+                .queues
+                .iter()
+                .enumerate()
+                .filter(|(_, q)| !q.is_empty())
+                .min_by_key(|(m, q)| (q.len(), *m))
+                .map(|(m, _)| m),
+            Policy::EarliestFinish => {
+                let hide = current.map_or(0, |c| self.service.compute[c]);
+                self.queues
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, q)| !q.is_empty())
+                    .min_by_key(|(m, _)| {
+                        (
+                            self.service.preload[*m].max(hide) + self.service.compute[*m],
+                            *m,
+                        )
+                    })
+                    .map(|(m, _)| m)
+            }
+        }
+    }
+
+    /// Dequeue the FIFO head of the picked model.
+    fn pop(&mut self, model: usize) -> usize {
+        self.queued -= 1;
+        self.queues[model].pop_front().expect("picked nonempty")
+    }
+
+    fn enqueue(&mut self, model: usize, request: usize) {
+        self.queues[model].push_back(request);
+        self.queued += 1;
+    }
+}
+
+/// Run the queueing system over `trace` in modeled time and build the
+/// report plus per-worker dispatch plans. Pure: no SoC is touched, so
+/// this scales to arbitrarily long traces (and is what the property
+/// tests drive with synthetic profiles).
+fn simulate_plan(
+    trace: &RequestTrace,
+    service: &ServiceModel,
+    spec: &ServeSpec,
+    names: &[String],
+    soc_hz: u64,
+) -> (ServeReport, Vec<WorkerPlan>) {
+    assert_eq!(
+        names.len(),
+        service.models(),
+        "one name per calibrated model"
+    );
+    let n = service.models();
+    let mut disp = Dispatcher {
+        service,
+        policy: spec.policy,
+        queues: vec![VecDeque::new(); n],
+        queued: 0,
+        cursor: 0,
+    };
+    let mut workers: Vec<SimWorker> = (0..spec.workers)
+        .map(|_| SimWorker {
+            free_at: 0,
+            staged: None,
+            burst_prev_completion: 0,
+            stats: WorkerStats::default(),
+            plan: WorkerPlan::default(),
+        })
+        .collect();
+    let mut records: Vec<RequestRecord> = trace
+        .requests
+        .iter()
+        .map(|r| RequestRecord {
+            model: r.model,
+            arrival: r.arrival,
+            outcome: RequestOutcome::Dropped,
+        })
+        .collect();
+
+    /// Advance one worker's state machine at its decision point.
+    fn step(
+        w: usize,
+        workers: &mut [SimWorker],
+        disp: &mut Dispatcher<'_>,
+        records: &mut [RequestRecord],
+        service: &ServiceModel,
+        pipelined: bool,
+    ) {
+        let now = workers[w].free_at;
+        if pipelined {
+            if let Some(req) = workers[w].staged.take() {
+                // The staged request computes now; try to overlap the
+                // next pick's preload behind it.
+                let m = records[req].model;
+                let next = disp.pick(Some(m));
+                let (compute, window) = match next {
+                    Some(nm) => {
+                        let nr = disp.pop(nm);
+                        workers[w].staged = Some(nr);
+                        let c = service.compute_with[m][nm];
+                        (c, c.max(service.preload_done[m][nm]))
+                    }
+                    None => (service.compute[m], service.compute[m]),
+                };
+                let completion = now + compute;
+                records[req].outcome = RequestOutcome::Served {
+                    worker: w,
+                    queue_wait: now - records[req].arrival,
+                    service: compute,
+                    completion,
+                };
+                let burst = workers[w]
+                    .plan
+                    .bursts
+                    .last_mut()
+                    .expect("staged frame has an open burst");
+                burst.push(PlannedFrame {
+                    request: req,
+                    predicted: completion - workers[w].burst_prev_completion,
+                });
+                workers[w].burst_prev_completion = completion;
+                workers[w].stats.frames += 1;
+                workers[w].stats.busy_cycles += window;
+                workers[w].free_at = now + window;
+            } else {
+                // Burst start: dequeue and stream the fill.
+                let m = disp.pick(None).expect("step called with work");
+                let req = disp.pop(m);
+                workers[w].staged = Some(req);
+                workers[w].plan.bursts.push(Vec::new());
+                workers[w].burst_prev_completion = now;
+                workers[w].stats.busy_cycles += service.fill[m];
+                workers[w].free_at = now + service.fill[m];
+            }
+        } else {
+            let m = disp.pick(None).expect("step called with work");
+            let req = disp.pop(m);
+            let svc = service.preload[m] + service.compute[m];
+            records[req].outcome = RequestOutcome::Served {
+                worker: w,
+                queue_wait: now - records[req].arrival,
+                service: svc,
+                completion: now + svc,
+            };
+            if workers[w].plan.bursts.is_empty() {
+                workers[w].plan.bursts.push(Vec::new());
+            }
+            workers[w].plan.bursts[0].push(PlannedFrame {
+                request: req,
+                predicted: svc,
+            });
+            workers[w].stats.frames += 1;
+            workers[w].stats.busy_cycles += svc;
+            workers[w].free_at = now + svc;
+        }
+    }
+
+    /// Let every worker process its decision points up to `until`.
+    fn advance(
+        until: u64,
+        workers: &mut [SimWorker],
+        disp: &mut Dispatcher<'_>,
+        records: &mut [RequestRecord],
+        service: &ServiceModel,
+        pipelined: bool,
+    ) {
+        loop {
+            let ready = (0..workers.len())
+                .filter(|&w| workers[w].staged.is_some() || disp.queued > 0)
+                .min_by_key(|&w| (workers[w].free_at, w));
+            match ready {
+                Some(w) if workers[w].free_at <= until => {
+                    step(w, workers, disp, records, service, pipelined);
+                }
+                _ => break,
+            }
+        }
+    }
+
+    for (i, r) in trace.requests.iter().enumerate() {
+        advance(
+            r.arrival,
+            &mut workers,
+            &mut disp,
+            &mut records,
+            service,
+            spec.pipelined,
+        );
+        let idle = (0..workers.len())
+            .find(|&w| workers[w].free_at <= r.arrival && workers[w].staged.is_none());
+        if let Some(w) = idle {
+            // Straight to the idle worker; its clock catches up to now.
+            workers[w].free_at = r.arrival;
+            disp.enqueue(r.model, i);
+            step(
+                w,
+                &mut workers,
+                &mut disp,
+                &mut records,
+                service,
+                spec.pipelined,
+            );
+        } else if disp.queued < spec.queue_depth {
+            disp.enqueue(r.model, i);
+        }
+        // else: dropped — the default outcome already says so.
+    }
+    advance(
+        u64::MAX,
+        &mut workers,
+        &mut disp,
+        &mut records,
+        service,
+        spec.pipelined,
+    );
+
+    // Aggregate.
+    let slo_cycles = spec.slo_cycles(soc_hz);
+    let mut waits = Vec::new();
+    let mut services = Vec::new();
+    let mut totals = Vec::new();
+    let mut makespan = 0u64;
+    let mut slo_attained = 0u64;
+    let mut per_model: Vec<ServeModelStats> = names
+        .iter()
+        .map(|name| ServeModelStats {
+            name: name.clone(),
+            offered: 0,
+            served: 0,
+            dropped: 0,
+            service: LatencyStats::default(),
+            total: LatencyStats::default(),
+            slo_attained: 0,
+        })
+        .collect();
+    let mut model_services: Vec<Vec<u64>> = vec![Vec::new(); n];
+    let mut model_totals: Vec<Vec<u64>> = vec![Vec::new(); n];
+    for rec in &records {
+        per_model[rec.model].offered += 1;
+        match rec.outcome {
+            RequestOutcome::Served {
+                queue_wait,
+                service: svc,
+                completion,
+                ..
+            } => {
+                let total = queue_wait + svc;
+                waits.push(queue_wait);
+                services.push(svc);
+                totals.push(total);
+                makespan = makespan.max(completion);
+                per_model[rec.model].served += 1;
+                model_services[rec.model].push(svc);
+                model_totals[rec.model].push(total);
+                if total <= slo_cycles {
+                    slo_attained += 1;
+                    per_model[rec.model].slo_attained += 1;
+                }
+            }
+            RequestOutcome::Dropped => per_model[rec.model].dropped += 1,
+        }
+    }
+    for (m, stats) in per_model.iter_mut().enumerate() {
+        stats.service = LatencyStats::from_samples(&mut model_services[m]);
+        stats.total = LatencyStats::from_samples(&mut model_totals[m]);
+    }
+    let served = totals.len() as u64;
+    let report = ServeReport {
+        policy: spec.policy,
+        pipelined: spec.pipelined,
+        workers: spec.workers,
+        queue_depth: spec.queue_depth,
+        process: spec.process,
+        rate_rps: spec.rate_rps,
+        seed: spec.seed,
+        soc_hz,
+        duration_cycles: trace.duration,
+        slo_cycles,
+        offered: records.len() as u64,
+        served,
+        dropped: records.len() as u64 - served,
+        makespan_cycles: makespan,
+        queue_wait: LatencyStats::from_samples(&mut waits),
+        service: LatencyStats::from_samples(&mut services),
+        total: LatencyStats::from_samples(&mut totals),
+        per_model,
+        per_worker: workers.iter().map(|w| w.stats).collect(),
+        slo_attained,
+        records,
+        replay_divergence: 0,
+        host_seconds: 0.0,
+    };
+    (report, workers.into_iter().map(|w| w.plan).collect())
+}
+
+/// Simulate serving `trace` against a calibrated (or synthetic)
+/// [`ServiceModel`] without touching a SoC — the planning half of
+/// [`Server::serve`], exposed for sweeps and property tests.
+///
+/// # Panics
+///
+/// Panics when `names` does not have one entry per calibrated model.
+#[must_use]
+pub fn simulate(
+    trace: &RequestTrace,
+    service: &ServiceModel,
+    spec: &ServeSpec,
+    names: &[String],
+    soc_hz: u64,
+) -> ServeReport {
+    simulate_plan(trace, service, spec, names, soc_hz).0
+}
+
+/// An inference server over a resident model set: calibrates the
+/// [`ServiceModel`] once at construction, then serves (or plans) any
+/// number of [`ServeSpec`] experiments against it.
+pub struct Server {
+    config: SocConfig,
+    codegen: CodegenOptions,
+    artifacts: Vec<Arc<Artifacts>>,
+    service: ServiceModel,
+}
+
+impl Server {
+    /// Build a server over models laid out at disjoint DRAM bases
+    /// ([`crate::batch::layout_models`]) and calibrate their service
+    /// profile on a scratch SoC.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Config`] for an empty model set,
+    /// [`ServeError::Batch`] when pinning or calibration fails.
+    pub fn new(
+        config: SocConfig,
+        artifacts: Vec<Arc<Artifacts>>,
+        codegen: CodegenOptions,
+    ) -> Result<Self, ServeError> {
+        let service = ServiceModel::calibrate(&config, &artifacts, codegen)?;
+        Ok(Server {
+            config,
+            codegen,
+            artifacts,
+            service,
+        })
+    }
+
+    /// The calibrated service profile.
+    #[must_use]
+    pub fn service_model(&self) -> &ServiceModel {
+        &self.service
+    }
+
+    /// The SoC configuration the server simulates.
+    #[must_use]
+    pub fn config(&self) -> &SocConfig {
+        &self.config
+    }
+
+    /// Generate `spec`'s request trace (deterministic per seed).
+    #[must_use]
+    pub fn trace(&self, spec: &ServeSpec) -> RequestTrace {
+        RequestTrace::generate(
+            spec.process,
+            spec.rate_rps,
+            spec.duration_cycles(self.config.soc_hz),
+            self.artifacts.len(),
+            spec.seed,
+            self.config.soc_hz,
+        )
+    }
+
+    fn names(&self) -> Vec<String> {
+        self.artifacts.iter().map(|a| a.model.clone()).collect()
+    }
+
+    /// Plan `spec` without running frames: trace generation plus the
+    /// queueing simulation on the calibrated profile. Host-cheap, which
+    /// is what makes dense rate sweeps (`examples/load_test.rs`)
+    /// practical; [`Server::serve`] replays the same plan on real SoCs.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Config`] for a degenerate spec.
+    pub fn plan(&self, spec: &ServeSpec) -> Result<ServeReport, ServeError> {
+        spec.validate()?;
+        let start = Instant::now();
+        let trace = self.trace(spec);
+        let (mut report, _) = simulate_plan(
+            &trace,
+            &self.service,
+            spec,
+            &self.names(),
+            self.config.soc_hz,
+        );
+        report.host_seconds = start.elapsed().as_secs_f64();
+        Ok(report)
+    }
+
+    /// Serve `spec` for real: simulate the queueing system, then fan
+    /// the dispatch plan out across [`ServeSpec::workers`] real SoCs
+    /// (each with the full model set resident, via
+    /// [`crate::sweep::fan_out`]) and replay every burst with
+    /// [`BatchScheduler::run_sequence`] /
+    /// [`PipelinedScheduler::run_sequence`]. Each replayed frame's
+    /// modeled latency is checked against the plan;
+    /// [`ServeReport::replay_divergence`] counts the disagreements
+    /// (zero on a healthy build — `tests/serve.rs` pins it).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Config`] for a degenerate spec,
+    /// [`ServeError::Batch`] when a worker fails to build or a frame
+    /// fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics (propagated by [`fan_out`]).
+    pub fn serve(&self, spec: &ServeSpec) -> Result<ServeReport, ServeError> {
+        spec.validate()?;
+        let start = Instant::now();
+        let trace = self.trace(spec);
+        let (mut report, plans) = simulate_plan(
+            &trace,
+            &self.service,
+            spec,
+            &self.names(),
+            self.config.soc_hz,
+        );
+        // Per-request input bytes, deterministic from the seed and the
+        // request index alone: the replay streams real (varied) images,
+        // proving the modeled cycles are input-independent. Generated
+        // lazily per planned frame inside each worker — dropped
+        // requests never materialize bytes, and the RNG work rides the
+        // fan-out.
+        let input_for = |request: usize| -> Vec<u8> {
+            let mut rng = StdRng::seed_from_u64(spec.seed ^ (0x5EED << 16) ^ request as u64);
+            (0..self.artifacts[trace.requests[request].model].input_len)
+                .map(|_| rng.gen_range(0u8..=255))
+                .collect()
+        };
+        let measured = fan_out(
+            plans.len(),
+            plans.len(),
+            |w| -> Result<Vec<u64>, BatchError> {
+                let plan = &plans[w];
+                if plan.frames() == 0 {
+                    return Ok(Vec::new());
+                }
+                // The per-burst model sequences the scheduler replays,
+                // and every frame's bytes in enqueue order — identical
+                // for both worker modes; only the scheduler type (and
+                // hence the preload overlap) differs below.
+                let seqs: Vec<Vec<usize>> = plan
+                    .bursts
+                    .iter()
+                    .map(|burst| {
+                        burst
+                            .iter()
+                            .map(|f| trace.requests[f.request].model)
+                            .collect()
+                    })
+                    .collect();
+                let frames = plan
+                    .bursts
+                    .iter()
+                    .flatten()
+                    .map(|f| (trace.requests[f.request].model, input_for(f.request)));
+                let mut latencies = Vec::with_capacity(plan.frames());
+                if spec.pipelined {
+                    let mut sched = PipelinedScheduler::new(self.config.clone(), spec.policy);
+                    for a in &self.artifacts {
+                        sched.add_model(a.clone(), self.codegen)?;
+                    }
+                    for (model, bytes) in frames {
+                        sched.enqueue_bytes(model, bytes)?;
+                    }
+                    for seq in &seqs {
+                        let rep = sched.run_sequence(seq)?;
+                        latencies.extend(rep.frame_latencies.iter().map(|f| f.cycles));
+                    }
+                } else {
+                    let mut sched = BatchScheduler::new(self.config.clone(), spec.policy);
+                    for a in &self.artifacts {
+                        sched.add_model(a.clone(), self.codegen)?;
+                    }
+                    for (model, bytes) in frames {
+                        sched.enqueue_bytes(model, bytes)?;
+                    }
+                    for seq in &seqs {
+                        let rep = sched.run_sequence(seq)?;
+                        latencies.extend(rep.frame_latencies.iter().map(|f| f.cycles));
+                    }
+                }
+                Ok(latencies)
+            },
+        );
+        let mut divergence = 0u64;
+        for (w, run) in measured.into_iter().enumerate() {
+            let latencies = run?;
+            let predicted: Vec<u64> = plans[w]
+                .bursts
+                .iter()
+                .flatten()
+                .map(|f| f.predicted)
+                .collect();
+            divergence += predicted
+                .iter()
+                .zip(&latencies)
+                .filter(|(p, m)| p != m)
+                .count() as u64;
+            divergence += predicted.len().abs_diff(latencies.len()) as u64;
+        }
+        report.replay_divergence = divergence;
+        report.host_seconds = start.elapsed().as_secs_f64();
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic two-model profile: model 0 cheap, model 1 pricey.
+    fn profile() -> ServiceModel {
+        ServiceModel {
+            preload: vec![100, 200],
+            fill: vec![100, 200],
+            compute: vec![1_000, 3_000],
+            compute_with: vec![vec![1_010, 1_020], vec![3_010, 3_020]],
+            preload_done: vec![vec![150, 400], vec![120, 300]],
+        }
+    }
+
+    fn names() -> Vec<String> {
+        vec!["a".into(), "b".into()]
+    }
+
+    fn spec() -> ServeSpec {
+        ServeSpec {
+            process: ArrivalProcess::Fixed,
+            rate_rps: 100,
+            duration_ms: 1,
+            seed: 7,
+            workers: 1,
+            policy: Policy::RoundRobin,
+            pipelined: false,
+            queue_depth: 4,
+            slo_us: 1_000,
+        }
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        assert_eq!(percentile(&[], 99.0), 0);
+        assert_eq!(percentile(&[7], 50.0), 7);
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50.0), 50);
+        assert_eq!(percentile(&v, 95.0), 95);
+        assert_eq!(percentile(&v, 99.0), 99);
+        assert_eq!(percentile(&v, 100.0), 100);
+        assert_eq!(percentile(&v, 0.0), 1);
+    }
+
+    #[test]
+    fn latency_stats_sorted_and_monotone() {
+        let mut samples = vec![30, 10, 20];
+        let s = LatencyStats::from_samples(&mut samples);
+        assert_eq!(samples, vec![10, 20, 30]);
+        assert_eq!(s.p50, 20);
+        assert_eq!(s.max, 30);
+        assert_eq!(s.mean, 20);
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+    }
+
+    #[test]
+    fn fixed_trace_is_evenly_spaced_and_replayable() {
+        let hz = 100_000_000;
+        let t = RequestTrace::generate(ArrivalProcess::Fixed, 1_000, hz / 10, 2, 3, hz);
+        // 100 ms at 1000 req/s: exactly 100 requests, 100 µs apart.
+        assert_eq!(t.requests.len(), 100);
+        assert_eq!(t.requests[1].arrival - t.requests[0].arrival, hz / 1_000);
+        let t2 = RequestTrace::generate(ArrivalProcess::Fixed, 1_000, hz / 10, 2, 3, hz);
+        assert_eq!(t, t2);
+        let t3 = RequestTrace::generate(ArrivalProcess::Fixed, 1_000, hz / 10, 2, 4, hz);
+        // A different seed keeps the spacing but reshuffles the mix.
+        assert_eq!(t3.requests.len(), 100);
+        assert!(t
+            .requests
+            .iter()
+            .zip(&t3.requests)
+            .all(|(a, b)| a.arrival == b.arrival));
+    }
+
+    #[test]
+    fn poisson_trace_is_sorted_and_roughly_at_rate() {
+        let hz = 100_000_000;
+        let t = RequestTrace::generate(ArrivalProcess::Poisson, 500, hz, 2, 9, hz);
+        assert!(t.requests.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        assert!(t.requests.iter().all(|r| r.arrival < hz && r.model < 2));
+        // Mean 500 arrivals over one modeled second; 5σ ≈ 112.
+        assert!(
+            (388..=612).contains(&t.requests.len()),
+            "got {}",
+            t.requests.len()
+        );
+    }
+
+    #[test]
+    fn below_capacity_nothing_waits_or_drops() {
+        // 100 req/s of ~1k-cycle service at 100 MHz: each request meets
+        // an idle worker.
+        let t = RequestTrace::generate(ArrivalProcess::Fixed, 100, 100_000_000, 2, 1, 100_000_000);
+        let r = simulate(&t, &profile(), &spec(), &names(), 100_000_000);
+        assert_eq!(r.offered, 100);
+        assert_eq!(r.served, 100);
+        assert_eq!(r.dropped, 0);
+        assert_eq!(r.queue_wait.max, 0, "idle workers dispatch immediately");
+        assert!(r.total.p99 <= r.service.max);
+        assert_eq!(r.slo_attainment(), 1.0);
+        assert_eq!(r.records.len(), 100);
+    }
+
+    #[test]
+    fn overload_queues_then_drops() {
+        // Service ≈ 2k cycles mean, arrivals every 1k cycles: the queue
+        // fills, waits grow, and the excess is dropped.
+        let hz = 100_000_000;
+        let t = RequestTrace::generate(ArrivalProcess::Fixed, 100_000, hz / 100, 2, 1, hz);
+        assert_eq!(t.requests.len(), 1_000);
+        let r = simulate(&t, &profile(), &spec(), &names(), hz);
+        assert_eq!(r.served + r.dropped, r.offered);
+        assert!(r.dropped > 0, "overload must drop");
+        assert!(
+            r.queue_wait.p50 > r.service.p50,
+            "queue wait dominates service under overload: {} vs {}",
+            r.queue_wait.p50,
+            r.service.p50
+        );
+        assert!(r.achieved_rate() <= r.offered_rate());
+        assert!(r.slo_attainment() < 1.0);
+        // The queue bound caps how long anything waits (2x for the
+        // round-robin rotation's worst-case interleaving).
+        let worst_service = profile().compute[1] + profile().preload[1];
+        assert!(r.queue_wait.max <= 2 * (spec().queue_depth as u64 + 1) * worst_service);
+    }
+
+    #[test]
+    fn two_workers_halve_the_backlog() {
+        let hz = 100_000_000;
+        let t = RequestTrace::generate(ArrivalProcess::Fixed, 100_000, hz / 100, 2, 1, hz);
+        let one = simulate(&t, &profile(), &spec(), &names(), hz);
+        let two = simulate(
+            &t,
+            &profile(),
+            &ServeSpec {
+                workers: 2,
+                ..spec()
+            },
+            &names(),
+            hz,
+        );
+        assert!(two.served > one.served);
+        assert!(two.per_worker.len() == 2 && two.per_worker[1].frames > 0);
+        assert!(two.achieved_rate() > one.achieved_rate());
+    }
+
+    #[test]
+    fn pipelined_mode_respects_pair_costs() {
+        let hz = 100_000_000;
+        let t = RequestTrace::generate(ArrivalProcess::Fixed, 100_000, hz / 1000, 2, 1, hz);
+        let r = simulate(
+            &t,
+            &profile(),
+            &ServeSpec {
+                pipelined: true,
+                queue_depth: 64,
+                ..spec()
+            },
+            &names(),
+            hz,
+        );
+        assert_eq!(r.served + r.dropped, r.offered);
+        assert!(r.served > 0);
+        // Back-to-back frames pay the contended compute, not the
+        // serial preload+compute.
+        let p = profile();
+        let served_services: Vec<u64> = r
+            .records
+            .iter()
+            .filter_map(|rec| match rec.outcome {
+                RequestOutcome::Served { service, .. } => Some(service),
+                RequestOutcome::Dropped => None,
+            })
+            .collect();
+        let max_pair = p
+            .compute_with
+            .iter()
+            .flatten()
+            .chain(p.compute.iter())
+            .copied()
+            .max()
+            .unwrap();
+        assert!(served_services.iter().all(|&s| s <= max_pair));
+    }
+
+    #[test]
+    fn spec_validation_rejects_degenerate_inputs() {
+        for (broken, needle) in [
+            (
+                ServeSpec {
+                    rate_rps: 0,
+                    ..spec()
+                },
+                "--rate",
+            ),
+            (
+                ServeSpec {
+                    duration_ms: 0,
+                    ..spec()
+                },
+                "--duration",
+            ),
+            (
+                ServeSpec {
+                    workers: 0,
+                    ..spec()
+                },
+                "--workers",
+            ),
+            (
+                ServeSpec {
+                    queue_depth: 0,
+                    ..spec()
+                },
+                "--queue-depth",
+            ),
+        ] {
+            let err = broken.validate().expect_err("must reject");
+            assert!(err.to_string().contains(needle), "got: {err}");
+        }
+        spec().validate().expect("healthy spec passes");
+    }
+}

@@ -1,0 +1,109 @@
+//! Load test: offered rate vs. tail latency — the serving hockey stick.
+//!
+//! A server's defining curve is p99 latency against offered load: flat
+//! (p99 ≈ service latency) while workers keep up, then bending sharply
+//! upward at the saturation knee, where queue-wait takes over the tail
+//! while achieved throughput pins at capacity and the bounded admission
+//! queue starts dropping. This example sweeps an interleaved
+//! LeNet-5/ResNet-18 mix across offered rates on one warm worker SoC
+//! and prints that curve, serial vs. pipelined.
+//!
+//! The sweep runs on the **plan** path: the server calibrates its
+//! per-model/per-pair service profile on a real SoC once, then each
+//! rate point is a pure queueing simulation in modeled time — which is
+//! what makes a dense sweep cheap. One point is then **replayed** on
+//! real worker SoCs (`Server::serve`) to show the plan is cycle-exact
+//! (`replay divergence 0`). See docs/SERVING.md.
+//!
+//! ```sh
+//! cargo run --release --example load_test
+//! ```
+
+use std::sync::Arc;
+
+use rvnv_compiler::codegen::{CodegenOptions, WaitMode};
+use rvnv_compiler::{ArtifactCache, Artifacts, CompileOptions};
+use rvnv_nn::zoo::Model;
+use rvnv_soc::batch::layout_models;
+use rvnv_soc::serve::{ArrivalProcess, ServeReport, ServeSpec, Server};
+use rvnv_soc::soc::SocConfig;
+use rvnv_soc::sweep::fan_out;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = SocConfig::zcu102_timing_only();
+    let codegen = CodegenOptions {
+        wait_mode: WaitMode::Wfi,
+        ..CodegenOptions::default()
+    };
+    let mut opt = CompileOptions::int8();
+    opt.calib_inputs = 1;
+
+    let nets = [Model::LeNet5.build(1), Model::ResNet18.build(1)];
+    let cache = ArtifactCache::new();
+    let artifacts: Vec<Arc<Artifacts>> = layout_models(&cache, &nets, &opt)?;
+    let calib = std::time::Instant::now();
+    let server = Server::new(config.clone(), artifacts, codegen)?;
+    println!(
+        "calibrated 2-model service profile in {:.0} ms (per-model compute {:?} cycles)",
+        calib.elapsed().as_secs_f64() * 1e3,
+        server.service_model().compute,
+    );
+
+    let rates: Vec<u64> = vec![40, 80, 120, 160, 200, 230, 260, 300, 400, 600];
+    let spec_at = |rate: u64, pipelined: bool| ServeSpec {
+        process: ArrivalProcess::Poisson,
+        rate_rps: rate,
+        duration_ms: 1_000,
+        seed: 42,
+        workers: 1,
+        policy: rvnv_soc::batch::Policy::RoundRobin,
+        pipelined,
+        queue_depth: 8,
+        slo_us: 20_000,
+    };
+
+    for pipelined in [false, true] {
+        // Rate points are independent plans against the shared profile:
+        // fan them out across host threads like any other sweep.
+        let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let reports: Vec<Result<ServeReport, String>> = fan_out(rates.len(), threads, |i| {
+            server
+                .plan(&spec_at(rates[i], pipelined))
+                .map_err(|e| e.to_string())
+        });
+        println!(
+            "\n{} worker, 1 s of Poisson arrivals per point, queue depth 8, SLO 20 ms:",
+            if pipelined { "pipelined" } else { "serial" },
+        );
+        println!("  rate   offered  achieved   p50 ms   p99 ms  wait p99  drop%   SLO%");
+        for (rate, report) in rates.iter().zip(reports) {
+            let r = report.map_err(|e| -> Box<dyn std::error::Error> { e.into() })?;
+            println!(
+                "  {rate:>4}  {:>7.1}  {:>8.1}  {:>7.2}  {:>7.2}  {:>8.2}  {:>5.1}  {:>5.1}",
+                r.offered_rate(),
+                r.achieved_rate(),
+                config.cycles_to_ms(r.total.p50),
+                config.cycles_to_ms(r.total.p99),
+                config.cycles_to_ms(r.queue_wait.p99),
+                100.0 * r.drop_rate(),
+                100.0 * r.slo_attainment(),
+            );
+        }
+    }
+
+    // Replay one above-knee point on real SoCs: the plan must be
+    // cycle-exact against the actual machine.
+    let spec = ServeSpec {
+        duration_ms: 200,
+        ..spec_at(300, true)
+    };
+    let r = server.serve(&spec)?;
+    println!(
+        "\nreplayed rate 300 pipelined on a real worker SoC: {} frames, \
+         replay divergence {}, host {:.0} ms",
+        r.served,
+        r.replay_divergence,
+        r.host_seconds * 1e3,
+    );
+    Ok(())
+}

@@ -52,5 +52,8 @@ pub mod prelude {
         FrameLatency, PipelinedScheduler, Policy,
     };
     pub use rvnv_soc::firmware::Firmware;
+    pub use rvnv_soc::serve::{
+        ArrivalProcess, LatencyStats, RequestTrace, ServeReport, ServeSpec, Server, ServiceModel,
+    };
     pub use rvnv_soc::soc::{InferenceResult, Soc, SocConfig};
 }

@@ -7,6 +7,10 @@
 //! rv-nvdla sweep   <model> [--fp16] [--unfused] [--clocks MHZ,..] [--threads N]
 //! rv-nvdla batch   --models A,B[,..] [--frames N] [--policy rr|sqf|eff] [--threads N]
 //!                  [--pipeline] [--functional] [--wfi] [--fp16] [--unfused]
+//! rv-nvdla serve   --models A,B[,..] [--rate R] [--duration MS] [--seed S]
+//!                  [--workers W] [--policy rr|sqf|eff] [--pipeline]
+//!                  [--queue-depth D] [--slo-us U] [--arrivals poisson|fixed]
+//!                  [--fp16] [--unfused]
 //! rv-nvdla traces
 //! rv-nvdla resources
 //! rv-nvdla models
@@ -28,12 +32,13 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("traces") => cmd_traces(),
         Some("resources") => cmd_resources(),
         Some("models") => cmd_models(),
         _ => {
             eprintln!(
-                "usage: rv-nvdla <compile|run|sweep|batch|traces|resources|models> [options]\n\
+                "usage: rv-nvdla <compile|run|sweep|batch|serve|traces|resources|models> [options]\n\
                  \n\
                  compile <model> [--fp16] [--unfused] [--out DIR]\n\
                  \tCompile a zoo model; write config file, weight .bin,\n\
@@ -55,6 +60,17 @@ fn main() -> ExitCode {
                  \tand contends at the DRAM arbiter. Reports per-model\n\
                  \tcycles, per-frame latency, arbiter contention and\n\
                  \tend-to-end throughput.\n\
+                 serve --models A,B[,..] [--rate R] [--duration MS] [--seed S] [--workers W]\n\
+                 \x20     [--policy rr|sqf|eff] [--pipeline] [--queue-depth D] [--slo-us U]\n\
+                 \x20     [--arrivals poisson|fixed] [--fp16] [--unfused]\n\
+                 \tOpen-loop serving: a seeded arrival trace (R req/s of\n\
+                 \tmodeled time for MS ms) drains through a bounded\n\
+                 \tadmission queue into W warm worker SoCs with every\n\
+                 \tmodel resident. Reports queue-wait/service/total\n\
+                 \tlatency percentiles (p50/p95/p99), offered vs\n\
+                 \tachieved throughput, drops, and SLO attainment at\n\
+                 \tthe --slo-us target; the dispatch plan is replayed\n\
+                 \ton real SoCs and cross-checked cycle-exactly.\n\
                  traces\n\
                  \tRun the standard NVDLA validation traces as firmware.\n\
                  resources\n\
@@ -93,7 +109,7 @@ fn find_model(name: &str) -> Result<Model, AnyError> {
 
 /// Flags that consume the following argument as their value (the model
 /// name scan must not mistake such a value for the model).
-const VALUE_FLAGS: [&str; 7] = [
+const VALUE_FLAGS: [&str; 14] = [
     "--out",
     "--repeat",
     "--clocks",
@@ -101,6 +117,13 @@ const VALUE_FLAGS: [&str; 7] = [
     "--models",
     "--frames",
     "--policy",
+    "--rate",
+    "--duration",
+    "--seed",
+    "--workers",
+    "--queue-depth",
+    "--slo-us",
+    "--arrivals",
 ];
 
 /// Strict argument validation: every `--flag` must be in the command's
@@ -410,6 +433,43 @@ fn cmd_sweep(args: &[String]) -> Result<(), AnyError> {
     Ok(())
 }
 
+/// Parse `cmd`'s `--models A,B[,..]` list: every entry must name a zoo
+/// model, the list must be nonempty, and a model may appear only once
+/// (two copies of one model cannot be resident at one base — compile
+/// different seeds as different models instead).
+fn parse_model_list(cmd: &str, args: &[String]) -> Result<Vec<Model>, AnyError> {
+    let list = parse_value(args, "--models")?
+        .ok_or_else(|| format!("{cmd} needs --models A,B[,..] (try `rv-nvdla models`)"))?;
+    let names: Vec<&str> = list
+        .split(',')
+        .map(str::trim)
+        .filter(|n| !n.is_empty())
+        .collect();
+    if names.is_empty() {
+        return Err("--models list must not be empty".into());
+    }
+    let mut models: Vec<Model> = Vec::with_capacity(names.len());
+    for name in names {
+        let model = find_model(name)?;
+        if models.contains(&model) {
+            return Err(format!(
+                "duplicate model `{name}` in --models (each model can be resident once)"
+            )
+            .into());
+        }
+        models.push(model);
+    }
+    Ok(models)
+}
+
+/// Parse `--flag N` as a number that must be at least 1.
+fn parse_positive(args: &[String], flag: &str, what: &str) -> Result<Option<u64>, AnyError> {
+    match parse_number(args, flag)? {
+        Some(0) => Err(format!("{flag} must be >= 1 ({what})").into()),
+        other => Ok(other),
+    }
+}
+
 fn cmd_batch(args: &[String]) -> Result<(), AnyError> {
     validate_args(
         "batch",
@@ -418,16 +478,9 @@ fn cmd_batch(args: &[String]) -> Result<(), AnyError> {
         &["--models", "--frames", "--policy", "--threads"],
         0,
     )?;
-    let model_list = parse_value(args, "--models")?
-        .ok_or("batch needs --models A,B[,..] (try `rv-nvdla models`)")?;
-    let models: Vec<Model> = model_list
-        .split(',')
-        .map(|name| find_model(name.trim()))
-        .collect::<Result<_, _>>()?;
-    if models.is_empty() {
-        return Err("--models list must not be empty".into());
-    }
-    let frames = parse_number(args, "--frames")?.unwrap_or(16).max(1) as usize;
+    let models = parse_model_list("batch", args)?;
+    let frames =
+        parse_positive(args, "--frames", "an empty batch serves nothing")?.unwrap_or(16) as usize;
     let policy: Policy = parse_value(args, "--policy")?.unwrap_or("rr").parse()?;
     let pipeline = args.iter().any(|a| a == "--pipeline");
     let threads = parse_number(args, "--threads")?
@@ -521,6 +574,158 @@ fn cmd_batch(args: &[String]) -> Result<(), AnyError> {
         // Both host numbers from the same interval (end to end,
         // including per-worker setup), so the pair is self-consistent.
         report.total_frames() as f64 / (host_ms / 1e3).max(1e-9),
+    );
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
+    validate_args(
+        "serve",
+        args,
+        &["--fp16", "--unfused", "--pipeline"],
+        &[
+            "--models",
+            "--rate",
+            "--duration",
+            "--seed",
+            "--workers",
+            "--policy",
+            "--queue-depth",
+            "--slo-us",
+            "--arrivals",
+        ],
+        0,
+    )?;
+    let models = parse_model_list("serve", args)?;
+    let mut spec = ServeSpec::default();
+    if let Some(rate) = parse_positive(args, "--rate", "a rate of 0 offers no load")? {
+        spec.rate_rps = rate;
+    }
+    if let Some(ms) = parse_positive(args, "--duration", "modeled milliseconds of arrivals")? {
+        spec.duration_ms = ms;
+    }
+    if let Some(seed) = parse_number(args, "--seed")? {
+        spec.seed = seed;
+    }
+    if let Some(w) = parse_positive(args, "--workers", "the pool needs a worker")? {
+        spec.workers = w as usize;
+    }
+    if let Some(d) = parse_positive(
+        args,
+        "--queue-depth",
+        "an unqueued server drops every burst",
+    )? {
+        spec.queue_depth = d as usize;
+    }
+    if let Some(slo) = parse_number(args, "--slo-us")? {
+        spec.slo_us = slo;
+    }
+    if let Some(p) = parse_value(args, "--policy")? {
+        spec.policy = p.parse()?;
+    }
+    if let Some(a) = parse_value(args, "--arrivals")? {
+        spec.process = a.parse()?;
+    }
+    spec.pipelined = args.iter().any(|a| a == "--pipeline");
+    spec.validate()?;
+
+    let fp16 = args.iter().any(|a| a == "--fp16");
+    let mut opt = if fp16 {
+        CompileOptions::fp16()
+    } else {
+        let mut o = CompileOptions::int8();
+        o.calib_inputs = 1;
+        o
+    };
+    if args.iter().any(|a| a == "--unfused") {
+        opt = opt.unfused();
+    }
+    // Serving is a timing flow: timing-only SoC, wfi firmware (as in
+    // `sweep` and the default `batch`).
+    let mut config = SocConfig::zcu102_timing_only();
+    config.hw = opt.hw.clone();
+    let codegen = CodegenOptions {
+        wait_mode: WaitMode::Wfi,
+        ..CodegenOptions::default()
+    };
+
+    let nets: Vec<_> = models.iter().map(|m| m.build(1)).collect();
+    let cache = ArtifactCache::new();
+    let artifacts = layout_models(&cache, &nets, &opt)?;
+    let calib_start = Instant::now();
+    let server = Server::new(config.clone(), artifacts, codegen)?;
+    let calib_ms = calib_start.elapsed().as_secs_f64() * 1e3;
+    let report = server.serve(&spec)?;
+
+    let ms = |cycles: u64| config.cycles_to_ms(cycles);
+    println!(
+        "serve: {} model(s) resident, {} arrivals at {} req/s for {} ms (seed {}), \
+         {} worker(s), policy {}, {}, queue depth {}:",
+        report.per_model.len(),
+        report.process.name(),
+        report.rate_rps,
+        spec.duration_ms,
+        report.seed,
+        report.workers,
+        report.policy.name(),
+        if report.pipelined {
+            "pipelined preload"
+        } else {
+            "serial preload"
+        },
+        report.queue_depth,
+    );
+    println!("  latency (ms)     p50      p95      p99     mean      max");
+    for (name, s) in [
+        ("queue wait", report.queue_wait),
+        ("service", report.service),
+        ("total", report.total),
+    ] {
+        println!(
+            "  {:12} {:>7.3}  {:>7.3}  {:>7.3}  {:>7.3}  {:>7.3}",
+            name,
+            ms(s.p50),
+            ms(s.p95),
+            ms(s.p99),
+            ms(s.mean),
+            ms(s.max),
+        );
+    }
+    println!("  model       offered  served  dropped  p99 total");
+    for m in &report.per_model {
+        println!(
+            "  {:10} {:>8}  {:>6}  {:>7}  {:>7.3} ms",
+            m.name,
+            m.offered,
+            m.served,
+            m.dropped,
+            ms(m.total.p99),
+        );
+    }
+    for (w, stats) in report.per_worker.iter().enumerate() {
+        let util = if report.makespan_cycles == 0 {
+            0.0
+        } else {
+            100.0 * stats.busy_cycles as f64 / report.makespan_cycles as f64
+        };
+        println!(
+            "  worker {w}: {} frame(s), {util:.1}% busy over the {:.1} ms drain",
+            stats.frames,
+            ms(report.makespan_cycles),
+        );
+    }
+    println!(
+        "  offered {:.1} req/s -> achieved {:.1} req/s | dropped {} ({:.1}%) | \
+         SLO {} us attained {:.1}% | replay divergence {} | calib {:.0} ms + serve host {:.0} ms",
+        report.offered_rate(),
+        report.achieved_rate(),
+        report.dropped,
+        100.0 * report.drop_rate(),
+        spec.slo_us,
+        100.0 * report.slo_attainment(),
+        report.replay_divergence,
+        calib_ms,
+        report.host_seconds * 1e3,
     );
     Ok(())
 }

@@ -1,0 +1,110 @@
+//! CLI contract tests for degenerate inputs: a nonsensical request
+//! must exit nonzero with an error that names the offending flag and
+//! what a valid value looks like — never be silently clamped to
+//! something runnable (`--frames 0` used to become `--frames 1`).
+
+use std::process::Command;
+
+/// Run the built binary; return (success, stderr).
+fn rv_nvdla(args: &[&str]) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_rv-nvdla"))
+        .args(args)
+        .output()
+        .expect("run rv-nvdla");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+/// The command must fail and the error must contain every needle.
+fn assert_rejects(args: &[&str], needles: &[&str]) {
+    let (ok, stderr) = rv_nvdla(args);
+    assert!(!ok, "`rv-nvdla {}` must fail", args.join(" "));
+    for needle in needles {
+        assert!(
+            stderr.contains(needle),
+            "`rv-nvdla {}` stderr must mention {needle:?}, got:\n{stderr}",
+            args.join(" ")
+        );
+    }
+}
+
+#[test]
+fn batch_rejects_zero_frames() {
+    assert_rejects(
+        &["batch", "--models", "lenet5", "--frames", "0"],
+        &["--frames", ">= 1"],
+    );
+}
+
+#[test]
+fn serve_rejects_zero_rate() {
+    assert_rejects(
+        &["serve", "--models", "lenet5", "--rate", "0"],
+        &["--rate", ">= 1"],
+    );
+}
+
+#[test]
+fn serve_rejects_zero_queue_depth() {
+    assert_rejects(
+        &["serve", "--models", "lenet5", "--queue-depth", "0"],
+        &["--queue-depth", ">= 1"],
+    );
+}
+
+#[test]
+fn serve_rejects_zero_duration_and_workers() {
+    assert_rejects(
+        &["serve", "--models", "lenet5", "--duration", "0"],
+        &["--duration", ">= 1"],
+    );
+    assert_rejects(
+        &["serve", "--models", "lenet5", "--workers", "0"],
+        &["--workers", ">= 1"],
+    );
+}
+
+#[test]
+fn batch_and_serve_reject_empty_model_lists() {
+    for cmd in ["batch", "serve"] {
+        assert_rejects(&[cmd, "--models", ""], &["--models", "empty"]);
+        assert_rejects(&[cmd, "--models", " , "], &["--models", "empty"]);
+        assert_rejects(&[cmd], &["--models"]);
+    }
+}
+
+#[test]
+fn batch_and_serve_reject_duplicate_models() {
+    for cmd in ["batch", "serve"] {
+        assert_rejects(
+            &[cmd, "--models", "lenet5,lenet5"],
+            &["duplicate model `lenet5`"],
+        );
+        // The normalized spelling is a duplicate too.
+        assert_rejects(&[cmd, "--models", "lenet5,LeNet-5"], &["duplicate model"]);
+    }
+}
+
+#[test]
+fn serve_rejects_unknown_policy_and_arrivals() {
+    assert_rejects(
+        &["serve", "--models", "lenet5", "--policy", "fifo"],
+        &["unknown policy `fifo`", "rr|sqf|eff"],
+    );
+    assert_rejects(
+        &["serve", "--models", "lenet5", "--arrivals", "bursty"],
+        &["unknown arrival process `bursty`", "poisson|fixed"],
+    );
+}
+
+#[test]
+fn serve_rejects_unknown_flags_with_the_accepted_list() {
+    assert_rejects(
+        &["serve", "--models", "lenet5", "--rps", "100"],
+        &["unknown flag `--rps`", "--rate", "--queue-depth"],
+    );
+    // And stray positionals: serve takes its models via --models only.
+    assert_rejects(&["serve", "lenet5"], &["unexpected argument `lenet5`"]);
+}

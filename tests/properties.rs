@@ -320,3 +320,123 @@ proptest! {
         prop_assert_eq!(d.peek(la, img_a.len()), &img_a[..]);
     }
 }
+
+// ---------------------------------------------------------------------
+// Serving-statistics properties (rvnv_soc::serve): percentile order,
+// trace replayability, and conservation laws of the queueing
+// simulation driven with synthetic service profiles.
+
+use rvnv_soc::batch::Policy;
+use rvnv_soc::serve::{
+    simulate, ArrivalProcess, LatencyStats, RequestTrace, ServeSpec, ServiceModel,
+};
+
+/// A synthetic two-model service profile from four small numbers.
+fn synthetic_profile(c0: u64, c1: u64, pre: u64, stretch: u64) -> ServiceModel {
+    let compute = vec![c0, c1];
+    ServiceModel {
+        preload: vec![pre, pre * 2],
+        fill: vec![pre, pre * 2],
+        compute: compute.clone(),
+        compute_with: vec![
+            vec![c0 + stretch, c0 + 2 * stretch],
+            vec![c1 + stretch, c1 + 2 * stretch],
+        ],
+        preload_done: vec![vec![pre, pre * 4], vec![pre * 3, pre * 2]],
+    }
+}
+
+fn policy_from(i: u8) -> Policy {
+    match i % 3 {
+        0 => Policy::RoundRobin,
+        1 => Policy::ShortestQueueFirst,
+        _ => Policy::EarliestFinish,
+    }
+}
+
+proptest! {
+    /// Nearest-rank percentiles are monotone: p50 <= p95 <= p99 <= max,
+    /// and the mean sits inside the sample range.
+    #[test]
+    fn percentiles_are_monotone(mut samples in proptest::collection::vec(any::<u32>(), 1..200)) {
+        let mut cycles: Vec<u64> = samples.drain(..).map(u64::from).collect();
+        let s = LatencyStats::from_samples(&mut cycles);
+        prop_assert!(s.p50 <= s.p95, "p50 {} > p95 {}", s.p50, s.p95);
+        prop_assert!(s.p95 <= s.p99, "p95 {} > p99 {}", s.p95, s.p99);
+        prop_assert!(s.p99 <= s.max, "p99 {} > max {}", s.p99, s.max);
+        prop_assert!(s.mean <= s.max && s.mean >= cycles[0]);
+    }
+
+    /// A seeded arrival trace replays bit-identically, stays sorted,
+    /// and never generates outside its window or model set.
+    #[test]
+    fn seeded_traces_replay_bit_identically(
+        poisson in any::<u32>(),
+        rate in 1u64..2000,
+        window_ms in 1u64..100,
+        models in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let hz = 100_000_000u64;
+        let process = if poisson.is_multiple_of(2) { ArrivalProcess::Poisson } else { ArrivalProcess::Fixed };
+        let duration = window_ms * (hz / 1000);
+        let a = RequestTrace::generate(process, rate, duration, models, seed, hz);
+        let b = RequestTrace::generate(process, rate, duration, models, seed, hz);
+        prop_assert_eq!(&a, &b, "same seed must replay the same trace");
+        prop_assert!(a.requests.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        prop_assert!(a.requests.iter().all(|r| r.arrival < duration && r.model < models));
+    }
+
+    /// Conservation laws of the queueing simulation, under arbitrary
+    /// load, pool shape and policy: every request is served or dropped,
+    /// achieved throughput never exceeds offered, waits are causal, and
+    /// the report's percentiles are monotone.
+    #[test]
+    fn offered_always_bounds_achieved(
+        c0 in 1_000u64..200_000,
+        c1 in 1_000u64..200_000,
+        pre in 1u64..2_000,
+        stretch in 0u64..5_000,
+        rate in 50u64..5_000,
+        window_ms in 1u64..40,
+        workers in 1usize..4,
+        queue_depth in 1usize..10,
+        pipelined in any::<u32>(),
+        policy_pick in any::<u8>(),
+        seed in any::<u64>(),
+    ) {
+        let hz = 100_000_000u64;
+        let service = synthetic_profile(c0, c1, pre, stretch);
+        let spec = ServeSpec {
+            process: ArrivalProcess::Poisson,
+            rate_rps: rate,
+            duration_ms: window_ms,
+            seed,
+            workers,
+            policy: policy_from(policy_pick),
+            pipelined: pipelined.is_multiple_of(2),
+            queue_depth,
+            slo_us: 5_000,
+        };
+        let trace = RequestTrace::generate(
+            spec.process, rate, spec.duration_cycles(hz), 2, seed, hz,
+        );
+        let names = vec!["a".to_string(), "b".to_string()];
+        let r = simulate(&trace, &service, &spec, &names, hz);
+        prop_assert_eq!(r.served + r.dropped, r.offered, "every request accounted for");
+        prop_assert!(
+            r.achieved_rate() <= r.offered_rate() + 1e-9,
+            "achieved {} must not exceed offered {}",
+            r.achieved_rate(),
+            r.offered_rate()
+        );
+        prop_assert!(r.slo_attained <= r.served);
+        prop_assert!(r.total.p50 <= r.total.p95 && r.total.p95 <= r.total.p99);
+        prop_assert!(r.queue_wait.p99 <= r.total.p99 && r.service.p99 <= r.total.p99);
+        let per_model_served: u64 = r.per_model.iter().map(|m| m.served).sum();
+        prop_assert_eq!(per_model_served, r.served);
+        let per_worker_frames: u64 = r.per_worker.iter().map(|w| w.frames).sum();
+        prop_assert_eq!(per_worker_frames, r.served);
+        prop_assert!(r.makespan_cycles >= r.total.max, "completions inside the makespan");
+    }
+}

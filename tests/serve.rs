@@ -1,0 +1,237 @@
+//! Serving-subsystem oracles on an interleaved LeNet-5/ResNet-18 mix:
+//!
+//! * **Determinism** — with a fixed seed, `Server::serve` produces the
+//!   bit-identical report run-to-run, and the plan-only path agrees
+//!   with the full replay.
+//! * **Replay exactness** — the queueing simulation runs on calibrated
+//!   per-model/per-pair cycle counts; replaying the dispatch plan on
+//!   real worker SoCs must reproduce every frame's modeled latency
+//!   (`replay_divergence == 0`), in both worker modes and under every
+//!   policy.
+//! * **Queueing behavior** — below saturation p99 total latency is the
+//!   service latency (nothing waits); above saturation queue-wait
+//!   dominates, p99 grows, achieved throughput plateaus at capacity,
+//!   and the bounded admission queue drops the excess.
+//! * **Policy tails** — under the pipelined worker mode, rr vs sqf vs
+//!   eff pair different frames behind different preloads and order the
+//!   backlog differently, so their p99 tails genuinely differ.
+
+use std::sync::{Arc, OnceLock};
+
+use rv_nvdla::prelude::*;
+use rvnv_soc::batch;
+use rvnv_soc::serve::ArrivalProcess;
+
+/// One calibrated server shared by every test (calibration compiles
+/// both models and runs N + N² real frames — do it once).
+fn server() -> &'static Server {
+    static SERVER: OnceLock<Server> = OnceLock::new();
+    SERVER.get_or_init(|| {
+        let mut opt = CompileOptions::int8();
+        opt.calib_inputs = 1;
+        let nets = [Model::LeNet5.build(1), Model::ResNet18.build(1)];
+        let cache = ArtifactCache::new();
+        let artifacts: Vec<Arc<Artifacts>> =
+            batch::layout_models(&cache, &nets, &opt).expect("layout");
+        let codegen = CodegenOptions {
+            wait_mode: WaitMode::Wfi,
+            ..CodegenOptions::default()
+        };
+        Server::new(SocConfig::zcu102_timing_only(), artifacts, codegen).expect("calibrate")
+    })
+}
+
+fn base_spec() -> ServeSpec {
+    ServeSpec {
+        process: ArrivalProcess::Poisson,
+        rate_rps: 150,
+        duration_ms: 150,
+        seed: 42,
+        workers: 1,
+        policy: Policy::RoundRobin,
+        pipelined: false,
+        queue_depth: 8,
+        slo_us: 20_000,
+    }
+}
+
+#[test]
+fn serve_is_deterministic_and_replays_the_plan_exactly() {
+    let server = server();
+    let spec = base_spec();
+    let mut a = server.serve(&spec).expect("first run");
+    let mut b = server.serve(&spec).expect("second run");
+    assert!(a.offered > 0 && a.served > 0);
+    assert_eq!(a.replay_divergence, 0, "real SoCs must match the plan");
+    // Bit-identical run-to-run (host wall-clock aside).
+    a.host_seconds = 0.0;
+    b.host_seconds = 0.0;
+    assert_eq!(a, b, "fixed seed must reproduce the full report");
+    // The plan-only path models the same system.
+    let mut p = server.plan(&spec).expect("plan");
+    p.host_seconds = 0.0;
+    assert_eq!(a, p, "plan and replayed serve must agree");
+}
+
+#[test]
+fn pipelined_replay_is_exact_for_every_policy() {
+    let server = server();
+    for policy in [
+        Policy::RoundRobin,
+        Policy::ShortestQueueFirst,
+        Policy::EarliestFinish,
+    ] {
+        let spec = ServeSpec {
+            pipelined: true,
+            policy,
+            rate_rps: 300,
+            duration_ms: 100,
+            workers: 2,
+            ..base_spec()
+        };
+        let r = server.serve(&spec).expect("serve");
+        assert!(r.served > 0);
+        assert_eq!(
+            r.replay_divergence,
+            0,
+            "{}: pipelined replay must be cycle-exact",
+            policy.name()
+        );
+        assert!(
+            r.per_worker.iter().all(|w| w.frames > 0),
+            "both workers serve"
+        );
+    }
+}
+
+#[test]
+fn below_saturation_p99_is_the_service_latency() {
+    let server = server();
+    // 60 req/s evenly spaced against ~230 req/s capacity: every
+    // request meets an idle worker.
+    let spec = ServeSpec {
+        process: ArrivalProcess::Fixed,
+        rate_rps: 60,
+        duration_ms: 200,
+        ..base_spec()
+    };
+    let r = server.serve(&spec).expect("serve");
+    assert_eq!(r.dropped, 0);
+    assert_eq!(r.replay_divergence, 0);
+    assert_eq!(r.queue_wait.max, 0, "idle workers never queue");
+    assert_eq!(
+        r.total.p99, r.service.p99,
+        "below saturation, tail latency IS service latency"
+    );
+    assert_eq!(r.slo_attainment(), 1.0, "20 ms SLO holds at 60 req/s");
+}
+
+#[test]
+fn above_saturation_queueing_dominates_and_throughput_plateaus() {
+    let server = server();
+    let at = |rate: u64| {
+        let spec = ServeSpec {
+            rate_rps: rate,
+            duration_ms: 300,
+            ..base_spec()
+        };
+        server.plan(&spec).expect("plan")
+    };
+    let below = at(100);
+    let above = at(400);
+    let far_above = at(600);
+
+    // Below: waits are burst noise, the SLO holds.
+    assert_eq!(below.dropped, 0);
+    assert!(below.queue_wait.p50 < below.service.p50);
+
+    // Above: the queue is the story — waits dominate service, the tail
+    // stretches far past the below-saturation tail, and the bounded
+    // queue drops the excess.
+    assert!(above.dropped > 0, "overload must drop");
+    assert!(
+        above.queue_wait.p50 > above.service.p99,
+        "median wait {} must exceed even the service tail {}",
+        above.queue_wait.p50,
+        above.service.p99
+    );
+    assert!(above.total.p99 > 2 * below.total.p99, "the hockey stick");
+
+    // Offered keeps climbing, achieved pins at capacity (±2%).
+    assert!(above.offered_rate() > 1.5 * above.achieved_rate());
+    let plateau = (far_above.achieved_rate() - above.achieved_rate()).abs();
+    assert!(
+        plateau < 0.02 * above.achieved_rate(),
+        "achieved must plateau: {:.1} vs {:.1}",
+        above.achieved_rate(),
+        far_above.achieved_rate()
+    );
+    assert!(
+        far_above.total.p99 >= above.total.p99 / 2,
+        "tail stays saturated"
+    );
+    assert!(
+        above.slo_attainment() < below.slo_attainment(),
+        "SLO attainment collapses past saturation"
+    );
+}
+
+#[test]
+fn pipelined_policies_produce_different_tails() {
+    let server = server();
+    // Sustained overload on one pipelined worker: the backlog is deep
+    // enough that what rr/sqf/eff pair behind what — and whom they
+    // starve — shows up in the tail.
+    let tail = |policy: Policy| {
+        let spec = ServeSpec {
+            pipelined: true,
+            policy,
+            rate_rps: 400,
+            duration_ms: 200,
+            ..base_spec()
+        };
+        let r = server.serve(&spec).expect("serve");
+        assert_eq!(r.replay_divergence, 0, "{}", policy.name());
+        r.total.p99
+    };
+    let rr = tail(Policy::RoundRobin);
+    let sqf = tail(Policy::ShortestQueueFirst);
+    let eff = tail(Policy::EarliestFinish);
+    assert!(
+        rr != sqf && rr != eff && sqf != eff,
+        "pipelined policies must have distinct p99 tails: rr {rr} sqf {sqf} eff {eff}"
+    );
+}
+
+#[test]
+fn adding_workers_raises_the_saturation_knee() {
+    let server = server();
+    let at = |workers: usize| {
+        let spec = ServeSpec {
+            rate_rps: 400,
+            duration_ms: 200,
+            workers,
+            ..base_spec()
+        };
+        server.plan(&spec).expect("plan")
+    };
+    let one = at(1);
+    let two = at(2);
+    assert!(two.served >= one.served);
+    assert!(two.achieved_rate() > 1.5 * one.achieved_rate());
+    assert!(two.total.p99 < one.total.p99);
+}
+
+#[test]
+fn trace_is_seeded_and_offered_bounds_achieved() {
+    let server = server();
+    let spec = base_spec();
+    let t1 = server.trace(&spec);
+    let t2 = server.trace(&spec);
+    assert_eq!(t1, t2, "same seed, same trace");
+    let other = server.trace(&ServeSpec { seed: 43, ..spec });
+    assert_ne!(t1, other, "a different seed moves the arrivals");
+    let r = server.plan(&spec).expect("plan");
+    assert!(r.achieved_rate() <= r.offered_rate() + 1e-9);
+    assert_eq!(r.served + r.dropped, r.offered);
+}
