@@ -1,0 +1,128 @@
+//! Simulator-kernel benches: decoded-block cache + MMIO read lease on
+//! the ISS side, blocked vs reference convolution on the engine side.
+//!
+//! Every group asserts bit-identical architectural results (the
+//! determinism fingerprint: output bytes + instructions + cycles)
+//! between the fast and slow paths *before* timing starts, so CI's
+//! `--test` mode doubles as a correctness gate. The full on/off × cold/
+//! warm × poll/wfi matrix lives in the `determinism_fingerprint`
+//! example.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rvnv_bench::inference_fingerprint;
+use rvnv_compiler::{compile, CompileOptions};
+use rvnv_nn::zoo::Model;
+use rvnv_nn::Tensor;
+use rvnv_nvdla::config::Precision;
+use rvnv_nvdla::descriptor::ConvDesc;
+use rvnv_nvdla::engines::conv;
+use rvnv_soc::firmware::Firmware;
+use rvnv_soc::soc::{Soc, SocConfig};
+
+fn bench_iss_kernels(c: &mut Criterion) {
+    let net = Model::LeNet5.build(1);
+    let mut opt = CompileOptions::int8();
+    opt.calib_inputs = 1;
+    let artifacts = compile(&net, &opt).expect("compile");
+    let input = Tensor::random(net.input_shape(), 7);
+    let input_bytes = artifacts.quantize_input(&input);
+    let fw = Firmware::build(&artifacts).expect("fw");
+
+    for (name, functional) in [("functional", true), ("timing_only", false)] {
+        let base = if functional {
+            SocConfig::zcu102_nv_small()
+        } else {
+            SocConfig::zcu102_timing_only()
+        };
+        let mut soc_on = Soc::new(base.clone());
+        let mut soc_off = Soc::new(SocConfig {
+            block_cache: false,
+            ..base
+        });
+        soc_on.load_artifacts(&artifacts).expect("preload");
+        soc_off.load_artifacts(&artifacts).expect("preload");
+
+        // Determinism gate before any timing.
+        let on = soc_on
+            .run_firmware(&artifacts, &input_bytes, &fw)
+            .expect("on");
+        let off = soc_off
+            .run_firmware(&artifacts, &input_bytes, &fw)
+            .expect("off");
+        assert_eq!(
+            inference_fingerprint(&on),
+            inference_fingerprint(&off),
+            "{name}: block cache + read lease changed an architectural observable"
+        );
+
+        let mut g = c.benchmark_group(&format!("sim_kernels_{name}"));
+        g.sample_size(10);
+        g.bench_function("warm_cache_on", |b| {
+            b.iter(|| {
+                soc_on
+                    .run_firmware(&artifacts, &input_bytes, &fw)
+                    .expect("run")
+                    .cycles
+            })
+        });
+        g.bench_function("warm_cache_off", |b| {
+            b.iter(|| {
+                soc_off
+                    .run_firmware(&artifacts, &input_bytes, &fw)
+                    .expect("run")
+                    .cycles
+            })
+        });
+        g.finish();
+    }
+}
+
+fn bench_conv_kernel(c: &mut Criterion) {
+    // LeNet-5 conv2: the model's heaviest convolution.
+    let d = ConvDesc {
+        src: 0,
+        in_w: 12,
+        in_h: 12,
+        in_c: 6,
+        wt_addr: 0,
+        wt_bytes: 16 * 6 * 25,
+        stride: 1,
+        pad: 0,
+        out_w: 8,
+        out_h: 8,
+        out_c: 16,
+        kw: 5,
+        kh: 5,
+        groups: 1,
+        in_scale: 0.031,
+        wt_scale: 0.27,
+        precision: Precision::Int8,
+    };
+    let feature: Vec<u8> = (0..d.in_c * d.in_h * d.in_w)
+        .map(|i| (i.wrapping_mul(31) >> 3) as u8)
+        .collect();
+    let weights: Vec<u8> = (0..d.wt_bytes)
+        .map(|i| (i.wrapping_mul(17) >> 2) as u8)
+        .collect();
+
+    // Bit-exactness gate before any timing.
+    let fast = conv::compute(&d, &feature, &weights);
+    let slow = conv::compute_reference(&d, &feature, &weights);
+    assert_eq!(
+        fast.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        slow.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        "blocked conv diverged from the reference"
+    );
+
+    let mut g = c.benchmark_group("sim_kernels_conv");
+    g.bench_function("blocked", |b| {
+        b.iter(|| conv::compute(&d, &feature, &weights))
+    });
+    g.bench_function("reference", |b| {
+        b.iter(|| conv::compute_reference(&d, &feature, &weights))
+    });
+    g.finish();
+}
+
+criterion_group!(sim_kernels, bench_iss_kernels, bench_conv_kernel);
+criterion_main!(sim_kernels);

@@ -1,0 +1,264 @@
+//! Determinism-fingerprint gate for the fast simulator kernels.
+//!
+//! The decoded-block cache, the MMIO read lease with poll-loop
+//! fast-forward, and the blocked convolution kernel are host-side
+//! speedups only: they must not change a single modeled cycle, retired
+//! instruction, or output byte. This example *proves* that for a set
+//! of real firmwares and convolution shapes, and CI runs it as a hard
+//! gate — any divergence aborts with a nonzero exit before anyone
+//! trusts a benchmark number produced by the fast paths.
+//!
+//! What is asserted, per firmware variant (functional poll, functional
+//! `wfi`, timing-only `wfi`, and an FP16 `nv_full` build):
+//!
+//! * the inference fingerprint (output bytes + instructions + cycles)
+//!   is identical with the decoded-block cache on and off, on both a
+//!   cold SoC and across warm repeat runs;
+//! * pipeline stats, NVDLA stats (including CSB read counts, which the
+//!   read lease credits back), firmware-measured cycles and arbiter
+//!   waits agree exactly;
+//! * a fully warm run decodes nothing: zero block-cache misses.
+//!
+//! Separately, the blocked convolution kernel is checked bit-for-bit
+//! against the naive tap-at-a-time reference over shapes covering
+//! padding, stride, grouping, depthwise and fully-clipped windows, in
+//! both INT8 and FP16 (where the summation order is the contract).
+
+use rvnv_bench::inference_fingerprint;
+use rvnv_compiler::codegen::{CodegenOptions, WaitMode};
+use rvnv_compiler::{compile, Artifacts, CompileOptions};
+use rvnv_nn::zoo::Model;
+use rvnv_nn::Tensor;
+use rvnv_nvdla::config::Precision;
+use rvnv_nvdla::descriptor::ConvDesc;
+use rvnv_nvdla::engines::conv;
+use rvnv_soc::firmware::Firmware;
+use rvnv_soc::soc::{InferenceResult, Soc, SocConfig};
+
+struct Variant {
+    name: &'static str,
+    config: SocConfig,
+    artifacts: Artifacts,
+    codegen: CodegenOptions,
+}
+
+fn variants() -> Vec<Variant> {
+    let net = Model::LeNet5.build(1);
+    let mut int8 = CompileOptions::int8();
+    int8.calib_inputs = 1;
+    let int8_artifacts = compile(&net, &int8).expect("int8 compile");
+    let fp16_artifacts = compile(&net, &CompileOptions::fp16()).expect("fp16 compile");
+    let wfi = CodegenOptions {
+        wait_mode: WaitMode::Wfi,
+        ..CodegenOptions::default()
+    };
+    vec![
+        Variant {
+            name: "functional/poll/int8",
+            config: SocConfig::zcu102_nv_small(),
+            artifacts: int8_artifacts.clone(),
+            codegen: CodegenOptions::default(),
+        },
+        Variant {
+            name: "functional/wfi/int8",
+            config: SocConfig::zcu102_nv_small(),
+            artifacts: int8_artifacts.clone(),
+            codegen: wfi,
+        },
+        Variant {
+            name: "timing-only/wfi/int8",
+            config: SocConfig::zcu102_timing_only(),
+            artifacts: int8_artifacts,
+            codegen: wfi,
+        },
+        Variant {
+            name: "functional/poll/fp16",
+            config: SocConfig {
+                hw: rvnv_nvdla::HwConfig::nv_full(),
+                ..SocConfig::zcu102_nv_small()
+            },
+            artifacts: fp16_artifacts,
+            codegen: CodegenOptions::default(),
+        },
+    ]
+}
+
+/// Every architectural observable two equivalent runs must share.
+fn assert_identical(name: &str, fast: &InferenceResult, slow: &InferenceResult) {
+    assert_eq!(
+        inference_fingerprint(fast),
+        inference_fingerprint(slow),
+        "{name}: fingerprint diverged"
+    );
+    assert_eq!(fast.cycles, slow.cycles, "{name}: modeled cycles");
+    assert_eq!(
+        fast.firmware_cycles, slow.firmware_cycles,
+        "{name}: firmware mcycle delta"
+    );
+    assert_eq!(
+        fast.instructions, slow.instructions,
+        "{name}: retired instructions"
+    );
+    assert_eq!(fast.raw_output, slow.raw_output, "{name}: output bytes");
+    assert_eq!(fast.pipeline, slow.pipeline, "{name}: pipeline stats");
+    assert_eq!(fast.nvdla, slow.nvdla, "{name}: NVDLA stats");
+    assert_eq!(
+        fast.cpu_arbiter_wait, slow.cpu_arbiter_wait,
+        "{name}: arbiter waits"
+    );
+}
+
+fn check_soc_kernels() {
+    for v in variants() {
+        let input = Tensor::random(Model::LeNet5.build(1).input_shape(), 2);
+        let bytes = v.artifacts.quantize_input(&input);
+        let fw = Firmware::build_with(&v.artifacts, v.codegen).expect("fw");
+
+        let mut off_config = v.config.clone();
+        off_config.block_cache = false;
+
+        // Cold runs on fresh SoCs, kernels on vs off.
+        let mut soc_on = Soc::new(v.config.clone());
+        let mut soc_off = Soc::new(off_config);
+        let cold_on = soc_on.run_firmware(&v.artifacts, &bytes, &fw).expect("on");
+        let cold_off = soc_off
+            .run_firmware(&v.artifacts, &bytes, &fw)
+            .expect("off");
+        assert_identical(&format!("{} cold", v.name), &cold_on, &cold_off);
+        assert_eq!(
+            cold_off.block_cache.hits + cold_off.block_cache.misses,
+            0,
+            "{}: cache-off runs must not touch the cache",
+            v.name
+        );
+
+        // Warm repeats: bit-identical to cold, and fully warm runs
+        // replay everything — no block is decoded twice.
+        for i in 0..3 {
+            let warm_on = soc_on.run_firmware(&v.artifacts, &bytes, &fw).expect("on");
+            let warm_off = soc_off
+                .run_firmware(&v.artifacts, &bytes, &fw)
+                .expect("off");
+            assert_identical(&format!("{} warm#{i}", v.name), &warm_on, &cold_on);
+            assert_identical(&format!("{} warm#{i} off", v.name), &warm_off, &cold_on);
+            assert_eq!(
+                warm_on.block_cache.misses, 0,
+                "{}: warm run #{i} decoded a block it should have cached",
+                v.name
+            );
+        }
+
+        println!(
+            "{:<24} fingerprint {:016x}  cycles {:>9}  instructions {:>9}  ok",
+            v.name,
+            inference_fingerprint(&cold_on),
+            cold_on.cycles,
+            cold_on.instructions,
+        );
+    }
+}
+
+/// Pseudo-random byte pattern (xorshift; no external deps).
+fn pattern(len: usize, mut seed: u32) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        seed ^= seed << 13;
+        seed ^= seed >> 17;
+        seed ^= seed << 5;
+        out.push((seed >> 16) as u8);
+    }
+    out
+}
+
+/// Replace f16 NaN encodings with max-normal values: NaN *inputs* are
+/// the one case IEEE 754 leaves underdetermined (payload propagation),
+/// and encoded model data never contains them.
+fn strip_f16_nans(bytes: &mut [u8]) {
+    for p in bytes.chunks_exact_mut(2) {
+        let v = u16::from_le_bytes([p[0], p[1]]);
+        if v & 0x7C00 == 0x7C00 && v & 0x03FF != 0 {
+            let clean = (v & 0x8000) | 0x7BFF;
+            p.copy_from_slice(&clean.to_le_bytes());
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn conv_desc(
+    in_c: u32,
+    in_hw: u32,
+    out_c: u32,
+    k: u32,
+    stride: u32,
+    pad: u32,
+    groups: u32,
+    precision: Precision,
+) -> ConvDesc {
+    let out_hw = (in_hw + 2 * pad - k) / stride + 1;
+    ConvDesc {
+        src: 0,
+        in_w: in_hw,
+        in_h: in_hw,
+        in_c,
+        wt_addr: 0,
+        wt_bytes: out_c * (in_c / groups) * k * k * precision.bytes(),
+        stride,
+        pad,
+        out_w: out_hw,
+        out_h: out_hw,
+        out_c,
+        kw: k,
+        kh: k,
+        groups,
+        in_scale: 0.031,
+        wt_scale: 0.27,
+        precision,
+    }
+}
+
+fn check_conv_kernel() {
+    let shapes = [
+        conv_desc(1, 3, 1, 2, 1, 0, 1, Precision::Int8),
+        conv_desc(3, 8, 4, 3, 1, 1, 1, Precision::Int8),
+        conv_desc(4, 7, 6, 5, 2, 2, 2, Precision::Int8),
+        conv_desc(1, 1, 1, 3, 1, 1, 1, Precision::Int8), // pad > data
+        conv_desc(2, 5, 2, 5, 1, 4, 1, Precision::Int8), // windows clip all edges
+        conv_desc(8, 4, 8, 1, 1, 0, 8, Precision::Int8), // depthwise
+        conv_desc(16, 5, 10, 5, 1, 0, 1, Precision::Int8), // fc-style whole-plane
+        conv_desc(3, 8, 4, 3, 1, 1, 1, Precision::Fp16),
+        conv_desc(4, 6, 6, 5, 2, 2, 2, Precision::Fp16),
+        conv_desc(2, 5, 2, 5, 1, 4, 1, Precision::Fp16),
+        conv_desc(16, 5, 10, 5, 1, 0, 1, Precision::Fp16),
+    ];
+    let mut outputs = 0usize;
+    for (i, d) in shapes.into_iter().enumerate() {
+        let elem = d.precision.bytes() as usize;
+        let mut feature = pattern(
+            (d.in_c * d.in_h * d.in_w) as usize * elem,
+            0xA11CE + i as u32,
+        );
+        let mut weights = pattern(d.wt_bytes as usize, 0xFACE + i as u32);
+        if d.precision == Precision::Fp16 {
+            strip_f16_nans(&mut feature);
+            strip_f16_nans(&mut weights);
+        }
+        let fast = conv::compute(&d, &feature, &weights);
+        let slow = conv::compute_reference(&d, &feature, &weights);
+        assert_eq!(fast.len(), slow.len(), "conv shape {i}: length");
+        for (j, (a, b)) in fast.iter().zip(&slow).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "conv shape {i} output {j}: blocked {a} vs reference {b}"
+            );
+        }
+        outputs += fast.len();
+    }
+    println!("conv blocked == reference bit-for-bit across {outputs} outputs  ok");
+}
+
+fn main() {
+    check_soc_kernels();
+    check_conv_kernel();
+    println!("determinism fingerprint: all fast-kernel paths are architecturally invisible");
+}

@@ -2,9 +2,26 @@
 
 use rvnv_bus::dram::DramTiming;
 use rvnv_compiler::{compile, Artifacts, CompileOptions};
+use rvnv_nn::hash::Fnv;
 use rvnv_nn::stats::{ModelStats, Precision as NnPrecision};
 use rvnv_nn::zoo::Model;
-use rvnv_soc::soc::SocConfig;
+use rvnv_soc::soc::{InferenceResult, SocConfig};
+
+/// Determinism fingerprint of one simulated inference: a hash over
+/// every observable the fast simulator kernels must not change — the
+/// raw output bytes left in DRAM, the retired instruction count, and
+/// the modeled cycle count. Two runs with the same fingerprint took
+/// the same architectural path; the fast-kernel acceptance gate
+/// asserts fingerprints are equal with the kernels on and off *before*
+/// any timing is measured.
+#[must_use]
+pub fn inference_fingerprint(r: &InferenceResult) -> u64 {
+    let mut h = Fnv::new();
+    h.bytes(&r.raw_output);
+    h.mix(r.instructions);
+    h.mix(r.cycles);
+    h.finish()
+}
 
 /// Pretty-print a table with a title and aligned columns.
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {

@@ -57,6 +57,14 @@ impl<T: Target> Target for AhbToApb<T> {
         self.crossings += 1;
         self.apb.access(req, now + Self::RESYNC)
     }
+
+    fn read_lease(&self, addr: u32, now: Cycle) -> Option<Cycle> {
+        // A repeat issued here at `t` reaches the APB port at
+        // `t + RESYNC`, so the bound shifts back by the same amount.
+        self.apb
+            .read_lease(addr, now + Self::RESYNC)
+            .map(|until| until.saturating_sub(Self::RESYNC))
+    }
 }
 
 /// AHB-Lite → AXI bridge.

@@ -143,6 +143,12 @@ impl Target for SystemBus {
         region.target.access(&local_req, now)
     }
 
+    fn read_lease(&self, addr: u32, now: Cycle) -> Option<Cycle> {
+        // Decode adds no cycles, so the lease passes through unshifted.
+        let region = self.regions.iter().find(|r| r.contains(addr))?;
+        region.target.read_lease(addr - region.base, now)
+    }
+
     fn read_block(&mut self, addr: u32, buf: &mut [u8], now: Cycle) -> Result<Cycle, BusError> {
         let len = buf.len();
         let (region, local) = self.route(addr, len)?;

@@ -73,6 +73,31 @@ pub trait Target {
     /// is misaligned, or the device rejects the access.
     fn access(&mut self, req: &Request, now: Cycle) -> Result<Response, BusError>;
 
+    /// Offer a *read lease* on `addr` to a polling master.
+    ///
+    /// Called by a master immediately after a successful read of `addr`
+    /// whose request arrived here at cycle `now`. Returning
+    /// `Some(until)` promises that an **identical repeat read** arriving
+    /// at any cycle `t` with `now <= t < until`:
+    ///
+    /// * returns the same data,
+    /// * completes with the same latency (`done_at - t` is constant),
+    /// * and has no effect on any *observable* device or timing state.
+    ///
+    /// The master may then elide such repeats entirely and replay the
+    /// recorded data and latency — this is what lets a firmware MMIO
+    /// poll loop run at host speed without touching modeled cycles.
+    /// Devices whose reads have side effects, or whose value/timing
+    /// depends on anything other than "which pending completions have
+    /// passed", must return `None` (the default). Fabric layers that
+    /// add a fixed pipeline delay forward the query with `now` shifted
+    /// by that delay and shift the bound back, so the promise stays
+    /// expressed in the caller's clock.
+    fn read_lease(&self, addr: u32, now: Cycle) -> Option<Cycle> {
+        let _ = (addr, now);
+        None
+    }
+
     /// Read `buf.len()` bytes starting at `addr` as a burst.
     ///
     /// The default implementation issues one 32-bit beat per word; devices
@@ -154,6 +179,9 @@ impl<T: Target + ?Sized> Target for &mut T {
     fn access(&mut self, req: &Request, now: Cycle) -> Result<Response, BusError> {
         (**self).access(req, now)
     }
+    fn read_lease(&self, addr: u32, now: Cycle) -> Option<Cycle> {
+        (**self).read_lease(addr, now)
+    }
     fn read_block(&mut self, addr: u32, buf: &mut [u8], now: Cycle) -> Result<Cycle, BusError> {
         (**self).read_block(addr, buf, now)
     }
@@ -165,6 +193,9 @@ impl<T: Target + ?Sized> Target for &mut T {
 impl<T: Target + ?Sized> Target for Box<T> {
     fn access(&mut self, req: &Request, now: Cycle) -> Result<Response, BusError> {
         (**self).access(req, now)
+    }
+    fn read_lease(&self, addr: u32, now: Cycle) -> Option<Cycle> {
+        (**self).read_lease(addr, now)
     }
     fn read_block(&mut self, addr: u32, buf: &mut [u8], now: Cycle) -> Result<Cycle, BusError> {
         (**self).read_block(addr, buf, now)
@@ -208,6 +239,9 @@ impl<T: Reset + ?Sized> Reset for Shared<T> {
 impl<T: Target + ?Sized> Target for Shared<T> {
     fn access(&mut self, req: &Request, now: Cycle) -> Result<Response, BusError> {
         self.0.lock().access(req, now)
+    }
+    fn read_lease(&self, addr: u32, now: Cycle) -> Option<Cycle> {
+        self.0.lock().read_lease(addr, now)
     }
     fn read_block(&mut self, addr: u32, buf: &mut [u8], now: Cycle) -> Result<Cycle, BusError> {
         self.0.lock().read_block(addr, buf, now)

@@ -5,6 +5,25 @@
 //! INT8 accumulates exactly in `i32` (as the RTL's 34-bit accumulators
 //! do) and converts to real values with the input×weight scale; FP16
 //! accumulates in f32 (the RTL uses wider-than-fp16 accumulation too).
+//!
+//! Two implementations share the same tap order:
+//!
+//! * [`compute`] — the production path: an `im2col`-style *blocked*
+//!   loop that gathers each output window's input patch into a flat
+//!   buffer once per `(oy, ox)` position and reuses it across every
+//!   output channel, with a bounds-check-free inner dot product.
+//! * [`compute_reference`] — the original naive tap-at-a-time loop,
+//!   kept as the bit-exactness oracle for tests, the determinism
+//!   fingerprint and the perf harness.
+//!
+//! Bit-identical outputs are guaranteed because both paths visit the
+//! taps of each output in the same `(ic, ky, kx)` order (f32 addition
+//! is not associative, so the *sequence* of adds is part of the
+//! contract), and padding taps are skipped rather than added as zeros
+//! (adding `0.0` could flip a `-0.0` partial sum to `+0.0`). The one
+//! exception is NaN *inputs*, whose payload propagation IEEE 754 (and
+//! the compiler) leaves underdetermined — encoded model data never
+//! contains them.
 
 use crate::config::Precision;
 use crate::descriptor::ConvDesc;
@@ -21,13 +40,195 @@ use rvnv_nn::F16;
 /// Panics if the buffers are smaller than the descriptor implies.
 #[must_use]
 pub fn compute(desc: &ConvDesc, feature: &[u8], weights: &[u8]) -> Vec<f32> {
+    let d = Dims::of(desc);
     match desc.precision {
-        Precision::Int8 => compute_int8(desc, feature, weights),
-        Precision::Fp16 => compute_fp16(desc, feature, weights),
+        Precision::Int8 => {
+            assert!(feature.len() >= d.in_elems, "feature buffer too small");
+            assert!(weights.len() >= d.wt_elems, "weight buffer too small");
+            let f: Vec<i32> = feature[..d.in_elems]
+                .iter()
+                .map(|&b| i32::from(b as i8))
+                .collect();
+            let w: Vec<i32> = weights[..d.wt_elems]
+                .iter()
+                .map(|&b| i32::from(b as i8))
+                .collect();
+            let acc_scale = desc.in_scale * desc.wt_scale;
+            compute_blocked(&d, &f, &w, |acc: i32| acc as f32 * acc_scale)
+        }
+        Precision::Fp16 => {
+            assert!(feature.len() >= d.in_elems * 2, "feature buffer too small");
+            assert!(weights.len() >= d.wt_elems * 2, "weight buffer too small");
+            let f: Vec<f32> = decode_f16(&feature[..d.in_elems * 2]);
+            let w: Vec<f32> = decode_f16(&weights[..d.wt_elems * 2]);
+            compute_blocked(&d, &f, &w, |acc: f32| acc)
+        }
     }
 }
 
-fn compute_int8(desc: &ConvDesc, feature: &[u8], weights: &[u8]) -> Vec<f32> {
+/// The original tap-at-a-time implementation — slow, obviously
+/// correct, and the oracle [`compute`] is differentially tested
+/// against (bit-identical output required).
+#[must_use]
+pub fn compute_reference(desc: &ConvDesc, feature: &[u8], weights: &[u8]) -> Vec<f32> {
+    match desc.precision {
+        Precision::Int8 => reference_int8(desc, feature, weights),
+        Precision::Fp16 => reference_fp16(desc, feature, weights),
+    }
+}
+
+fn decode_f16(bytes: &[u8]) -> Vec<f32> {
+    bytes
+        .chunks_exact(2)
+        .map(|p| F16::from_bits(u16::from_le_bytes([p[0], p[1]])).to_f32())
+        .collect()
+}
+
+/// Multiply-accumulate element: `i32` for INT8 (exact), `f32` for FP16.
+trait Mac: Copy + Default {
+    fn mac(acc: Self, f: Self, w: Self) -> Self;
+
+    /// Full-window dot product over equal-length slices. The default
+    /// is a strict left-to-right fold; element types whose addition is
+    /// associative may override with a vectorizable loop.
+    fn dot(a: &[Self], b: &[Self]) -> Self {
+        a.iter()
+            .zip(b)
+            .fold(Self::default(), |acc, (&f, &w)| Self::mac(acc, f, w))
+    }
+}
+
+impl Mac for i32 {
+    fn mac(acc: Self, f: Self, w: Self) -> Self {
+        acc + f * w
+    }
+
+    /// Integer addition is associative, so the compiler is free to
+    /// vectorize this reduction — the result is exact regardless of
+    /// order (int8 products cannot overflow a realistic i32 sum).
+    fn dot(a: &[Self], b: &[Self]) -> Self {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        let mut acc = 0;
+        for i in 0..n {
+            acc += a[i] * b[i];
+        }
+        acc
+    }
+}
+
+impl Mac for f32 {
+    /// f32 keeps the strict sequential default: the summation order is
+    /// the bit-exactness contract.
+    fn mac(acc: Self, f: Self, w: Self) -> Self {
+        acc + f * w
+    }
+}
+
+/// Blocked convolution over pre-converted element buffers.
+///
+/// For each `(group, oy, ox)`, the valid kernel window is computed
+/// once, the input patch is gathered row-contiguously into `patch` in
+/// `(ic, ky, kx)` tap order, and every output channel of the group
+/// reduces that same patch against its (contiguous, OIHW) weight row.
+/// Interior outputs — the vast majority — see a full window, where the
+/// patch layout coincides with the weight row layout and the reduction
+/// is a straight `zip` dot product; border outputs index the weight
+/// row through a per-window offset table instead.
+fn compute_blocked<T: Mac>(
+    d: &Dims,
+    feature: &[T],
+    weights: &[T],
+    finish: impl Fn(T) -> f32,
+) -> Vec<f32> {
+    let mut out = vec![0.0f32; d.out_c * d.out_h * d.out_w];
+    let plane = d.in_h * d.in_w;
+    let wt_per_oc = d.in_per_group * d.kh * d.kw;
+    let groups = d.out_c / d.out_per_group;
+    let mut patch: Vec<T> = Vec::with_capacity(wt_per_oc);
+    // Weight-row offsets (`ic*kh*kw + ky*kw + kx`) of the gathered
+    // taps, rebuilt only for clipped (border) windows.
+    let mut widx: Vec<usize> = Vec::with_capacity(wt_per_oc);
+    for g in 0..groups {
+        let in_base = g * d.in_per_group * plane;
+        for oy in 0..d.out_h {
+            let base_y = (oy * d.stride) as isize - d.pad;
+            let ky0 = usize::try_from(-base_y).unwrap_or(0).min(d.kh);
+            let ky1 = usize::try_from(d.in_h as isize - base_y)
+                .unwrap_or(0)
+                .min(d.kh);
+            for ox in 0..d.out_w {
+                let base_x = (ox * d.stride) as isize - d.pad;
+                let kx0 = usize::try_from(-base_x).unwrap_or(0).min(d.kw);
+                let kx1 = usize::try_from(d.in_w as isize - base_x)
+                    .unwrap_or(0)
+                    .min(d.kw);
+                let row_len = kx1.saturating_sub(kx0);
+                let full = ky0 == 0 && ky1 == d.kh && kx0 == 0 && kx1 == d.kw;
+                // A kernel spanning the whole input plane (fully-
+                // connected layers lowered to conv) needs no gather at
+                // all: the patch *is* the group's feature slice.
+                let whole_plane = full && d.kw == d.in_w && d.kh == d.in_h;
+
+                patch.clear();
+                if row_len > 0 && !whole_plane {
+                    let ix0 = (base_x + kx0 as isize) as usize;
+                    if full && d.kw == d.in_w {
+                        // Full-width kernel rows are contiguous across
+                        // ky — one copy per input channel.
+                        for ic in 0..d.in_per_group {
+                            let start = in_base + ic * plane + base_y as usize * d.in_w;
+                            patch.extend_from_slice(&feature[start..start + d.kh * d.in_w]);
+                        }
+                    } else {
+                        for ic in 0..d.in_per_group {
+                            let fplane = &feature[in_base + ic * plane..][..plane];
+                            for ky in ky0..ky1 {
+                                let iy = (base_y + ky as isize) as usize;
+                                let start = iy * d.in_w + ix0;
+                                patch.extend_from_slice(&fplane[start..start + row_len]);
+                            }
+                        }
+                    }
+                }
+                let patch_taps: &[T] = if whole_plane {
+                    &feature[in_base..in_base + d.in_per_group * plane]
+                } else {
+                    &patch
+                };
+                if !full {
+                    widx.clear();
+                    for ic in 0..d.in_per_group {
+                        for ky in ky0..ky1 {
+                            for kx in kx0..kx1 {
+                                widx.push((ic * d.kh + ky) * d.kw + kx);
+                            }
+                        }
+                    }
+                }
+
+                for oc_in_g in 0..d.out_per_group {
+                    let oc = g * d.out_per_group + oc_in_g;
+                    let wrow = &weights[oc * wt_per_oc..][..wt_per_oc];
+                    let acc = if full {
+                        // Full window: gathered tap order equals the
+                        // OIHW weight-row order — contiguous dot.
+                        T::dot(patch_taps, wrow)
+                    } else {
+                        patch_taps
+                            .iter()
+                            .zip(&widx)
+                            .fold(T::default(), |acc, (&f, &wi)| T::mac(acc, f, wrow[wi]))
+                    };
+                    out[(oc * d.out_h + oy) * d.out_w + ox] = finish(acc);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn reference_int8(desc: &ConvDesc, feature: &[u8], weights: &[u8]) -> Vec<f32> {
     let d = Dims::of(desc);
     assert!(feature.len() >= d.in_elems, "feature buffer too small");
     assert!(weights.len() >= d.wt_elems, "weight buffer too small");
@@ -43,7 +244,7 @@ fn compute_int8(desc: &ConvDesc, feature: &[u8], weights: &[u8]) -> Vec<f32> {
     out
 }
 
-fn compute_fp16(desc: &ConvDesc, feature: &[u8], weights: &[u8]) -> Vec<f32> {
+fn reference_fp16(desc: &ConvDesc, feature: &[u8], weights: &[u8]) -> Vec<f32> {
     let d = Dims::of(desc);
     assert!(feature.len() >= d.in_elems * 2, "feature buffer too small");
     assert!(weights.len() >= d.wt_elems * 2, "weight buffer too small");
@@ -263,5 +464,73 @@ mod tests {
         let weights = [1u8, 0, 0, 0]; // picks top-left of each window
         let out = compute(&d, &feature, &weights);
         assert_eq!(out, vec![0.0, 2.0, 8.0, 10.0]);
+    }
+
+    /// Pseudo-random byte pattern (xorshift; no external deps).
+    fn pattern(len: usize, mut seed: u32) -> Vec<u8> {
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            seed ^= seed << 13;
+            seed ^= seed >> 17;
+            seed ^= seed << 5;
+            out.push((seed >> 16) as u8);
+        }
+        out
+    }
+
+    /// Replace f16 NaN encodings with max-normal values. A NaN *input*
+    /// is the one case where IEEE leaves the result underdetermined
+    /// (which operand's payload survives `NaN*NaN` is implementation-
+    /// defined, and the compiler may commute `fmul`), and encoded
+    /// model data never contains NaNs — `from_real` rounds finite
+    /// reals. Everything else, including infinities and the canonical
+    /// NaNs born from `inf*0`/`inf-inf`, is deterministic.
+    fn strip_f16_nans(bytes: &mut [u8]) {
+        for p in bytes.chunks_exact_mut(2) {
+            let v = u16::from_le_bytes([p[0], p[1]]);
+            if v & 0x7C00 == 0x7C00 && v & 0x03FF != 0 {
+                let clean = (v & 0x8000) | 0x7BFF; // ±max normal
+                p.copy_from_slice(&clean.to_le_bytes());
+            }
+        }
+    }
+
+    /// The blocked path must match the naive reference *bit for bit* —
+    /// including fp16, where the summation order is the contract —
+    /// across shapes that cover padding, stride, grouping and windows
+    /// fully clipped off every edge.
+    #[test]
+    fn blocked_matches_reference_bit_exact() {
+        let shapes = [
+            desc(1, 3, 1, 2, 1, 0, 1, Precision::Int8),
+            desc(3, 8, 4, 3, 1, 1, 1, Precision::Int8),
+            desc(4, 7, 6, 5, 2, 2, 2, Precision::Int8),
+            desc(1, 1, 1, 3, 1, 1, 1, Precision::Int8), // pad > data
+            desc(2, 5, 2, 5, 1, 4, 1, Precision::Int8), // windows clip all edges
+            desc(8, 4, 8, 1, 1, 0, 8, Precision::Int8), // depthwise
+            desc(3, 8, 4, 3, 1, 1, 1, Precision::Fp16),
+            desc(4, 6, 6, 5, 2, 2, 2, Precision::Fp16),
+            desc(2, 5, 2, 5, 1, 4, 1, Precision::Fp16),
+        ];
+        for (i, mut d) in shapes.into_iter().enumerate() {
+            d.in_scale = 0.031;
+            d.wt_scale = 0.27;
+            let elem = d.precision.bytes() as usize;
+            let mut feature = pattern(
+                (d.in_c * d.in_h * d.in_w) as usize * elem,
+                0xC0FE + i as u32,
+            );
+            let mut weights = pattern(d.wt_bytes as usize, 0xBEEF + i as u32);
+            if d.precision == Precision::Fp16 {
+                strip_f16_nans(&mut feature);
+                strip_f16_nans(&mut weights);
+            }
+            let fast = compute(&d, &feature, &weights);
+            let slow = compute_reference(&d, &feature, &weights);
+            assert_eq!(fast.len(), slow.len(), "shape {i}");
+            for (j, (a, b)) in fast.iter().zip(&slow).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "shape {i} output {j}: {a} vs {b}");
+            }
+        }
     }
 }

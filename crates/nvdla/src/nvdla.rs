@@ -173,6 +173,15 @@ impl<D: Target> Nvdla<D> {
         &self.timeline
     }
 
+    /// Account CSB reads a polling master answered from an MMIO read
+    /// lease (see [`Target::read_lease`]) instead of re-crossing the
+    /// fabric. The elided reads are still architecturally performed, so
+    /// crediting them here keeps [`NvdlaStats::csb_reads`] identical to
+    /// a run without leases.
+    pub fn credit_elided_reads(&mut self, n: u64) {
+        self.stats.csb_reads += n;
+    }
+
     /// Promote events whose completion time has passed into the
     /// interrupt status register.
     fn promote(&mut self, now: Cycle) {
@@ -271,7 +280,8 @@ impl<D: Target> Nvdla<D> {
             None
         };
         let out = if self.functional {
-            sdp::apply(sd, acc_real, input2, bs.as_ref())
+            let r = sdp::apply(sd, acc_real, input2, bs.as_ref());
+            r
         } else {
             vec![0u8; sd.elems() * sd.precision.bytes() as usize]
         };
@@ -579,6 +589,32 @@ impl<D: Target> Target for Nvdla<D> {
                 Ok(Response::ack(done_at))
             }
         }
+    }
+
+    fn read_lease(&self, addr: u32, now: Cycle) -> Option<Cycle> {
+        // Only the interrupt-status register is leased: the value a
+        // read arriving at cycle `t` observes is `intr_status` plus the
+        // bits of events with `done_at <= t`, so it is constant until
+        // the earliest completion still pending at `now`. Every path
+        // that can change it sooner — `op_enable` launches, w1c clears,
+        // `GLB_INTR_SET` — is a CSB *write*, which drops the master's
+        // lease. Reads of it are side-effect-free (`promote` only folds
+        // already-due events into the register; the observed value is
+        // invariant under that), and CSB read latency is a constant.
+        if Block::of_addr(addr) != Some(Block::Glb) || addr & 0xFFF != regs::GLB_INTR_STATUS {
+            return None;
+        }
+        let mut until = Cycle::MAX;
+        for e in &self.events {
+            if e.done_at <= now {
+                // A due-but-unpromoted event means `now` precedes the
+                // read we were called for; decline rather than reason
+                // about the past.
+                return None;
+            }
+            until = until.min(e.done_at);
+        }
+        Some(until)
     }
 }
 

@@ -1,0 +1,185 @@
+//! Decoded-basic-block cache for the ISS hot loop.
+//!
+//! Warm functional inference spends most of its host time re-fetching
+//! and re-decoding the same handful of firmware basic blocks — the MMIO
+//! poll loop alone is three instructions executed tens of thousands of
+//! times per frame. This cache decodes each basic block once (keyed by
+//! its entry PC) and lets [`Core::step`](crate::cpu::Core::step) replay
+//! the pre-decoded ops through the exact same execute/retire path, so
+//! modeled cycles, retired-instruction counts and architectural state
+//! stay bit-identical to the uncached interpreter.
+//!
+//! Timing is preserved analytically: at block-build time the slave's
+//! fetch latency is measured per instruction word (a direct access to
+//! the downstream target, bypassing the AHB port), and at replay time
+//! the AHB address-phase cost is recomputed from the core's own
+//! SEQ/NONSEQ fetch classifier. This is exact for instruction memories
+//! whose fetch timing is a pure function of the address — true of the
+//! block-RAM [`Sram`](rvnv_bus::sram::Sram) program memory the SoC
+//! always uses — and it is the caller's responsibility (enforced by
+//! [`Soc`](../../rvnv_soc/soc/struct.Soc.html) and pinned by the
+//! determinism-fingerprint harness) not to enable the cache over a
+//! stateful instruction memory.
+//!
+//! The cache holds *decode* state only. Writing to the instruction
+//! memory through the [`Core::imem_mut`](crate::cpu::Core::imem_mut)
+//! backdoor flushes every block, so self-modifying or re-loaded program
+//! memory is re-decoded from the new bytes.
+
+use crate::inst::Inst;
+
+/// One pre-decoded instruction inside a cached block.
+#[derive(Debug, Clone, Copy)]
+pub struct CachedOp {
+    /// PC this op was decoded at.
+    pub pc: u32,
+    /// Slave fetch latency measured at build time (`done_at - now` of a
+    /// direct downstream access), in cycles. Replay recombines it with
+    /// the AHB address-phase cost to reproduce the uncached
+    /// `fetch_wait` exactly.
+    pub latency: u32,
+    /// The decoded instruction.
+    pub inst: Inst,
+}
+
+/// Counters exposed through `rv-nvdla run --repeat` and the perf
+/// harness so cache-effectiveness regressions are visible.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BlockCacheStats {
+    /// Block lookups that found a previously decoded block.
+    pub hits: u64,
+    /// Block lookups that had to decode a new block.
+    pub misses: u64,
+    /// Whole-cache flushes (instruction-memory writes, explicit reset).
+    pub invalidations: u64,
+    /// Instructions replayed from pre-decoded blocks.
+    pub replayed_ops: u64,
+}
+
+impl BlockCacheStats {
+    /// Counter-wise difference since `earlier` (same cache, later in
+    /// time) — used to report per-inference deltas of a long-lived
+    /// warm cache.
+    #[must_use]
+    pub fn since(&self, earlier: &BlockCacheStats) -> BlockCacheStats {
+        BlockCacheStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            invalidations: self.invalidations - earlier.invalidations,
+            replayed_ops: self.replayed_ops - earlier.replayed_ops,
+        }
+    }
+}
+
+/// Sentinel for "no block starts at this word".
+const EMPTY: u32 = u32::MAX;
+
+/// Decoded-basic-block cache, attached to a
+/// [`Core`](crate::cpu::Core) via
+/// [`enable_block_cache`](crate::cpu::Core::enable_block_cache) /
+/// [`attach_block_cache`](crate::cpu::Core::attach_block_cache).
+///
+/// Blocks are keyed by entry PC in a direct-mapped table with one slot
+/// per instruction word, so a branch into the *middle* of an existing
+/// block simply decodes a new (overlapping) block starting at the
+/// branch target — overlap is allowed and cheap.
+#[derive(Debug)]
+pub struct BlockCache {
+    /// Word-index (`pc >> 2`) → index into `blocks`, or [`EMPTY`].
+    map: Vec<u32>,
+    blocks: Vec<Box<[CachedOp]>>,
+    imem_bytes: usize,
+    pub(crate) stats: BlockCacheStats,
+}
+
+impl BlockCache {
+    /// Longest block we decode in one go; straight-line code beyond
+    /// this simply continues in the next block.
+    pub const MAX_BLOCK_OPS: usize = 64;
+
+    /// Create an empty cache covering an instruction memory of
+    /// `imem_bytes` bytes.
+    #[must_use]
+    pub fn new(imem_bytes: usize) -> Self {
+        BlockCache {
+            map: vec![EMPTY; imem_bytes.div_ceil(4)],
+            blocks: Vec::new(),
+            imem_bytes,
+            stats: BlockCacheStats::default(),
+        }
+    }
+
+    /// Size of the instruction memory this cache was built for.
+    #[must_use]
+    pub fn imem_bytes(&self) -> usize {
+        self.imem_bytes
+    }
+
+    /// Accumulated counters.
+    #[must_use]
+    pub fn stats(&self) -> BlockCacheStats {
+        self.stats
+    }
+
+    /// Number of decoded blocks currently resident.
+    #[must_use]
+    pub fn resident_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Look up the block whose entry PC is exactly `pc`.
+    pub(crate) fn lookup(&self, pc: u32) -> Option<u32> {
+        let idx = *self.map.get((pc >> 2) as usize)?;
+        if idx == EMPTY {
+            return None;
+        }
+        // A misaligned PC shares a map slot with its aligned neighbour;
+        // the entry-PC check rejects the alias.
+        (self.blocks[idx as usize][0].pc == pc).then_some(idx)
+    }
+
+    /// Register a freshly decoded block; returns its index. Blocks
+    /// whose entry falls outside the map (possible only if the memory
+    /// is larger than `imem_bytes`, or the entry is misaligned) are
+    /// kept un-indexed and will be re-decoded on the next visit.
+    pub(crate) fn insert(&mut self, ops: Vec<CachedOp>) -> u32 {
+        debug_assert!(!ops.is_empty());
+        let entry = ops[0].pc;
+        let idx = u32::try_from(self.blocks.len()).expect("block count fits u32");
+        self.blocks.push(ops.into_boxed_slice());
+        if entry.is_multiple_of(4) {
+            if let Some(slot) = self.map.get_mut((entry >> 2) as usize) {
+                *slot = idx;
+            }
+        }
+        idx
+    }
+
+    pub(crate) fn block(&self, idx: u32) -> &[CachedOp] {
+        &self.blocks[idx as usize]
+    }
+
+    /// Drop every decoded block (the instruction memory changed).
+    pub(crate) fn flush(&mut self) {
+        if self.blocks.is_empty() {
+            return;
+        }
+        self.map.fill(EMPTY);
+        self.blocks.clear();
+        self.stats.invalidations += 1;
+    }
+}
+
+/// Does `inst` end a basic block (it can redirect or halt the PC)?
+pub(crate) fn ends_block(inst: &Inst) -> bool {
+    matches!(
+        inst,
+        Inst::Jal { .. }
+            | Inst::Jalr { .. }
+            | Inst::Branch { .. }
+            | Inst::Mret
+            | Inst::Ecall
+            | Inst::Ebreak
+            | Inst::Wfi
+    )
+}

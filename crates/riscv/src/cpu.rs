@@ -3,9 +3,10 @@
 use std::error::Error;
 use std::fmt;
 
-use rvnv_bus::ahb::AhbPort;
+use rvnv_bus::ahb::{AhbPort, AhbStats};
 use rvnv_bus::{AccessSize, BusError, Request, Target};
 
+use crate::block_cache::{ends_block, BlockCache, BlockCacheStats, CachedOp};
 use crate::csr::CsrFile;
 use crate::decode::{decode, DecodeError};
 use crate::inst::{AluOp, BranchOp, CsrOp, Inst, MemWidth, MulOp};
@@ -105,6 +106,64 @@ pub struct Core<I, D> {
     pipeline: Pipeline,
     cycle: u64,
     retired: u64,
+    /// Decoded-basic-block cache; `None` runs the plain interpreter.
+    cache: Option<BlockCache>,
+    /// Replay cursor — `(block index, op index)` of the op at `self.pc`,
+    /// when the previous step fell through inside a cached block.
+    replay: Option<(u32, u32)>,
+    /// PC of the most recent successful instruction fetch. The cached
+    /// path bypasses the imem AHB port, so the core mirrors the port's
+    /// SEQ/NONSEQ classifier here to keep fetch timing bit-identical.
+    last_fetch: Option<u32>,
+    /// Active MMIO read lease (see [`Target::read_lease`]): exact
+    /// repeats of the previous data read are answered locally, with the
+    /// recorded data and wait, while the device's promise holds.
+    lease: Option<DmemLease>,
+    /// `(addr, is_write)` of the most recent successful data access —
+    /// the dmem AHB port's SEQ/NONSEQ classifier state, mirrored so the
+    /// lease path can reproduce the port's timing without touching it.
+    last_dmem: Option<(u32, bool)>,
+    /// Total data reads elided through leases (for stats crediting).
+    lease_elided: u64,
+}
+
+/// A read lease the core holds on one data address. Only taken in
+/// fast-kernels mode (block cache attached); the plain interpreter
+/// never consults leases, keeping it the timing reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct DmemLease {
+    addr: u32,
+    size: AccessSize,
+    data: u32,
+    /// Wait cycles a (necessarily NONSEQ) repeat read costs.
+    wait: u64,
+    /// Repeats may be *issued* at cycles strictly before this.
+    until: u64,
+}
+
+/// Snapshot taken at a fixed phase of a suspected poll loop (right
+/// after a lease-elided read retires). If the core returns to this
+/// phase with every piece of architectural and timing-relevant state
+/// equal — and the whole period touched no bus port, so its only
+/// inputs were the (constant) lease and the (static) cached decode —
+/// then the period provably repeats bit-identically and can be
+/// fast-forwarded by multiplying its deltas.
+struct PollAnchor {
+    pc: u32,
+    cycle: u64,
+    retired: u64,
+    regs: RegFile,
+    csrs: CsrFile,
+    pending_load: Option<Reg>,
+    replay: Option<(u32, u32)>,
+    last_fetch: Option<u32>,
+    last_dmem: Option<(u32, bool)>,
+    lease: DmemLease,
+    pstats: PipelineStats,
+    cstats: BlockCacheStats,
+    elided: u64,
+    imem_stats: AhbStats,
+    dmem_stats: AhbStats,
 }
 
 impl<I: Target, D: Target> Core<I, D> {
@@ -124,6 +183,12 @@ impl<I: Target, D: Target> Core<I, D> {
             pipeline: Pipeline::new(model),
             cycle: 0,
             retired: 0,
+            cache: None,
+            replay: None,
+            last_fetch: None,
+            lease: None,
+            last_dmem: None,
+            lease_elided: 0,
         }
     }
 
@@ -136,6 +201,7 @@ impl<I: Target, D: Target> Core<I, D> {
     /// Set the program counter (reset vector).
     pub fn set_pc(&mut self, pc: u32) {
         self.pc = pc;
+        self.replay = None;
     }
 
     /// Current core-clock cycle.
@@ -175,13 +241,70 @@ impl<I: Target, D: Target> Core<I, D> {
     }
 
     /// The data port (backdoor, e.g. for inspecting the bus).
+    ///
+    /// Drops any held MMIO read lease: the caller may mutate device
+    /// state behind the leased value.
     pub fn dmem_mut(&mut self) -> &mut D {
+        self.lease = None;
         self.dmem.downstream_mut()
     }
 
     /// The instruction memory (backdoor, e.g. for loading firmware).
+    ///
+    /// Handing out `&mut` to the program memory conservatively flushes
+    /// the decoded-block cache (if one is attached): the caller may be
+    /// about to overwrite instruction bytes, and cached blocks must
+    /// never outlive the words they were decoded from.
     pub fn imem_mut(&mut self) -> &mut I {
+        if let Some(cache) = self.cache.as_mut() {
+            cache.flush();
+            self.replay = None;
+        }
         self.imem.downstream_mut()
+    }
+
+    /// Attach a fresh decoded-block cache covering an instruction
+    /// memory of `imem_bytes` bytes (see [`BlockCache`]).
+    ///
+    /// The cache is exact only for instruction memories whose fetch
+    /// timing is a pure function of the address (e.g. the block-RAM
+    /// [`Sram`](rvnv_bus::sram::Sram) program memory); the latency of
+    /// each word is measured once at decode time and replayed after.
+    pub fn enable_block_cache(&mut self, imem_bytes: usize) {
+        self.attach_block_cache(BlockCache::new(imem_bytes));
+    }
+
+    /// Attach an existing (possibly warm) decoded-block cache. The
+    /// caller guarantees the instruction memory holds the same bytes
+    /// the cache's blocks were decoded from — the SoC keys retained
+    /// caches by a hash of the firmware image to enforce this.
+    pub fn attach_block_cache(&mut self, cache: BlockCache) {
+        self.replay = None;
+        self.lease = None;
+        self.cache = Some(cache);
+    }
+
+    /// Detach and return the decoded-block cache, e.g. to keep it warm
+    /// across a core rebuild. Returns `None` if no cache is attached.
+    pub fn take_block_cache(&mut self) -> Option<BlockCache> {
+        self.replay = None;
+        self.lease = None;
+        self.cache.take()
+    }
+
+    /// Total data reads answered from MMIO read leases (see
+    /// [`Target::read_lease`]). These reads are architecturally
+    /// performed but never reach the bus fabric, so platform code uses
+    /// this to credit device-side read counters.
+    #[must_use]
+    pub fn elided_mmio_reads(&self) -> u64 {
+        self.lease_elided
+    }
+
+    /// Counters of the attached decoded-block cache, if any.
+    #[must_use]
+    pub fn block_cache_stats(&self) -> Option<BlockCacheStats> {
+        self.cache.as_ref().map(BlockCache::stats)
     }
 
     fn data_access(
@@ -191,6 +314,21 @@ impl<I: Target, D: Target> Core<I, D> {
         write: Option<u32>,
     ) -> Result<(u32, u64), CpuError> {
         let size = AccessSize::from_bytes(width.bytes()).expect("mem widths are 1/2/4");
+        // MMIO read-lease fast path (fast-kernels mode only): an exact
+        // repeat of the leased read — the firmware poll loop — replays
+        // the recorded data and wait without re-crossing the fabric.
+        // Because only *identical consecutive* reads are elided, the
+        // dmem AHB port's classifier state stays exactly what a real
+        // repeat would leave behind.
+        if write.is_none() {
+            if let Some(l) = &self.lease {
+                if l.addr == addr && l.size == size && self.cycle < l.until {
+                    self.lease_elided += 1;
+                    return Ok((l.data, l.wait));
+                }
+            }
+        }
+        self.lease = None;
         let req = match write {
             Some(v) => Request::write(addr, u64::from(v), size),
             None => Request::read(addr, size),
@@ -204,6 +342,41 @@ impl<I: Target, D: Target> Core<I, D> {
                 source,
             })?;
         let wait = (resp.done_at - self.cycle).saturating_sub(1);
+        // Mirror the port's SEQ/NONSEQ classification of the access
+        // that just happened (the port updates its state only on
+        // success, so mirror only on success too).
+        let was_seq = matches!(
+            self.last_dmem,
+            Some((prev, w)) if addr == prev.wrapping_add(size.bytes()) && write.is_some() == w
+        );
+        self.last_dmem = Some((addr, write.is_some()));
+        if self.cache.is_some() && write.is_none() {
+            // Ask the slave for a lease on this address. The query is
+            // made in port-issue time (`cycle + addr_phase`), and the
+            // returned bound is pulled back by the NONSEQ address phase
+            // every *repeat* pays, yielding an issue-time deadline.
+            let addr_phase = if was_seq {
+                0
+            } else {
+                AhbPort::<D>::NONSEQ_COST
+            };
+            if let Some(until) = self
+                .dmem
+                .downstream_mut()
+                .read_lease(addr, self.cycle + addr_phase)
+            {
+                self.lease = Some(DmemLease {
+                    addr,
+                    size,
+                    data: resp.data as u32,
+                    // A repeat is NONSEQ (same address twice is never
+                    // sequential), so it pays the address phase even if
+                    // the leased access itself did not.
+                    wait: wait + (AhbPort::<D>::NONSEQ_COST - addr_phase),
+                    until: until.saturating_sub(AhbPort::<D>::NONSEQ_COST),
+                });
+            }
+        }
         Ok((resp.data as u32, wait))
     }
 
@@ -214,6 +387,16 @@ impl<I: Target, D: Target> Core<I, D> {
     /// Returns [`CpuError`] on fetch faults, illegal instructions or data
     /// bus faults. The core is left at the faulting PC.
     pub fn step(&mut self) -> Result<Option<StopReason>, CpuError> {
+        if self.cache.is_some() {
+            self.step_cached()
+        } else {
+            self.step_uncached()
+        }
+    }
+
+    /// One fetch/decode/execute step through the imem AHB port — the
+    /// reference interpreter the cached path must match bit-for-bit.
+    fn step_uncached(&mut self) -> Result<Option<StopReason>, CpuError> {
         // IF
         let fetch = self
             .imem
@@ -224,11 +407,105 @@ impl<I: Target, D: Target> Core<I, D> {
             })?;
         let fetch_wait = (fetch.done_at - self.cycle).saturating_sub(1);
         let word = fetch.data as u32;
+        // Mirror the port's SEQ/NONSEQ state so a block cache attached
+        // mid-run classifies its first fetch the way the port would.
+        self.last_fetch = Some(self.pc);
 
         // ID
         let inst = decode(word, self.pc)?;
 
-        // EX + MEM
+        self.execute_inst(inst, fetch_wait)
+    }
+
+    /// One step replayed from the decoded-block cache. Execution and
+    /// retirement share [`Self::execute_inst`] with the uncached path;
+    /// only fetch and decode are elided, with the fetch *timing*
+    /// recomputed analytically (build-time slave latency + AHB
+    /// address-phase cost from the mirrored SEQ/NONSEQ classifier).
+    fn step_cached(&mut self) -> Result<Option<StopReason>, CpuError> {
+        let pc = self.pc;
+        let (block_idx, op_idx) = match self.replay.take() {
+            Some(cursor) => cursor,
+            None => {
+                let cache = self.cache.as_mut().expect("cached mode");
+                if let Some(idx) = cache.lookup(pc) {
+                    cache.stats.hits += 1;
+                    (idx, 0)
+                } else {
+                    self.cache.as_mut().expect("cached mode").stats.misses += 1;
+                    (self.build_block(pc)?, 0)
+                }
+            }
+        };
+        let cache = self.cache.as_mut().expect("cached mode");
+        cache.stats.replayed_ops += 1;
+        let block = cache.block(block_idx);
+        let op = block[op_idx as usize];
+        let is_last = op_idx as usize + 1 == block.len();
+        debug_assert_eq!(op.pc, pc, "replay cursor out of sync");
+
+        // The uncached fetch would cost `addr_phase + latency - 1` wait
+        // cycles through the AHB port (saturating at zero).
+        let seq = self.last_fetch == Some(pc.wrapping_sub(4));
+        let addr_phase = if seq { 0 } else { AhbPort::<I>::NONSEQ_COST };
+        let fetch_wait = (addr_phase + u64::from(op.latency)).saturating_sub(1);
+        self.last_fetch = Some(pc);
+
+        let stop = self.execute_inst(op.inst, fetch_wait)?;
+        // Keep replaying the block while execution falls through it.
+        if !is_last && self.pc == pc.wrapping_add(4) {
+            self.replay = Some((block_idx, op_idx + 1));
+        }
+        Ok(stop)
+    }
+
+    /// Decode the basic block starting at `entry` into the cache and
+    /// return its index. Instruction words are read directly from the
+    /// downstream memory (zero architectural cost), measuring each
+    /// word's fetch latency for exact replay timing.
+    fn build_block(&mut self, entry: u32) -> Result<u32, CpuError> {
+        let mut ops = Vec::new();
+        let mut pc = entry;
+        loop {
+            let now = self.cycle;
+            let resp = match self.imem.downstream_mut().access(&Request::read32(pc), now) {
+                Ok(r) => r,
+                // A fault at the entry reproduces the uncached fetch
+                // fault; one later merely ends the block early (the
+                // uncached core would only fault on reaching that PC).
+                Err(source) if pc == entry => return Err(CpuError::FetchFault { pc, source }),
+                Err(_) => break,
+            };
+            let latency = u32::try_from(resp.done_at - now).expect("slave latency fits u32");
+            let inst = match decode(resp.data as u32, pc) {
+                Ok(inst) => inst,
+                Err(e) if pc == entry => {
+                    // The fetch itself succeeded — record it for the
+                    // SEQ/NONSEQ classifier, exactly as the uncached
+                    // path updates the port before decoding fails.
+                    self.last_fetch = Some(pc);
+                    return Err(CpuError::Illegal(e));
+                }
+                Err(_) => break,
+            };
+            let done = ends_block(&inst);
+            ops.push(CachedOp { pc, latency, inst });
+            if done || ops.len() >= BlockCache::MAX_BLOCK_OPS {
+                break;
+            }
+            pc = pc.wrapping_add(4);
+        }
+        Ok(self.cache.as_mut().expect("cached mode").insert(ops))
+    }
+
+    /// EX + MEM + retire for one decoded instruction — shared verbatim
+    /// by the uncached and cached step paths so architectural state,
+    /// modeled cycles and pipeline statistics cannot diverge.
+    fn execute_inst(
+        &mut self,
+        inst: Inst,
+        fetch_wait: u64,
+    ) -> Result<Option<StopReason>, CpuError> {
         let mut next_pc = self.pc.wrapping_add(4);
         let mut mem_wait = 0u64;
         let mut stop = None;
@@ -365,6 +642,136 @@ impl<I: Target, D: Target> Core<I, D> {
             }
         }
         Ok(StopReason::MaxInstructions)
+    }
+
+    /// Execute up to `limit` instructions, batching and — when a poll
+    /// loop is provably periodic — fast-forwarding it. Returns how many
+    /// instructions were executed (counting a faulting attempt) and the
+    /// step outcome; cycles, retired counts, pipeline statistics and
+    /// architectural state end bit-identical to `limit` plain
+    /// [`Core::step`] calls.
+    ///
+    /// The fast-forward engages only while an MMIO read lease is held
+    /// (see [`Target::read_lease`]) and the loop body touches no bus
+    /// port — then the period's only inputs are the lease's constant
+    /// value and the static decoded firmware, so one observed period
+    /// determines all following ones and their deltas can be multiplied
+    /// instead of replayed.
+    pub fn run_block(&mut self, limit: u64) -> (u64, Result<Option<StopReason>, CpuError>) {
+        let mut executed = 0u64;
+        let mut anchor: Option<PollAnchor> = None;
+        while executed < limit {
+            let polled = self.lease_elided;
+            executed += 1;
+            match self.step() {
+                Ok(None) => {}
+                Ok(stop @ Some(_)) => return (executed, Ok(stop)),
+                Err(e) => return (executed, Err(e)),
+            }
+            if self.lease_elided == polled {
+                // Only lease-elided reads can form a skippable period;
+                // other instructions neither anchor nor advance it.
+                continue;
+            }
+            match &anchor {
+                Some(a) if a.pc == self.pc => {
+                    if let Some(skipped) = self.try_fast_forward(a, limit - executed) {
+                        executed += skipped;
+                        anchor = None;
+                    } else {
+                        anchor = self.poll_anchor();
+                    }
+                }
+                _ => anchor = self.poll_anchor(),
+            }
+        }
+        (executed, Ok(None))
+    }
+
+    /// Snapshot the fast-forward comparison state; `None` when no lease
+    /// is held (nothing to prove a period against).
+    fn poll_anchor(&self) -> Option<PollAnchor> {
+        let lease = self.lease?;
+        let cache = self.cache.as_ref()?;
+        Some(PollAnchor {
+            pc: self.pc,
+            cycle: self.cycle,
+            retired: self.retired,
+            regs: self.regs.clone(),
+            csrs: self.csrs.clone(),
+            pending_load: self.pipeline.pending_load(),
+            replay: self.replay,
+            last_fetch: self.last_fetch,
+            last_dmem: self.last_dmem,
+            lease,
+            pstats: self.pipeline.stats(),
+            cstats: cache.stats,
+            elided: self.lease_elided,
+            imem_stats: self.imem.stats(),
+            dmem_stats: self.dmem.stats(),
+        })
+    }
+
+    /// If the state at the current anchor phase equals `a` (one period
+    /// ago) in every input-determining component, multiply the period's
+    /// deltas by as many repetitions as fit before the lease deadline
+    /// and the `budget` (in instructions). Returns instructions skipped.
+    fn try_fast_forward(&mut self, a: &PollAnchor, budget: u64) -> Option<u64> {
+        let dc = self.cycle - a.cycle;
+        let dr = self.retired - a.retired;
+        if dc == 0 || dr == 0 {
+            return None;
+        }
+        // The period must have consumed no input beyond the lease: no
+        // transfer on either AHB port, no block-cache miss (a miss
+        // mutates the cache), and the same lease throughout.
+        let lease = self.lease.filter(|l| *l == a.lease)?;
+        let cstats = self.cache.as_ref()?.stats;
+        if self.imem.stats() != a.imem_stats
+            || self.dmem.stats() != a.dmem_stats
+            || cstats.misses != a.cstats.misses
+            || cstats.invalidations != a.cstats.invalidations
+        {
+            return None;
+        }
+        // Identical machine state at the same phase ⇒ periodic.
+        if self.regs != a.regs
+            || self.csrs != a.csrs
+            || self.pipeline.pending_load() != a.pending_load
+            || self.replay != a.replay
+            || self.last_fetch != a.last_fetch
+            || self.last_dmem != a.last_dmem
+        {
+            return None;
+        }
+        // Skip only periods that *end* at or before the lease deadline;
+        // their internal poll reads then issue strictly before it. The
+        // boundary iterations run interpreted.
+        let k_time = lease.until.saturating_sub(self.cycle) / dc;
+        let k = k_time.min(budget / dr);
+        if k == 0 {
+            return None;
+        }
+        self.cycle += dc * k;
+        self.retired += dr * k;
+        self.lease_elided += (self.lease_elided - a.elided) * k;
+        let pstats = self.pipeline.stats();
+        self.pipeline.fast_forward(
+            &PipelineStats {
+                retired: pstats.retired - a.pstats.retired,
+                base_cycles: pstats.base_cycles - a.pstats.base_cycles,
+                branch_stalls: pstats.branch_stalls - a.pstats.branch_stalls,
+                load_use_stalls: pstats.load_use_stalls - a.pstats.load_use_stalls,
+                muldiv_stalls: pstats.muldiv_stalls - a.pstats.muldiv_stalls,
+                fetch_stalls: pstats.fetch_stalls - a.pstats.fetch_stalls,
+                mem_stalls: pstats.mem_stalls - a.pstats.mem_stalls,
+            },
+            k,
+        );
+        let cache = self.cache.as_mut().expect("checked above");
+        cache.stats.hits += (cstats.hits - a.cstats.hits) * k;
+        cache.stats.replayed_ops += (cstats.replayed_ops - a.cstats.replayed_ops) * k;
+        Some(dr * k)
     }
 }
 
@@ -624,6 +1031,128 @@ mod tests {
         );
         assert_eq!(core.run(100).unwrap(), StopReason::MaxInstructions);
         assert_eq!(core.retired(), 100);
+    }
+
+    /// Run `insts` twice — plain interpreter vs decoded-block cache —
+    /// and demand bit-identical cycles, retired count, PC and regs.
+    fn differential(insts: &[Inst], max: u64) -> Core<Sram, Sram> {
+        let mut plain = Core::new(program(insts), Sram::new(4096));
+        let plain_stop = plain.run(max);
+        let mut cached = Core::new(program(insts), Sram::new(4096));
+        cached.enable_block_cache(insts.len() * 4);
+        let cached_stop = cached.run(max);
+        assert_eq!(plain_stop, cached_stop);
+        assert_eq!(plain.cycle(), cached.cycle(), "modeled cycles diverged");
+        assert_eq!(plain.retired(), cached.retired());
+        assert_eq!(plain.pc(), cached.pc());
+        for r in 0..32 {
+            let r = crate::reg::Reg::new(r);
+            assert_eq!(plain.read_reg(r), cached.read_reg(r), "reg {r:?}");
+        }
+        assert_eq!(plain.pipeline_stats(), cached.pipeline_stats());
+        cached
+    }
+
+    #[test]
+    fn block_cache_is_cycle_exact_on_a_loop() {
+        let cached = differential(
+            &[
+                Inst::AluImm {
+                    op: AluOp::Add,
+                    rd: T0,
+                    rs1: crate::reg::ZERO,
+                    imm: 100,
+                },
+                Inst::AluImm {
+                    op: AluOp::Add,
+                    rd: T0,
+                    rs1: T0,
+                    imm: -1,
+                },
+                Inst::Branch {
+                    op: BranchOp::Ne,
+                    rs1: T0,
+                    rs2: crate::reg::ZERO,
+                    offset: -4,
+                },
+                Inst::Ebreak,
+            ],
+            10_000,
+        );
+        let stats = cached.block_cache_stats().expect("cache attached");
+        assert!(stats.hits > 90, "loop body should replay: {stats:?}");
+        assert_eq!(stats.replayed_ops, cached.retired());
+    }
+
+    #[test]
+    fn block_cache_is_cycle_exact_with_memory_and_muldiv() {
+        differential(
+            &[
+                Inst::AluImm {
+                    op: AluOp::Add,
+                    rd: A0,
+                    rs1: crate::reg::ZERO,
+                    imm: 0x180,
+                },
+                Inst::AluImm {
+                    op: AluOp::Add,
+                    rd: T0,
+                    rs1: crate::reg::ZERO,
+                    imm: 37,
+                },
+                Inst::Store {
+                    width: MemWidth::Word,
+                    rs1: A0,
+                    rs2: T0,
+                    offset: 0,
+                },
+                // Load-use hazard right after the load, then mul/div
+                // extra cycles — all timing paths exercised.
+                Inst::Load {
+                    width: MemWidth::Word,
+                    rd: T1,
+                    rs1: A0,
+                    offset: 0,
+                },
+                Inst::Mul {
+                    op: MulOp::Mul,
+                    rd: T1,
+                    rs1: T1,
+                    rs2: T0,
+                },
+                Inst::Mul {
+                    op: MulOp::Div,
+                    rd: A1,
+                    rs1: T1,
+                    rs2: T0,
+                },
+                Inst::Ebreak,
+            ],
+            100,
+        );
+    }
+
+    #[test]
+    fn block_cache_reproduces_data_faults_and_recovers() {
+        let insts = [
+            Inst::Load {
+                width: MemWidth::Word,
+                rd: A0,
+                rs1: crate::reg::ZERO,
+                offset: 0x7FF,
+            },
+            Inst::Ebreak,
+        ];
+        let mut plain = Core::new(program(&insts), Sram::new(64));
+        let mut cached = Core::new(program(&insts), Sram::new(64));
+        cached.enable_block_cache(64);
+        let pe = plain.run(10).unwrap_err();
+        let ce = cached.run(10).unwrap_err();
+        assert_eq!(pe, ce);
+        assert_eq!(plain.cycle(), cached.cycle());
+        assert_eq!(plain.pc(), cached.pc());
+        // Stepping again re-faults identically from the faulting PC.
+        assert_eq!(plain.step().unwrap_err(), cached.step().unwrap_err());
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub const MHARTID: u16 = 0xF14;
 ///
 /// `mcycle`/`minstret` shadow the core's performance counters and are
 /// refreshed by the core before each CSR read.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CsrFile {
     regs: BTreeMap<u16, u32>,
     /// 64-bit cycle counter, maintained by the core.

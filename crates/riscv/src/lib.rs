@@ -36,6 +36,7 @@
 //! ```
 
 pub mod asm;
+pub mod block_cache;
 pub mod cpu;
 pub mod csr;
 pub mod decode;
@@ -46,6 +47,7 @@ pub mod pipeline;
 pub mod reg;
 
 pub use asm::{assemble, AsmError, Image};
+pub use block_cache::{BlockCache, BlockCacheStats};
 pub use cpu::{Core, CpuError, StopReason};
 pub use decode::{decode, DecodeError};
 pub use encode::encode;

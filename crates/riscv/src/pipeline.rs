@@ -109,6 +109,27 @@ impl Pipeline {
         self.stats
     }
 
+    /// The load-use hazard tracker state (destination of the previous
+    /// instruction if it was a load) — part of the state the core's
+    /// poll-loop fast-forward compares to prove a period repeats.
+    pub(crate) fn pending_load(&self) -> Option<Reg> {
+        self.pending_load
+    }
+
+    /// Apply `k` repetitions of a per-period stats delta at once. Used
+    /// by the core's poll-loop fast-forward after proving the period
+    /// repeats bit-identically; everything else about the pipeline
+    /// (model, hazard state) is unchanged by construction.
+    pub(crate) fn fast_forward(&mut self, delta: &PipelineStats, k: u64) {
+        self.stats.retired += delta.retired * k;
+        self.stats.base_cycles += delta.base_cycles * k;
+        self.stats.branch_stalls += delta.branch_stalls * k;
+        self.stats.load_use_stalls += delta.load_use_stalls * k;
+        self.stats.muldiv_stalls += delta.muldiv_stalls * k;
+        self.stats.fetch_stalls += delta.fetch_stalls * k;
+        self.stats.mem_stalls += delta.mem_stalls * k;
+    }
+
     /// The timing model in use.
     #[must_use]
     pub fn model(&self) -> PipelineModel {

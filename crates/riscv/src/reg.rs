@@ -108,7 +108,7 @@ pub const T5: Reg = Reg(30);
 pub const T6: Reg = Reg(31);
 
 /// The architectural register file (x0 hardwired to zero).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RegFile {
     regs: [u32; 32],
 }

@@ -1,0 +1,166 @@
+//! Invalidation and aliasing edges of the decoded-block cache: the
+//! cases where replaying stale decodes would be architecturally wrong.
+//!
+//! * self-modifying program memory — any `imem_mut` backdoor write
+//!   flushes the cache, so new instruction bytes are always decoded;
+//! * control transfers into the *middle* of an already-cached block —
+//!   blocks are keyed by entry PC and may overlap, never splice;
+//! * a detached cache reattached to a fresh core over the same image —
+//!   the warm-firmware path — replays without a single new decode.
+//!
+//! Every case runs the identical program on an uncached core and
+//! requires the full outcome (stop, PC, cycle, retired, registers) to
+//! match.
+
+use rvnv_bus::sram::Sram;
+use rvnv_riscv::inst::{AluOp, BranchOp, Inst};
+use rvnv_riscv::reg::Reg;
+use rvnv_riscv::{encode, Core};
+
+fn image(words: &[Inst]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(words.len() * 4);
+    for inst in words {
+        bytes.extend_from_slice(&encode(inst).to_le_bytes());
+    }
+    bytes
+}
+
+fn core(bytes: &[u8], cache: bool) -> Core<Sram, Sram> {
+    let mut c = Core::new(Sram::rom(bytes.to_vec()), Sram::new(256));
+    if cache {
+        c.enable_block_cache(bytes.len());
+    }
+    c
+}
+
+/// Writable-imem variant for the self-modifying test.
+fn core_rw(bytes: &[u8], cache: bool) -> Core<Sram, Sram> {
+    let mut imem = Sram::new(bytes.len().next_multiple_of(4));
+    rvnv_bus::Target::write_block(&mut imem, 0, bytes, 0).expect("load imem");
+    let mut c = Core::new(imem, Sram::new(256));
+    if cache {
+        c.enable_block_cache(bytes.len().next_multiple_of(4));
+    }
+    c
+}
+
+fn state(c: &Core<Sram, Sram>) -> (u32, u64, u64, Vec<u32>) {
+    (
+        c.pc(),
+        c.cycle(),
+        c.retired(),
+        (0..32).map(|i| c.read_reg(Reg::new(i))).collect(),
+    )
+}
+
+fn addi(rd: u8, rs1: u8, imm: i32) -> Inst {
+    Inst::AluImm {
+        op: AluOp::Add,
+        rd: Reg::new(rd),
+        rs1: Reg::new(rs1),
+        imm,
+    }
+}
+
+/// An `imem_mut` write between runs must flush the cache: the second
+/// pass executes the *new* instruction, exactly as an uncached core
+/// does, and the flush is visible in the invalidation counter.
+#[test]
+fn self_modifying_imem_invalidates_cached_blocks() {
+    // a0 += 1; a0 += 1; ebreak — then the first add becomes a0 += 100.
+    let prog = image(&[addi(10, 10, 1), addi(10, 10, 1), Inst::Ebreak]);
+    let patch = encode(&addi(10, 10, 100)).to_le_bytes();
+
+    let mut cached = core_rw(&prog, true);
+    let mut plain = core_rw(&prog, false);
+    for c in [&mut cached, &mut plain] {
+        c.run(10).expect("first pass");
+        rvnv_bus::Target::write_block(c.imem_mut(), 0, &patch, 0).expect("patch");
+        c.set_pc(0);
+        c.run(10).expect("second pass");
+    }
+    assert_eq!(state(&cached), state(&plain));
+    // 1 + 1 from the first pass, 100 + 1 from the patched pass.
+    assert_eq!(cached.read_reg(Reg::new(10)), 103, "patched add executed");
+    let stats = cached.block_cache_stats().expect("cache attached");
+    assert!(
+        stats.invalidations >= 1,
+        "imem backdoor write must flush: {stats:?}"
+    );
+    assert!(
+        stats.misses >= 2,
+        "the patched block must be re-decoded: {stats:?}"
+    );
+}
+
+/// Branching into the middle of an instruction run that is already
+/// cached as a block starting earlier: entry-PC keying means the
+/// mid-block target decodes its own (overlapping) block, and the
+/// replayed instructions stay cycle-exact.
+#[test]
+fn branch_into_middle_of_cached_block_is_cycle_exact() {
+    // 0x00: a0 += 1
+    // 0x04: a1 += 1        <- loop target (middle of the 0x00 block)
+    // 0x08: a2 += 1
+    // 0x0c: bne a1, a3, -8 (back to 0x04 until a1 == a3)
+    // 0x10: ebreak
+    let prog = image(&[
+        addi(10, 10, 1),
+        addi(11, 11, 1),
+        addi(12, 12, 1),
+        Inst::Branch {
+            op: BranchOp::Ne,
+            rs1: Reg::new(11),
+            rs2: Reg::new(13),
+            offset: -8,
+        },
+        Inst::Ebreak,
+    ]);
+    let mut cached = core(&prog, true);
+    let mut plain = core(&prog, false);
+    for c in [&mut cached, &mut plain] {
+        c.write_reg(Reg::new(13), 5); // five loop iterations
+        c.run(100).expect("runs to ebreak");
+    }
+    assert_eq!(state(&cached), state(&plain));
+    assert_eq!(cached.read_reg(Reg::new(11)), 5);
+    let stats = cached.block_cache_stats().expect("cache attached");
+    // Entry block at 0x00 plus the overlapping loop block at 0x04.
+    assert!(stats.misses >= 2, "expected overlapping blocks: {stats:?}");
+    assert!(stats.hits >= 3, "loop iterations must replay: {stats:?}");
+}
+
+/// A cache detached from one core and attached to a fresh one over the
+/// same image (the SoC's warm-firmware path) replays with zero new
+/// decodes and a bit-identical outcome.
+#[test]
+fn reattached_cache_replays_without_new_decodes() {
+    let prog = image(&[
+        addi(10, 10, 7),
+        addi(10, 10, -2),
+        addi(11, 10, 0),
+        Inst::Ebreak,
+    ]);
+    let mut first = core(&prog, true);
+    first.run(10).expect("cold run");
+    let cold_state = state(&first);
+    let cold_stats = first.block_cache_stats().expect("attached");
+    let cache = first.take_block_cache().expect("detach");
+
+    let mut second = Core::new(Sram::rom(prog.clone()), Sram::new(256));
+    second.attach_block_cache(cache);
+    second.run(10).expect("warm run");
+    assert_eq!(state(&second), cold_state);
+    let warm = second
+        .block_cache_stats()
+        .expect("attached")
+        .since(&cold_stats);
+    assert_eq!(warm.misses, 0, "warm replay must not decode: {warm:?}");
+    assert_eq!(warm.invalidations, 0, "nothing invalidates a warm replay");
+    assert!(warm.hits >= 1, "the warm run must hit the cache: {warm:?}");
+
+    // The uncached oracle agrees with both.
+    let mut plain = core(&prog, false);
+    plain.run(10).expect("oracle");
+    assert_eq!(state(&plain), cold_state);
+}

@@ -1,0 +1,327 @@
+//! Fuzz-style decode/execute tests: seeded random instruction streams
+//! must never panic the ISS — every failure mode is a typed
+//! [`CpuError`] — and the decoded-block cache must be execution-
+//! invisible on arbitrary code, not just on well-behaved firmware.
+//!
+//! The streams mix raw random words (mostly illegal encodings) with
+//! randomly-parameterized valid instructions (loops, loads, stores,
+//! CSR ops, jumps off the end of progmem…). Each stream runs twice,
+//! cache off and cache on, and the full architectural state — stop
+//! outcome, PC, cycle, retired count, all 32 registers — must match.
+//!
+//! Interesting cases found while developing the fast kernels are
+//! promoted to named regression tests at the bottom so they never
+//! regress silently, whatever the fuzz seeds do later.
+
+use rvnv_bus::sram::Sram;
+use rvnv_riscv::inst::{AluOp, BranchOp, CsrOp, Inst, MemWidth, MulOp};
+use rvnv_riscv::reg::Reg;
+use rvnv_riscv::{encode, Core, CpuError, StopReason};
+
+/// xorshift64* — deterministic, dependency-free stream generator.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn reg(&mut self) -> Reg {
+        Reg::new((self.below(32)) as u8)
+    }
+}
+
+/// A random *valid* instruction, biased toward control flow and memory
+/// so streams actually loop, fault and hammer the cache.
+fn random_valid(rng: &mut Rng) -> Inst {
+    match rng.below(12) {
+        0 => Inst::Lui {
+            rd: rng.reg(),
+            imm: (rng.next() as u32) & 0xFFFF_F000,
+        },
+        1 => Inst::AluImm {
+            op: AluOp::Add,
+            rd: rng.reg(),
+            rs1: rng.reg(),
+            imm: (rng.below(4096) as i32) - 2048,
+        },
+        2 => Inst::Alu {
+            op: [AluOp::Add, AluOp::Sub, AluOp::Xor, AluOp::And][rng.below(4) as usize],
+            rd: rng.reg(),
+            rs1: rng.reg(),
+            rs2: rng.reg(),
+        },
+        3 => Inst::Mul {
+            op: [MulOp::Mul, MulOp::Mulhu, MulOp::Div, MulOp::Rem][rng.below(4) as usize],
+            rd: rng.reg(),
+            rs1: rng.reg(),
+            rs2: rng.reg(),
+        },
+        4 => Inst::Load {
+            width: [
+                MemWidth::Byte,
+                MemWidth::ByteU,
+                MemWidth::Half,
+                MemWidth::HalfU,
+                MemWidth::Word,
+            ][rng.below(5) as usize],
+            rd: rng.reg(),
+            rs1: rng.reg(),
+            offset: (rng.below(4096) as i32) - 2048,
+        },
+        5 => Inst::Store {
+            width: [MemWidth::Byte, MemWidth::Half, MemWidth::Word][rng.below(3) as usize],
+            rs1: rng.reg(),
+            rs2: rng.reg(),
+            offset: (rng.below(4096) as i32) - 2048,
+        },
+        6 => Inst::Branch {
+            op: [BranchOp::Eq, BranchOp::Ne, BranchOp::Ltu, BranchOp::Geu][rng.below(4) as usize],
+            rs1: rng.reg(),
+            rs2: rng.reg(),
+            // Short even offsets: mostly in-range, some past the end.
+            offset: (((rng.below(32) as i32) - 8) * 4),
+        },
+        7 => Inst::Jal {
+            rd: rng.reg(),
+            offset: ((rng.below(64) as i32) - 16) * 4,
+        },
+        8 => Inst::Jalr {
+            rd: rng.reg(),
+            rs1: rng.reg(),
+            offset: ((rng.below(32) as i32) - 8) * 4,
+        },
+        9 => Inst::Csr {
+            op: [CsrOp::Rw, CsrOp::Rs, CsrOp::Rc][rng.below(3) as usize],
+            rd: rng.reg(),
+            rs1: rng.reg(),
+            // Cycle/instret/custom — whatever the CSR file makes of it.
+            csr: [0xC00, 0xC02, 0x340, 0x305][rng.below(4) as usize],
+        },
+        10 => Inst::Fence,
+        _ => Inst::Ebreak,
+    }
+}
+
+/// Outcome of one bounded execution, everything an equivalent run must
+/// reproduce exactly. `Debug`-formatted errors keep comparison simple.
+#[derive(Debug, PartialEq, Eq)]
+struct Outcome {
+    stop: String,
+    pc: u32,
+    cycle: u64,
+    retired: u64,
+    regs: Vec<u32>,
+}
+
+const STEP_BUDGET: u64 = 512;
+
+/// Run `words` from address 0 with a zeroed 1 KB data RAM until a stop,
+/// a typed error, or the step budget. Panics (the thing the fuzz hunts)
+/// propagate to the test harness.
+fn run_stream(words: &[u32], cache: bool) -> Outcome {
+    let mut bytes = Vec::with_capacity(words.len() * 4);
+    for w in words {
+        bytes.extend_from_slice(&w.to_le_bytes());
+    }
+    let imem_bytes = bytes.len();
+    let mut core = Core::new(Sram::rom(bytes), Sram::new(1024));
+    if cache {
+        core.enable_block_cache(imem_bytes);
+    }
+    let mut steps = 0u64;
+    let stop = loop {
+        if steps >= STEP_BUDGET {
+            break "budget".to_string();
+        }
+        steps += 1;
+        match core.step() {
+            Ok(None) => {}
+            Ok(Some(reason)) => break format!("{reason:?}"),
+            Err(e) => {
+                assert_typed(&e);
+                break format!("{e:?}");
+            }
+        }
+    };
+    Outcome {
+        stop,
+        pc: core.pc(),
+        cycle: core.cycle(),
+        retired: core.retired(),
+        regs: (0..32).map(|i| core.read_reg(Reg::new(i))).collect(),
+    }
+}
+
+/// The error contract: every failure is one of the typed variants (the
+/// match is trivially exhaustive today; it exists so adding a variant
+/// forces this fuzz harness to acknowledge it).
+fn assert_typed(e: &CpuError) {
+    match e {
+        CpuError::FetchFault { .. } | CpuError::Illegal(_) | CpuError::DataFault { .. } => {}
+    }
+}
+
+/// Raw random words: almost all illegal, some accidentally valid.
+#[test]
+fn random_words_never_panic_and_cache_is_invisible() {
+    for seed in 0..48u64 {
+        let mut rng = Rng::new(0xF00D + seed);
+        let len = 4 + rng.below(60) as usize;
+        let words: Vec<u32> = (0..len).map(|_| rng.next() as u32).collect();
+        let plain = run_stream(&words, false);
+        let cached = run_stream(&words, true);
+        assert_eq!(plain, cached, "seed {seed}: cache changed execution");
+    }
+}
+
+/// Valid-instruction streams: loops, memory traffic, CSR access, jumps
+/// off the end — executed deep enough to exercise block reuse.
+#[test]
+fn valid_streams_never_panic_and_cache_is_invisible() {
+    for seed in 0..48u64 {
+        let mut rng = Rng::new(0xBEEF ^ (seed << 16));
+        let len = 8 + rng.below(120) as usize;
+        let words: Vec<u32> = (0..len).map(|_| encode(&random_valid(&mut rng))).collect();
+        let plain = run_stream(&words, false);
+        let cached = run_stream(&words, true);
+        assert_eq!(plain, cached, "seed {seed}: cache changed execution");
+    }
+}
+
+/// Half-and-half streams: valid prefixes that decode into garbage, the
+/// nastiest case for a decoded-block cache (a block whose tail is
+/// illegal must fault at the same op, with the same counts).
+#[test]
+fn mixed_streams_never_panic_and_cache_is_invisible() {
+    for seed in 0..48u64 {
+        let mut rng = Rng::new(0xCAFE_F00D ^ seed);
+        let len = 8 + rng.below(90) as usize;
+        let words: Vec<u32> = (0..len)
+            .map(|_| {
+                if rng.below(3) == 0 {
+                    rng.next() as u32
+                } else {
+                    encode(&random_valid(&mut rng))
+                }
+            })
+            .collect();
+        let plain = run_stream(&words, false);
+        let cached = run_stream(&words, true);
+        assert_eq!(plain, cached, "seed {seed}: cache changed execution");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Promoted regressions: fixed inputs that exercise the edges the fuzz
+// streams found interesting, pinned by name.
+
+/// The two all-bits patterns are illegal encodings, reported as typed
+/// decode errors — not panics, not silent skips.
+#[test]
+fn regression_all_zero_and_all_one_words_are_typed_illegal() {
+    for word in [0x0000_0000u32, 0xFFFF_FFFF] {
+        let mut core = Core::new(Sram::rom(word.to_le_bytes().to_vec()), Sram::new(64));
+        match core.step() {
+            Err(CpuError::Illegal(_)) => {}
+            other => panic!("{word:#010x}: expected Illegal, got {other:?}"),
+        }
+    }
+}
+
+/// A jump far past the end of progmem faults on *fetch* at the target,
+/// after the jump itself retires.
+#[test]
+fn regression_jump_past_progmem_is_a_fetch_fault_at_target() {
+    let words = [encode(&Inst::Jal {
+        rd: Reg::new(0),
+        offset: 0x10000,
+    })];
+    let outcome = run_stream(&words, false);
+    assert!(
+        outcome.stop.starts_with("FetchFault"),
+        "got {}",
+        outcome.stop
+    );
+    assert_eq!(outcome.retired, 1, "the jump itself retires");
+    assert_eq!(outcome, run_stream(&words, true));
+}
+
+/// A store far outside the data RAM is a typed data fault carrying the
+/// faulting PC and address.
+#[test]
+fn regression_store_outside_dmem_is_a_typed_data_fault() {
+    let words = [
+        encode(&Inst::Lui {
+            rd: Reg::new(5),
+            imm: 0x7FFF_F000,
+        }),
+        encode(&Inst::Store {
+            width: MemWidth::Word,
+            rs1: Reg::new(5),
+            rs2: Reg::new(0),
+            offset: 0,
+        }),
+    ];
+    let mut bytes = Vec::new();
+    for w in words {
+        bytes.extend_from_slice(&w.to_le_bytes());
+    }
+    let mut core = Core::new(Sram::rom(bytes), Sram::new(1024));
+    assert!(core.step().unwrap().is_none());
+    match core.step() {
+        Err(CpuError::DataFault { pc, addr, .. }) => {
+            assert_eq!(pc, 4);
+            assert_eq!(addr, 0x7FFF_F000);
+        }
+        other => panic!("expected DataFault, got {other:?}"),
+    }
+    assert_eq!(run_stream(&words, false), run_stream(&words, true));
+}
+
+/// A tight two-instruction loop runs to the step budget identically
+/// with and without the cache — the maximal-reuse case (every
+/// iteration after the first replays a cached block).
+#[test]
+fn regression_tight_loop_replays_identically() {
+    let words = [
+        encode(&Inst::AluImm {
+            op: AluOp::Add,
+            rd: Reg::new(10),
+            rs1: Reg::new(10),
+            imm: 1,
+        }),
+        encode(&Inst::Jal {
+            rd: Reg::new(0),
+            offset: -4,
+        }),
+    ];
+    let plain = run_stream(&words, false);
+    let cached = run_stream(&words, true);
+    assert_eq!(plain, cached);
+    assert_eq!(plain.stop, "budget");
+    assert_eq!(plain.regs[10], (STEP_BUDGET / 2) as u32);
+}
+
+/// `ebreak` stops with a typed reason, not an error, and the stop PC
+/// matches on both paths.
+#[test]
+fn regression_ebreak_is_a_stop_not_an_error() {
+    let words = [encode(&Inst::Ebreak)];
+    let outcome = run_stream(&words, false);
+    assert_eq!(outcome.stop, format!("{:?}", StopReason::Ebreak));
+    assert_eq!(outcome, run_stream(&words, true));
+}

@@ -316,6 +316,8 @@ fn cmd_run(args: &[String]) -> Result<(), AnyError> {
         // Warm repeats: weights stay resident, firmware and quantized
         // input are reused; every run must replay identical cycles.
         let warm_start = Instant::now();
+        let mut cache_stats = result.block_cache;
+        let mut elided_polls = result.elided_polls;
         for i in 1..repeat {
             let warm = soc.run_firmware(&artifacts, &input_bytes, &fw)?;
             if warm.cycles != result.cycles || warm.raw_output != result.raw_output {
@@ -325,6 +327,8 @@ fn cmd_run(args: &[String]) -> Result<(), AnyError> {
                 )
                 .into());
             }
+            cache_stats = warm.block_cache;
+            elided_polls = warm.elided_polls;
         }
         let warm_host = warm_start.elapsed() / (repeat - 1) as u32;
         println!(
@@ -332,6 +336,10 @@ fn cmd_run(args: &[String]) -> Result<(), AnyError> {
             cold_host.as_secs_f64() * 1e3,
             warm_host.as_secs_f64() * 1e3,
             cold_host.as_secs_f64() / warm_host.as_secs_f64().max(1e-9),
+        );
+        println!(
+            "block cache: {} hits, {} misses per warm run | {} status polls elided by the read lease",
+            cache_stats.hits, cache_stats.misses, elided_polls,
         );
     }
     Ok(())

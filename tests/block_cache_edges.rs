@@ -1,0 +1,98 @@
+//! SoC-level edges of the warm decoded-firmware cache: retention
+//! across runs, invalidation on `Soc::reset`, and bit-identity of
+//! arbitrarily-late warm runs.
+
+use rvnv_compiler::{compile, CompileOptions};
+use rvnv_nn::zoo::Model;
+use rvnv_nn::Tensor;
+use rvnv_soc::firmware::Firmware;
+use rvnv_soc::soc::{Soc, SocConfig};
+
+fn lenet_setup() -> (rvnv_compiler::Artifacts, Vec<u8>, Firmware) {
+    let net = Model::LeNet5.build(1);
+    let mut opt = CompileOptions::int8();
+    opt.calib_inputs = 1;
+    let artifacts = compile(&net, &opt).expect("compile");
+    let input = Tensor::random(net.input_shape(), 11);
+    let bytes = artifacts.quantize_input(&input);
+    let fw = Firmware::build(&artifacts).expect("fw");
+    (artifacts, bytes, fw)
+}
+
+/// Run N+1 is bit-identical to run 1, and every warm run replays the
+/// whole firmware from the retained cache — zero new decodes.
+#[test]
+fn warm_run_n_plus_one_is_bit_identical_and_fully_cached() {
+    let (artifacts, bytes, fw) = lenet_setup();
+    let mut soc = Soc::new(SocConfig::zcu102_nv_small());
+    let cold = soc.run_firmware(&artifacts, &bytes, &fw).expect("cold");
+    assert!(cold.block_cache.misses > 0, "cold run must decode");
+    for n in 1..=3 {
+        let warm = soc.run_firmware(&artifacts, &bytes, &fw).expect("warm");
+        assert_eq!(warm.cycles, cold.cycles, "run {n}: cycles");
+        assert_eq!(warm.instructions, cold.instructions, "run {n}: retired");
+        assert_eq!(warm.raw_output, cold.raw_output, "run {n}: output");
+        assert_eq!(warm.pipeline, cold.pipeline, "run {n}: pipeline stats");
+        assert_eq!(warm.nvdla, cold.nvdla, "run {n}: nvdla stats");
+        assert_eq!(
+            warm.block_cache.misses, 0,
+            "run {n}: warm runs must not decode (stats {:?})",
+            warm.block_cache
+        );
+        assert!(warm.block_cache.hits > 0, "run {n}: warm runs replay");
+    }
+}
+
+/// `Soc::reset` drops the retained decode: the next run decodes from
+/// scratch (misses again) yet produces the same architectural result.
+#[test]
+fn soc_reset_clears_the_decoded_firmware_cache() {
+    let (artifacts, bytes, fw) = lenet_setup();
+    let mut soc = Soc::new(SocConfig::zcu102_nv_small());
+    let cold = soc.run_firmware(&artifacts, &bytes, &fw).expect("cold");
+    let warm = soc.run_firmware(&artifacts, &bytes, &fw).expect("warm");
+    assert_eq!(warm.block_cache.misses, 0, "sanity: cache retained");
+
+    soc.reset();
+    let after_reset = soc.run_firmware(&artifacts, &bytes, &fw).expect("reset");
+    assert_eq!(
+        after_reset.block_cache.misses, cold.block_cache.misses,
+        "a reset SoC decodes exactly like a cold one"
+    );
+    assert_eq!(after_reset.cycles, cold.cycles);
+    assert_eq!(after_reset.instructions, cold.instructions);
+    assert_eq!(after_reset.raw_output, cold.raw_output);
+}
+
+/// A different firmware image must not reuse the previous firmware's
+/// decode: the cache is keyed by image content, so swapping firmwares
+/// decodes anew and swapping back is warm again only if the image is
+/// truly identical.
+#[test]
+fn decoded_cache_is_keyed_by_firmware_image() {
+    let (artifacts, bytes, fw) = lenet_setup();
+    let wfi_fw = Firmware::build_with(
+        &artifacts,
+        rvnv_compiler::codegen::CodegenOptions {
+            wait_mode: rvnv_compiler::codegen::WaitMode::Wfi,
+            ..rvnv_compiler::codegen::CodegenOptions::default()
+        },
+    )
+    .expect("wfi fw");
+
+    let mut soc = Soc::new(SocConfig::zcu102_nv_small());
+    let poll = soc.run_firmware(&artifacts, &bytes, &fw).expect("poll");
+    let wfi = soc.run_firmware(&artifacts, &bytes, &wfi_fw).expect("wfi");
+    assert!(
+        wfi.block_cache.misses > 0,
+        "a different image must decode from scratch"
+    );
+    assert_eq!(wfi.raw_output, poll.raw_output, "same model, same output");
+
+    // Back to the first firmware: its decode was replaced, so this is
+    // cold again — but still bit-identical to the first run.
+    let poll2 = soc.run_firmware(&artifacts, &bytes, &fw).expect("poll 2");
+    assert_eq!(poll2.cycles, poll.cycles);
+    assert_eq!(poll2.instructions, poll.instructions);
+    assert_eq!(poll2.raw_output, poll.raw_output);
+}

@@ -108,3 +108,43 @@ fn serve_rejects_unknown_flags_with_the_accepted_list() {
     // And stray positionals: serve takes its models via --models only.
     assert_rejects(&["serve", "lenet5"], &["unexpected argument `lenet5`"]);
 }
+
+/// Run the built binary; return (success, stdout) — for commands whose
+/// *output* is the contract, not their error path.
+fn rv_nvdla_stdout(args: &[&str]) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_rv-nvdla"))
+        .args(args)
+        .output()
+        .expect("run rv-nvdla");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+/// `run --repeat` reports the decoded-block-cache counters for the
+/// warm runs: fully warm replays show hits and zero misses, and the
+/// poll firmware's status reads are folded into the MMIO read lease.
+/// Timing-only + wfi keeps this fast enough for a debug-profile test.
+#[test]
+fn run_repeat_reports_block_cache_counters() {
+    let (ok, stdout) =
+        rv_nvdla_stdout(&["run", "lenet5", "--timing-only", "--wfi", "--repeat", "2"]);
+    assert!(ok, "run --repeat must succeed, got:\n{stdout}");
+    assert!(
+        stdout.contains("all warm runs bit-identical"),
+        "missing warm-identity line:\n{stdout}"
+    );
+    let cache_line = stdout
+        .lines()
+        .find(|l| l.starts_with("block cache:"))
+        .unwrap_or_else(|| panic!("missing block-cache line:\n{stdout}"));
+    assert!(
+        cache_line.contains("hits") && cache_line.contains("misses"),
+        "cache line must report hit/miss counters: {cache_line}"
+    );
+    assert!(
+        cache_line.contains("0 misses"),
+        "a warm run must replay without decoding: {cache_line}"
+    );
+}

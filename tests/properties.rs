@@ -440,3 +440,126 @@ proptest! {
         prop_assert!(r.makespan_cycles >= r.total.max, "completions inside the makespan");
     }
 }
+
+// ---------------------------------------------------------------------
+// Differential properties of the fast simulator kernels. The decoded-
+// block cache and the MMIO read lease are host-side shortcuts only;
+// for random inputs and both firmware wait modes they must leave every
+// architectural observable untouched, and the timing-only flow must
+// agree with the functional flow cycle for cycle.
+
+use std::sync::OnceLock;
+
+use rvnv_compiler::codegen::{CodegenOptions, WaitMode};
+use rvnv_compiler::{compile, Artifacts, CompileOptions};
+use rvnv_nn::zoo::Model;
+use rvnv_soc::firmware::Firmware;
+use rvnv_soc::soc::{Soc, SocConfig};
+
+/// One shared LeNet-5 compilation (compiling per proptest case would
+/// dominate the suite's runtime).
+fn lenet_artifacts() -> &'static Artifacts {
+    static ARTIFACTS: OnceLock<Artifacts> = OnceLock::new();
+    ARTIFACTS.get_or_init(|| {
+        let mut opt = CompileOptions::int8();
+        opt.calib_inputs = 1;
+        compile(&Model::LeNet5.build(1), &opt).expect("lenet5 compiles")
+    })
+}
+
+fn wait_firmware(artifacts: &Artifacts, wfi: bool) -> Firmware {
+    let codegen = CodegenOptions {
+        wait_mode: if wfi { WaitMode::Wfi } else { WaitMode::Poll },
+        ..CodegenOptions::default()
+    };
+    Firmware::build_with(artifacts, codegen).expect("fw")
+}
+
+/// Differential cases are full debug-mode inferences, so the sample
+/// count must stay small regardless of `PROPTEST_CASES`; these tests
+/// draw their own handful of random points from the deterministic
+/// per-test rng instead of going through `proptest!`.
+const DIFFERENTIAL_SAMPLES: usize = 3;
+
+/// Cache ON == cache OFF: cycles, retired instructions, output bytes,
+/// pipeline and NVDLA statistics, cold and warm, for random inputs and
+/// both firmware wait modes.
+#[test]
+fn block_cache_is_architecturally_invisible() {
+    let mut rng = proptest::TestRng::from_name(concat!(
+        file!(),
+        "::block_cache_is_architecturally_invisible"
+    ));
+    let artifacts = lenet_artifacts();
+    for case in 0..DIFFERENTIAL_SAMPLES {
+        let input_seed = rng.next_u64();
+        let wfi = case % 2 == 0;
+        let input = Tensor::random(Model::LeNet5.build(1).input_shape(), input_seed);
+        let bytes = artifacts.quantize_input(&input);
+        let fw = wait_firmware(artifacts, wfi);
+        let mut soc_on = Soc::new(SocConfig::zcu102_nv_small());
+        let mut soc_off = Soc::new(SocConfig {
+            block_cache: false,
+            ..SocConfig::zcu102_nv_small()
+        });
+        for run in 0..2 {
+            let on = soc_on
+                .run_firmware(artifacts, &bytes, &fw)
+                .expect("cache on");
+            let off = soc_off
+                .run_firmware(artifacts, &bytes, &fw)
+                .expect("cache off");
+            let tag = format!("seed {input_seed:#x} wfi {wfi} run {run}");
+            assert_eq!(on.cycles, off.cycles, "cycles, {tag}");
+            assert_eq!(on.firmware_cycles, off.firmware_cycles, "mcycle, {tag}");
+            assert_eq!(on.instructions, off.instructions, "retired, {tag}");
+            assert_eq!(on.raw_output, off.raw_output, "output, {tag}");
+            assert_eq!(on.pipeline, off.pipeline, "pipeline stats, {tag}");
+            assert_eq!(on.nvdla, off.nvdla, "nvdla stats, {tag}");
+            assert_eq!(
+                off.block_cache.hits + off.block_cache.misses,
+                0,
+                "cache-off run must not touch the cache ({tag})"
+            );
+        }
+    }
+}
+
+/// The timing-only flow (functional compute off) walks the exact same
+/// instruction stream as the functional flow: identical cycles,
+/// retired instructions and pipeline accounting — only the output
+/// differs (never computed).
+#[test]
+fn timing_only_matches_functional_cycle_for_cycle() {
+    let mut rng = proptest::TestRng::from_name(concat!(
+        file!(),
+        "::timing_only_matches_functional_cycle_for_cycle"
+    ));
+    let artifacts = lenet_artifacts();
+    for case in 0..DIFFERENTIAL_SAMPLES {
+        let input_seed = rng.next_u64();
+        let wfi = case % 2 != 0;
+        let input = Tensor::random(Model::LeNet5.build(1).input_shape(), input_seed);
+        let bytes = artifacts.quantize_input(&input);
+        let fw = wait_firmware(artifacts, wfi);
+        let mut functional = Soc::new(SocConfig::zcu102_nv_small());
+        let mut timing = Soc::new(SocConfig {
+            capture_timeline: true,
+            ..SocConfig::zcu102_timing_only()
+        });
+        let f = functional
+            .run_firmware(artifacts, &bytes, &fw)
+            .expect("functional");
+        let t = timing
+            .run_firmware(artifacts, &bytes, &fw)
+            .expect("timing-only");
+        let tag = format!("seed {input_seed:#x} wfi {wfi}");
+        assert_eq!(f.cycles, t.cycles, "cycles, {tag}");
+        assert_eq!(f.firmware_cycles, t.firmware_cycles, "mcycle, {tag}");
+        assert_eq!(f.instructions, t.instructions, "retired, {tag}");
+        assert_eq!(f.pipeline, t.pipeline, "pipeline stats, {tag}");
+        assert_eq!(f.cpu_arbiter_wait, t.cpu_arbiter_wait, "arbiter, {tag}");
+        assert_eq!(f.nvdla, t.nvdla, "engine op/cycle accounting, {tag}");
+        assert_eq!(f.timeline.len(), t.timeline.len(), "op schedule, {tag}");
+    }
+}
