@@ -25,7 +25,7 @@ use rvnv_compiler::codegen::{CodegenOptions, WaitMode};
 use rvnv_compiler::{ArtifactCache, Artifacts, CompileOptions};
 use rvnv_nn::zoo::Model;
 use rvnv_soc::batch::{layout_models, Policy};
-use rvnv_soc::serve::{ArrivalProcess, ServeSpec, Server};
+use rvnv_soc::serve::{ArrivalProcess, FaultSpec, ServeSpec, Server};
 use rvnv_soc::soc::SocConfig;
 
 fn artifacts() -> Vec<Arc<Artifacts>> {
@@ -54,6 +54,9 @@ fn spec_at(rate: u64, pipelined: bool) -> ServeSpec {
         pipelined,
         queue_depth: 8,
         slo_us: 20_000,
+        timeout_us: 0,
+        retries: 0,
+        faults: None,
     }
 }
 
@@ -95,6 +98,42 @@ fn bench_serve_latency(c: &mut Criterion) {
     });
     g.bench_function("plan_above_knee", |b| {
         b.iter(|| server.plan(&spec_at(400, false)).expect("plan").served)
+    });
+    // Faults-off overhead: a quiet chaos spec (all rates zero) must be
+    // bit-invisible (pinned by tests/properties.rs) and host-free —
+    // this row is asserted ≈ `plan_below_knee` in docs/BASELINES.md.
+    g.bench_function("plan_below_knee_quiet_faults", |b| {
+        let spec = ServeSpec {
+            faults: Some(FaultSpec {
+                seed: 42,
+                ..FaultSpec::default()
+            }),
+            ..spec_at(100, false)
+        };
+        b.iter(|| server.plan(&spec).expect("plan").served)
+    });
+    // And the cost of an actually-armed storm: a 15% composite rate
+    // with timeouts and bounded retries over the same trace.
+    g.bench_function("plan_below_knee_chaos_15pct", |b| {
+        let spec = ServeSpec {
+            timeout_us: 10_000,
+            retries: 2,
+            faults: Some(FaultSpec {
+                seed: 42,
+                flip_per_million: 30_000,
+                error_per_million: 60_000,
+                spike_per_million: 30_000,
+                spike_us: 2_000,
+                hang_per_million: 15_000,
+                crash_per_million: 15_000,
+            }),
+            ..spec_at(100, false)
+        };
+        b.iter(|| {
+            let r = server.plan(&spec).expect("plan");
+            assert!(r.faults.injected() > 0);
+            r.served
+        })
     });
     g.bench_function("serve_replay_100ms_300rps", |b| {
         let spec = ServeSpec {

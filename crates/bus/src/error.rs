@@ -43,6 +43,18 @@ pub enum BusError {
         /// Id of the already-resident image being overlapped.
         image: u64,
     },
+    /// A deliberately injected fault (see [`crate::fault::FaultInjector`]).
+    /// The device underneath is healthy; a chaos plan decided this
+    /// transaction fails. Distinguishable from every organic error so
+    /// recovery layers can tell "the test harness shot me" from "the
+    /// model is broken".
+    Injected {
+        /// The address of the faulted transaction.
+        addr: u32,
+        /// Monotone per-injector index of the faulted access (useful to
+        /// correlate with a [`crate::fault::FaultPlan`] schedule).
+        access: u64,
+    },
 }
 
 impl fmt::Display for BusError {
@@ -63,6 +75,9 @@ impl fmt::Display for BusError {
             }
             BusError::ResidentOverlap { image } => {
                 write!(f, "extents overlap resident weight image {image}")
+            }
+            BusError::Injected { addr, access } => {
+                write!(f, "injected bus fault at {addr:#010x} (access #{access})")
             }
         }
     }

@@ -13,7 +13,8 @@
 //!   DRAM at `0x10_0000..0x200F_FFFF`),
 //! * [`sram`] / [`dram`] — program memory and the DDR4 data memory,
 //! * [`smartconnect`] — the AXI SmartConnect mux between the Zynq PS and the SoC,
-//! * [`cdc`] — the clock-domain-crossing model for the SoC↔DDR4 boundary.
+//! * [`cdc`] — the clock-domain-crossing model for the SoC↔DDR4 boundary,
+//! * [`fault`] — a seeded fault-injection shim insertable on any fabric edge.
 //!
 //! # Timing model
 //!
@@ -48,6 +49,7 @@ pub mod cdc;
 pub mod decoder;
 pub mod dram;
 pub mod error;
+pub mod fault;
 pub mod smartconnect;
 pub mod sram;
 pub mod stats;
@@ -55,6 +57,7 @@ pub mod width;
 
 pub use access::{AccessKind, AccessSize, MasterId, Request, Response};
 pub use error::BusError;
+pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultStats};
 
 /// A cycle count in some clock domain.
 pub type Cycle = u64;
@@ -153,11 +156,13 @@ pub trait Target {
 ///
 /// Implementations must leave the device **bit-identical** (contents,
 /// timing state and statistics) to a freshly constructed one, so that
-/// reset-and-rerun yields the same cycle counts as build-and-run. The
-/// one deliberate exception is [`dram::Dram`]'s resident-extent
-/// mechanism, which preserves registered preload images (one or many)
-/// by contract — see [`dram::Dram::add_resident`] and
-/// [`dram::Dram::mark_resident`].
+/// reset-and-rerun yields the same cycle counts as build-and-run.
+/// There are two deliberate exceptions: [`dram::Dram`]'s
+/// resident-extent mechanism, which preserves registered preload
+/// images (one or many) by contract — see [`dram::Dram::add_resident`]
+/// and [`dram::Dram::mark_resident`] — and
+/// [`fault::FaultInjector`]'s armed plan/counter/statistics, which
+/// describe a fleet lifetime spanning per-frame resets.
 pub trait Reset {
     /// Restore power-on state (contents, timing and statistics).
     fn reset(&mut self);

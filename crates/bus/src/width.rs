@@ -86,7 +86,10 @@ impl<T: Target> Target for WidthConverter<T> {
         let mut t = now + Self::PACK;
         let mut data: u64 = 0;
         for i in 0..parts {
-            let addr = req.addr + i * self.narrow_bytes;
+            // Wrapping like [`Target::read_block`]'s beat walk: a wide
+            // beat at the top of the 32-bit space must surface as the
+            // downstream's typed rejection, not an overflow panic.
+            let addr = req.addr.wrapping_add(i * self.narrow_bytes);
             let shift = i * self.narrow_bytes * 8;
             let sub = match req.kind {
                 crate::AccessKind::Read => Request::read(addr, narrow).with_master(req.master),

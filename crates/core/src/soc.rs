@@ -8,6 +8,7 @@ use rvnv_bus::bridge::{AhbToApb, AhbToAxi};
 use rvnv_bus::cdc::ClockCrossing;
 use rvnv_bus::decoder::{SystemBus, DRAM_BASE, DRAM_SIZE, NVDLA_BASE, NVDLA_SIZE};
 use rvnv_bus::dram::{Dram, DramTiming, RangeSet};
+use rvnv_bus::fault::{FaultInjector, FaultPlan, FaultStats};
 use rvnv_bus::smartconnect::{Side, SmartConnect};
 use rvnv_bus::sram::Sram;
 use rvnv_bus::width::WidthConverter;
@@ -22,8 +23,11 @@ use rvnv_riscv::pipeline::PipelineStats;
 
 use crate::firmware::Firmware;
 
-/// The shared DRAM path: arbiter → clock crossing → SmartConnect → DDR4.
-pub type DramPath = Shared<Arbiter<ClockCrossing<SmartConnect<Dram>>>>;
+/// The shared DRAM path: arbiter → clock crossing → SmartConnect →
+/// fault-injection shim → DDR4. The shim is a disarmed passthrough
+/// unless a chaos plan is [armed](Soc::arm_faults); backdoor loads and
+/// peeks reach the DRAM underneath it and are never faulted.
+pub type DramPath = Shared<Arbiter<ClockCrossing<SmartConnect<FaultInjector<Dram>>>>>;
 /// The NVDLA instance with its width-converted DBB.
 pub type SocNvdla = Shared<Nvdla<WidthConverter<DramPath>>>;
 
@@ -147,6 +151,28 @@ pub enum SocError {
         /// Instructions executed.
         instructions: u64,
     },
+    /// The cycle-budget watchdog fired: modeled time passed the armed
+    /// deadline before the firmware reached `ebreak`. Unlike
+    /// [`SocError::Timeout`] (a host-side instruction budget), this is
+    /// the *modeled* hang detector — a poll loop stuck on a wedged
+    /// accelerator trips it after `deadline` SoC cycles instead of
+    /// spinning to the instruction cap.
+    WatchdogExpired {
+        /// The armed deadline, in SoC cycles.
+        deadline: u64,
+        /// Modeled cycle at which the watchdog fired.
+        cycles: u64,
+    },
+    /// Output integrity check failed: the output region's fingerprint
+    /// differs from the known-good run (silent corruption — e.g. an
+    /// injected bit flip on the DMA path — that produced a "successful"
+    /// inference with wrong bytes).
+    OutputCorrupted {
+        /// Fingerprint of the known-good output region.
+        expected: u64,
+        /// Fingerprint actually observed.
+        got: u64,
+    },
     /// The firmware stopped for an unexpected reason.
     UnexpectedStop(StopReason),
 }
@@ -163,12 +189,29 @@ impl fmt::Display for SocError {
                     "inference did not finish within {instructions} instructions"
                 )
             }
+            SocError::WatchdogExpired { deadline, cycles } => write!(
+                f,
+                "watchdog expired: firmware still running at cycle {cycles} (deadline {deadline})"
+            ),
+            SocError::OutputCorrupted { expected, got } => write!(
+                f,
+                "output corrupted: fingerprint {got:#018x} != known-good {expected:#018x}"
+            ),
             SocError::UnexpectedStop(r) => write!(f, "firmware stopped unexpectedly: {r}"),
         }
     }
 }
 
-impl Error for SocError {}
+impl Error for SocError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SocError::Cpu(e) => Some(e),
+            SocError::Bus(e) => Some(e),
+            SocError::Firmware(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<CpuError> for SocError {
     fn from(e: CpuError) -> Self {
@@ -337,6 +380,10 @@ pub struct Soc {
     /// of the firmware image it was decoded from — a run with different
     /// firmware starts cold instead of replaying stale blocks.
     decoded: Option<(u64, BlockCache)>,
+    /// Cycle-budget watchdog armed for every run ([`Soc::set_watchdog`]):
+    /// a run whose modeled clock passes this many cycles returns
+    /// [`SocError::WatchdogExpired`] instead of spinning.
+    watchdog: Option<u64>,
 }
 
 impl Soc {
@@ -351,11 +398,12 @@ impl Soc {
             resident: Vec::new(),
             next_image_id: 1,
             decoded: None,
+            watchdog: None,
         }
     }
 
     fn build_fabric(config: &SocConfig) -> (DramPath, SocNvdla) {
-        let ddr = Dram::new(config.dram_bytes, config.dram_timing);
+        let ddr = FaultInjector::new(Dram::new(config.dram_bytes, config.dram_timing));
         let mux = SmartConnect::new(ddr);
         let cdc = ClockCrossing::new(mux, config.soc_hz, config.mem_hz, 2);
         let dram: DramPath = Shared::new(Arbiter::new(cdc));
@@ -386,7 +434,11 @@ impl Soc {
     /// Run `f` on the DRAM device behind the fabric (backdoor).
     fn with_dram<R>(&self, f: impl FnOnce(&mut Dram) -> R) -> R {
         let mut path = self.dram.lock();
-        f(path.downstream_mut().downstream_mut().dram_mut())
+        f(path
+            .downstream_mut()
+            .downstream_mut()
+            .dram_mut()
+            .inner_mut())
     }
 
     /// The entry for `artifacts`, if its image is pinned and the DRAM
@@ -407,6 +459,7 @@ impl Soc {
             path.downstream_mut()
                 .downstream_mut()
                 .dram_mut()
+                .inner_mut()
                 .is_image_resident(img.id)
         });
     }
@@ -546,6 +599,7 @@ impl Soc {
             .downstream_mut()
             .downstream_mut()
             .dram_mut()
+            .inner_mut()
             .load(addr as usize, data)
     }
 
@@ -652,7 +706,7 @@ impl Soc {
         let mut path = self.dram.lock();
         let cdc = path.downstream_mut();
         let sync = cdc.sync_cycles();
-        let timing = cdc.downstream_mut().dram_mut().timing();
+        let timing = cdc.downstream_mut().dram_mut().inner().timing();
         let mut open_row = None;
         let mut busy_slave = 0u64;
         let mut t = 0u64;
@@ -660,7 +714,8 @@ impl Soc {
         while offset < len {
             let n = (len - offset).min(PS_CHUNK_BYTES);
             let a = addr + offset as u32;
-            let start = (cdc.to_slave(t) + sync + SmartConnect::<Dram>::ROUTE).max(busy_slave);
+            let start = (cdc.to_slave(t) + sync + SmartConnect::<FaultInjector<Dram>>::ROUTE)
+                .max(busy_slave);
             busy_slave = start + timing.burst_cycles_tracked(&mut open_row, a, n);
             t = cdc.to_master(busy_slave + sync);
             offset += n;
@@ -675,6 +730,136 @@ impl Soc {
     pub fn quiesce(&mut self) {
         self.nvdla.lock().reset();
         self.sync_residency();
+    }
+
+    /// Arm the cycle-budget watchdog for every subsequent run: a run
+    /// whose modeled clock passes `deadline_cycles` without reaching
+    /// `ebreak` returns [`SocError::WatchdogExpired`]. `None` disarms.
+    ///
+    /// This is the modeled-time hang detector: a firmware poll loop
+    /// stuck on a wedged accelerator (e.g. an injected latency spike of
+    /// billions of cycles on its DMA path) trips the watchdog after
+    /// `deadline_cycles` SoC cycles — at host speed, because the stuck
+    /// wait advances modeled time in jumps — where the instruction
+    /// budget ([`SocConfig::max_instructions`]) would grind through
+    /// every polled instruction first.
+    pub fn set_watchdog(&mut self, deadline_cycles: Option<u64>) {
+        self.watchdog = deadline_cycles;
+    }
+
+    /// The armed watchdog deadline, if any.
+    #[must_use]
+    pub fn watchdog(&self) -> Option<u64> {
+        self.watchdog
+    }
+
+    /// [`Soc::run_firmware`] with a one-shot watchdog deadline (in SoC
+    /// cycles). The previously armed deadline, if any, is restored
+    /// afterwards.
+    ///
+    /// # Errors
+    ///
+    /// [`SocError::WatchdogExpired`] when the deadline passes before
+    /// `ebreak`; otherwise as [`Soc::run_firmware`].
+    pub fn run_firmware_deadline(
+        &mut self,
+        artifacts: &Artifacts,
+        input_bytes: &[u8],
+        fw: &Firmware,
+        deadline_cycles: u64,
+    ) -> Result<InferenceResult, SocError> {
+        let prev = self.watchdog.replace(deadline_cycles);
+        let result = self.run_firmware(artifacts, input_bytes, fw);
+        self.watchdog = prev;
+        result
+    }
+
+    /// Fingerprint the DRAM output region of `artifacts` (FNV over the
+    /// raw bytes). Capture it after a known-good run, then feed it to
+    /// [`Soc::verify_output`] after later runs to detect silent
+    /// corruption. Only meaningful in functional mode — timing-only
+    /// runs never write real output bytes.
+    #[must_use]
+    pub fn output_fingerprint(&self, artifacts: &Artifacts) -> u64 {
+        self.with_dram_peek(artifacts.output_addr, artifacts.output_len, |raw| {
+            let mut h = Fnv::new();
+            h.bytes(raw);
+            h.finish()
+        })
+    }
+
+    /// Integrity-check the output region against a known-good
+    /// fingerprint from [`Soc::output_fingerprint`].
+    ///
+    /// # Errors
+    ///
+    /// [`SocError::OutputCorrupted`] when the fingerprints differ.
+    pub fn verify_output(&self, artifacts: &Artifacts, expected: u64) -> Result<(), SocError> {
+        let got = self.output_fingerprint(artifacts);
+        if got != expected {
+            return Err(SocError::OutputCorrupted { expected, got });
+        }
+        Ok(())
+    }
+
+    /// Re-warm recovery: full power-on [`reset`](Soc::reset) (wiping
+    /// whatever state a fault left behind), then re-pin every given
+    /// weight image from its artifacts — no recompile, no firmware
+    /// rebuild. After this the SoC is bit-identical to a freshly built
+    /// one with the same images [loaded](Soc::load_artifacts), so a
+    /// recovered worker's next frame replays the warm-path timing
+    /// exactly.
+    ///
+    /// # Errors
+    ///
+    /// As [`Soc::load_artifacts`] (overlapping footprints, image does
+    /// not fit).
+    pub fn rewarm<'a>(
+        &mut self,
+        images: impl IntoIterator<Item = &'a Artifacts>,
+    ) -> Result<(), BusError> {
+        self.reset();
+        for artifacts in images {
+            self.load_artifacts(artifacts)?;
+        }
+        Ok(())
+    }
+
+    /// Arm a seeded chaos plan on the DRAM fault shim: subsequent
+    /// fabric traffic (CPU loads/stores, NVDLA DMA, PS preload bursts)
+    /// is faulted per the plan. Backdoor loads/peeks — weight pinning,
+    /// input staging, output readback — bypass the shim. The armed
+    /// plan, its access counter and statistics survive per-frame resets
+    /// by contract (a chaos plan describes a fleet lifetime); disarm or
+    /// re-arm to clear.
+    pub fn arm_faults(&mut self, plan: FaultPlan) {
+        self.dram
+            .lock()
+            .downstream_mut()
+            .downstream_mut()
+            .dram_mut()
+            .arm(plan);
+    }
+
+    /// Disarm the chaos plan: back to the untouched fast path.
+    pub fn disarm_faults(&mut self) {
+        self.dram
+            .lock()
+            .downstream_mut()
+            .downstream_mut()
+            .dram_mut()
+            .disarm();
+    }
+
+    /// What the chaos plan has injected since it was armed.
+    #[must_use]
+    pub fn fault_stats(&self) -> FaultStats {
+        self.dram
+            .lock()
+            .downstream_mut()
+            .downstream_mut()
+            .dram_mut()
+            .stats()
     }
 
     /// Run one **pipelined** frame: the frame's input was already
@@ -838,10 +1023,21 @@ impl Soc {
         }
         let cache_stats0 = core.block_cache_stats().unwrap_or_default();
 
+        // With a watchdog armed, bound each uninterrupted block run so
+        // a hung poll loop returns here (where the deadline is checked)
+        // every few thousand instructions instead of grinding through
+        // the whole instruction budget first.
+        const WATCHDOG_CHUNK: u64 = 65_536;
         let mut instructions = 0u64;
         let stop = loop {
             if instructions >= self.config.max_instructions {
                 return Err(SocError::Timeout { instructions });
+            }
+            if let Some(deadline) = self.watchdog {
+                let cycles = core.cycle();
+                if cycles > deadline {
+                    return Err(SocError::WatchdogExpired { deadline, cycles });
+                }
             }
             let stepped = if let Some(p) = pump.as_mut() {
                 // Issue every preload chunk whose due time has passed,
@@ -855,7 +1051,13 @@ impl Soc {
                 // No concurrent preload: let the core batch (and, in a
                 // provably periodic poll loop, fast-forward) instead of
                 // bouncing back here per instruction.
-                let (n, stepped) = core.run_block(self.config.max_instructions - instructions);
+                let budget = self.config.max_instructions - instructions;
+                let limit = if self.watchdog.is_some() {
+                    budget.min(WATCHDOG_CHUNK)
+                } else {
+                    budget
+                };
+                let (n, stepped) = core.run_block(limit);
                 instructions += n;
                 stepped
             };
@@ -1292,5 +1494,169 @@ mod tests {
         let input = Tensor::random(net.input_shape(), 2);
         let e = soc.run_inference(&artifacts, &input).unwrap_err();
         assert!(matches!(e, SocError::Timeout { .. }));
+    }
+
+    #[test]
+    fn watchdog_fires_on_modeled_deadline_and_disarmed_runs_are_identical() {
+        let net = zoo::lenet5(1);
+        let artifacts = compile(&net, &CompileOptions::int8()).unwrap();
+        let input = Tensor::random(net.input_shape(), 2);
+        let bytes = artifacts.quantize_input(&input);
+        let fw = Firmware::build(&artifacts).unwrap();
+        let mut soc = Soc::new(SocConfig::zcu102_nv_small());
+        let truth = soc.run_firmware(&artifacts, &bytes, &fw).unwrap();
+        // A deadline past the real latency never fires…
+        let ok = soc
+            .run_firmware_deadline(&artifacts, &bytes, &fw, truth.cycles + 1)
+            .unwrap();
+        assert_eq!(ok.cycles, truth.cycles);
+        assert_eq!(ok.raw_output, truth.raw_output);
+        assert!(soc.watchdog().is_none(), "one-shot deadline restored");
+        // …one inside it does, with a typed error naming both numbers.
+        let e = soc
+            .run_firmware_deadline(&artifacts, &bytes, &fw, truth.cycles / 2)
+            .unwrap_err();
+        match e {
+            SocError::WatchdogExpired { deadline, cycles } => {
+                assert_eq!(deadline, truth.cycles / 2);
+                assert!(cycles > deadline);
+            }
+            other => panic!("expected WatchdogExpired, got {other}"),
+        }
+        // The aborted run leaves the SoC recoverable: the next clean
+        // run replays the warm path exactly.
+        let after = soc.run_firmware(&artifacts, &bytes, &fw).unwrap();
+        assert_eq!(after.cycles, truth.cycles);
+        assert_eq!(after.raw_output, truth.raw_output);
+    }
+
+    #[test]
+    fn watchdog_catches_injected_hang_at_host_speed() {
+        // A huge latency spike on the NVDLA's first DMA burst models a
+        // wedged accelerator: the wfi sleep jumps modeled time past the
+        // deadline, so the watchdog fires after a handful of host steps
+        // instead of burning the instruction budget.
+        let net = zoo::lenet5(1);
+        let artifacts = compile(&net, &CompileOptions::int8()).unwrap();
+        let input = Tensor::random(net.input_shape(), 2);
+        let bytes = artifacts.quantize_input(&input);
+        let fw = Firmware::build(&artifacts).unwrap();
+        let mut soc = Soc::new(SocConfig::zcu102_nv_small());
+        let truth = soc.run_firmware(&artifacts, &bytes, &fw).unwrap();
+        soc.arm_faults(FaultPlan::default().at(
+            0,
+            rvnv_bus::FaultKind::LatencySpike {
+                cycles: 1_000_000_000,
+            },
+        ));
+        soc.set_watchdog(Some(truth.cycles * 2));
+        let e = soc.run_firmware(&artifacts, &bytes, &fw).unwrap_err();
+        assert!(
+            matches!(e, SocError::WatchdogExpired { .. }),
+            "expected watchdog, got {e}"
+        );
+        // Re-warm recovery: full reset + re-pin from artifacts, then a
+        // clean run that is bit-identical to the never-faulted SoC.
+        soc.disarm_faults();
+        soc.set_watchdog(None);
+        soc.rewarm([&artifacts]).unwrap();
+        assert!(soc.is_resident(&artifacts));
+        let recovered = soc.run_firmware(&artifacts, &bytes, &fw).unwrap();
+        assert_eq!(recovered.cycles, truth.cycles);
+        assert_eq!(recovered.raw_output, truth.raw_output);
+    }
+
+    #[test]
+    fn fingerprint_catches_injected_bit_flip() {
+        let net = zoo::lenet5(1);
+        let artifacts = compile(&net, &CompileOptions::int8()).unwrap();
+        let input = Tensor::random(net.input_shape(), 2);
+        let bytes = artifacts.quantize_input(&input);
+        let fw = Firmware::build(&artifacts).unwrap();
+        let mut soc = Soc::new(SocConfig::zcu102_nv_small());
+        soc.run_firmware(&artifacts, &bytes, &fw).unwrap();
+        let golden = soc.output_fingerprint(&artifacts);
+        soc.verify_output(&artifacts, golden).unwrap();
+        // Corrupt one output byte behind the fabric's back.
+        let raw = soc.dram_peek(artifacts.output_addr, 1);
+        soc.dram_load(artifacts.output_addr, &[raw[0] ^ 0x01])
+            .unwrap();
+        let e = soc.verify_output(&artifacts, golden).unwrap_err();
+        assert!(matches!(e, SocError::OutputCorrupted { .. }), "{e}");
+    }
+
+    #[test]
+    fn injected_dma_flip_corrupts_output_and_stats_account_for_it() {
+        // Flip read data somewhere in the NVDLA's weight/input DMA
+        // stream: the run "succeeds" but the output fingerprint
+        // disagrees with the known-good run — exactly the silent
+        // corruption the integrity check exists to catch.
+        let net = zoo::lenet5(1);
+        let artifacts = compile(&net, &CompileOptions::int8()).unwrap();
+        let input = Tensor::random(net.input_shape(), 2);
+        let bytes = artifacts.quantize_input(&input);
+        let fw = Firmware::build(&artifacts).unwrap();
+        let mut soc = Soc::new(SocConfig::zcu102_nv_small());
+        let truth = soc.run_firmware(&artifacts, &bytes, &fw).unwrap();
+        let golden = soc.output_fingerprint(&artifacts);
+        soc.arm_faults(FaultPlan {
+            seed: 3,
+            flip_per_million: 20_000,
+            ..FaultPlan::default()
+        });
+        let faulted = soc.run_firmware(&artifacts, &bytes, &fw).unwrap();
+        let stats = soc.fault_stats();
+        assert!(stats.flips > 0, "2% flip rate must hit the DMA stream");
+        assert_ne!(faulted.raw_output, truth.raw_output, "corruption lands");
+        assert!(soc.verify_output(&artifacts, golden).is_err());
+        // Same seed, same stream: the faulted run is itself
+        // deterministic (arming restarts the access counter).
+        soc.arm_faults(FaultPlan {
+            seed: 3,
+            flip_per_million: 20_000,
+            ..FaultPlan::default()
+        });
+        let again = soc.run_firmware(&artifacts, &bytes, &fw).unwrap();
+        assert_eq!(again.raw_output, faulted.raw_output);
+        assert_eq!(soc.fault_stats(), stats);
+        // Disarm + rewarm: clean and bit-identical again.
+        soc.disarm_faults();
+        soc.rewarm([&artifacts]).unwrap();
+        let clean = soc.run_firmware(&artifacts, &bytes, &fw).unwrap();
+        assert_eq!(clean.raw_output, truth.raw_output);
+        assert_eq!(clean.cycles, truth.cycles);
+        soc.verify_output(&artifacts, golden).unwrap();
+    }
+
+    #[test]
+    fn injected_bus_error_surfaces_typed_through_soc_error() {
+        let net = zoo::lenet5(1);
+        let artifacts = compile(&net, &CompileOptions::int8()).unwrap();
+        let input = Tensor::random(net.input_shape(), 2);
+        let bytes = artifacts.quantize_input(&input);
+        let fw = Firmware::build(&artifacts).unwrap();
+        let mut soc = Soc::new(SocConfig::zcu102_nv_small());
+        soc.run_firmware(&artifacts, &bytes, &fw).unwrap();
+        soc.arm_faults(FaultPlan {
+            seed: 11,
+            error_per_million: 500_000,
+            ..FaultPlan::default()
+        });
+        let e = soc.run_firmware(&artifacts, &bytes, &fw).unwrap_err();
+        // The injected fault must keep its identity through every
+        // layer: CPU data-port fault or NVDLA DMA abort, but always a
+        // typed chain whose root downcasts to BusError::Injected — no
+        // stringly-typed matching anywhere on the way down.
+        let mut cause: &(dyn Error + 'static) = &e;
+        while let Some(src) = cause.source() {
+            cause = src;
+        }
+        assert!(
+            matches!(
+                cause.downcast_ref::<BusError>(),
+                Some(BusError::Injected { .. })
+            ),
+            "typed cause lost: {e} (root: {cause})"
+        );
     }
 }

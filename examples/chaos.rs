@@ -1,0 +1,133 @@
+//! Chaos sweep: fault rate vs. SLO attainment — the graceful
+//! degradation curve.
+//!
+//! A resilient server's defining curve is SLO attainment against
+//! injected fault rate: flat near 100% while the retry/failover
+//! machinery absorbs the faults, then degrading *gracefully* (no
+//! cliff) as retry burns and re-warm recoveries eat the pool's
+//! headroom. This example sweeps a composite seeded fault plan — bit
+//! flips, typed bus errors, latency spikes, firmware hangs and worker
+//! crashes in a fixed mix — from quiet to a 20% composite rate over an
+//! interleaved LeNet-5/ResNet-18 mix, and prints that curve.
+//!
+//! The sweep runs on the **plan** path (each point is a pure queueing
+//! simulation against the calibrated service profile, with the fault
+//! lottery drawn per frame attempt), so a dense curve is host-cheap.
+//! One faulted point is then **replayed** on real worker SoCs
+//! (`Server::serve`): the served frames run clean on the machine while
+//! the fault burns exist in modeled time, so replay divergence stays 0
+//! even under chaos — see docs/RESILIENCE.md for why that is the right
+//! decomposition (the bus-level realism of each fault class is pinned
+//! separately by the SoC chaos tests).
+//!
+//! ```sh
+//! cargo run --release --example chaos
+//! ```
+
+use std::sync::Arc;
+
+use rvnv_compiler::codegen::{CodegenOptions, WaitMode};
+use rvnv_compiler::{ArtifactCache, Artifacts, CompileOptions};
+use rvnv_nn::zoo::Model;
+use rvnv_soc::batch::layout_models;
+use rvnv_soc::serve::{ArrivalProcess, FaultSpec, ServeReport, ServeSpec, Server};
+use rvnv_soc::soc::SocConfig;
+use rvnv_soc::sweep::fan_out;
+
+/// The fault mix at a composite rate of `per_million` events per
+/// million frame attempts: mostly transient (errors, spikes), some
+/// silent corruption, a few hangs, rare crashes.
+fn fault_mix(per_million: u32) -> FaultSpec {
+    FaultSpec {
+        seed: 0xC0FFEE,
+        flip_per_million: per_million / 5,
+        error_per_million: 2 * per_million / 5,
+        spike_per_million: per_million / 5,
+        spike_us: 2_000,
+        hang_per_million: per_million / 10,
+        crash_per_million: per_million / 10,
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = SocConfig::zcu102_timing_only();
+    let codegen = CodegenOptions {
+        wait_mode: WaitMode::Wfi,
+        ..CodegenOptions::default()
+    };
+    let mut opt = CompileOptions::int8();
+    opt.calib_inputs = 1;
+
+    let nets = [Model::LeNet5.build(1), Model::ResNet18.build(1)];
+    let cache = ArtifactCache::new();
+    let artifacts: Vec<Arc<Artifacts>> = layout_models(&cache, &nets, &opt)?;
+    let calib = std::time::Instant::now();
+    let server = Server::new(config.clone(), artifacts, codegen)?;
+    println!(
+        "calibrated 2-model service profile in {:.0} ms (re-warm recovery {} cycles)",
+        calib.elapsed().as_secs_f64() * 1e3,
+        server.service_model().rewarm,
+    );
+
+    // Moderate load (below the saturation knee) so the curve isolates
+    // fault handling, not queueing collapse.
+    let spec_at = |rate: u32| ServeSpec {
+        process: ArrivalProcess::Poisson,
+        rate_rps: 120,
+        duration_ms: 1_000,
+        seed: 42,
+        workers: 2,
+        policy: rvnv_soc::batch::Policy::RoundRobin,
+        pipelined: false,
+        queue_depth: 8,
+        slo_us: 20_000,
+        timeout_us: 10_000,
+        retries: 2,
+        faults: Some(fault_mix(rate)),
+    };
+    let rates: Vec<u32> = vec![0, 10_000, 25_000, 50_000, 75_000, 100_000, 150_000, 200_000];
+
+    // Rate points are independent plans against the shared profile:
+    // fan them out across host threads like any other sweep.
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let reports: Vec<Result<ServeReport, String>> = fan_out(rates.len(), threads, |i| {
+        server.plan(&spec_at(rates[i])).map_err(|e| e.to_string())
+    });
+    println!(
+        "\n2 workers, 1 s of Poisson arrivals per point, timeout 10 ms, 2 retries, SLO 20 ms:"
+    );
+    println!("  fault%  injected  retries  failover  shed+exh   p99 ms  drop%   SLO%");
+    for (rate, report) in rates.iter().zip(reports) {
+        let r = report.map_err(|e| -> Box<dyn std::error::Error> { e.into() })?;
+        let f = r.faults;
+        println!(
+            "  {:>5.1}  {:>8}  {:>7}  {:>8}  {:>8}  {:>7.2}  {:>5.1}  {:>5.1}",
+            *rate as f64 / 10_000.0,
+            f.injected(),
+            f.retries,
+            f.failovers,
+            f.sheds + f.exhausted,
+            config.cycles_to_ms(r.total.p99),
+            100.0 * r.drop_rate(),
+            100.0 * r.slo_attainment(),
+        );
+    }
+
+    // Replay one faulted point on real SoCs: the dispatch plan must
+    // stay cycle-exact even with the chaos machinery armed.
+    let spec = ServeSpec {
+        duration_ms: 200,
+        ..spec_at(100_000)
+    };
+    let r = server.serve(&spec)?;
+    println!(
+        "\nreplayed the 10% point on real worker SoCs: {} frames, {} faults injected, \
+         replay divergence {}, host {:.0} ms",
+        r.served,
+        r.faults.injected(),
+        r.replay_divergence,
+        r.host_seconds * 1e3,
+    );
+    assert_eq!(r.replay_divergence, 0, "chaos must not move the replay");
+    Ok(())
+}

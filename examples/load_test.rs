@@ -60,6 +60,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         pipelined,
         queue_depth: 8,
         slo_us: 20_000,
+        timeout_us: 0,
+        retries: 0,
+        faults: None,
     };
 
     for pipelined in [false, true] {

@@ -53,7 +53,8 @@ pub mod prelude {
     };
     pub use rvnv_soc::firmware::Firmware;
     pub use rvnv_soc::serve::{
-        ArrivalProcess, LatencyStats, RequestTrace, ServeReport, ServeSpec, Server, ServiceModel,
+        ArrivalProcess, FaultReport, FaultSpec, LatencyStats, RequestTrace, ServeReport, ServeSpec,
+        Server, ServiceModel,
     };
     pub use rvnv_soc::soc::{InferenceResult, Soc, SocConfig};
 }

@@ -10,6 +10,7 @@
 //! rv-nvdla serve   --models A,B[,..] [--rate R] [--duration MS] [--seed S]
 //!                  [--workers W] [--policy rr|sqf|eff] [--pipeline]
 //!                  [--queue-depth D] [--slo-us U] [--arrivals poisson|fixed]
+//!                  [--timeout-us U] [--retries N] [--faults SPEC]
 //!                  [--fp16] [--unfused]
 //! rv-nvdla traces
 //! rv-nvdla resources
@@ -62,7 +63,9 @@ fn main() -> ExitCode {
                  \tend-to-end throughput.\n\
                  serve --models A,B[,..] [--rate R] [--duration MS] [--seed S] [--workers W]\n\
                  \x20     [--policy rr|sqf|eff] [--pipeline] [--queue-depth D] [--slo-us U]\n\
-                 \x20     [--arrivals poisson|fixed] [--fp16] [--unfused]\n\
+                 \x20     [--arrivals poisson|fixed] [--timeout-us U] [--retries N]\n\
+                 \x20     [--faults seed=S,flips=F,errors=E,spikes=P,spike-us=U,hangs=H,crashes=C]\n\
+                 \x20     [--fp16] [--unfused]\n\
                  \tOpen-loop serving: a seeded arrival trace (R req/s of\n\
                  \tmodeled time for MS ms) drains through a bounded\n\
                  \tadmission queue into W warm worker SoCs with every\n\
@@ -71,6 +74,10 @@ fn main() -> ExitCode {
                  \tachieved throughput, drops, and SLO attainment at\n\
                  \tthe --slo-us target; the dispatch plan is replayed\n\
                  \ton real SoCs and cross-checked cycle-exactly.\n\
+                 \t--faults arms a seeded chaos plan (rates in events\n\
+                 \tper million frame attempts); --timeout-us bounds\n\
+                 \teach attempt (the watchdog) and --retries the retry\n\
+                 \tbudget. See docs/RESILIENCE.md.\n\
                  traces\n\
                  \tRun the standard NVDLA validation traces as firmware.\n\
                  resources\n\
@@ -109,7 +116,7 @@ fn find_model(name: &str) -> Result<Model, AnyError> {
 
 /// Flags that consume the following argument as their value (the model
 /// name scan must not mistake such a value for the model).
-const VALUE_FLAGS: [&str; 14] = [
+const VALUE_FLAGS: [&str; 17] = [
     "--out",
     "--repeat",
     "--clocks",
@@ -124,6 +131,9 @@ const VALUE_FLAGS: [&str; 14] = [
     "--queue-depth",
     "--slo-us",
     "--arrivals",
+    "--timeout-us",
+    "--retries",
+    "--faults",
 ];
 
 /// Strict argument validation: every `--flag` must be in the command's
@@ -601,6 +611,9 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
             "--queue-depth",
             "--slo-us",
             "--arrivals",
+            "--timeout-us",
+            "--retries",
+            "--faults",
         ],
         0,
     )?;
@@ -633,6 +646,19 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
     }
     if let Some(a) = parse_value(args, "--arrivals")? {
         spec.process = a.parse()?;
+    }
+    if let Some(t) = parse_positive(
+        args,
+        "--timeout-us",
+        "a zero deadline aborts every attempt at birth",
+    )? {
+        spec.timeout_us = t;
+    }
+    if let Some(r) = parse_number(args, "--retries")? {
+        spec.retries = u32::try_from(r).map_err(|_| format!("bad --retries `{r}`"))?;
+    }
+    if let Some(f) = parse_value(args, "--faults")? {
+        spec.faults = Some(f.parse::<FaultSpec>()?);
     }
     spec.pipelined = args.iter().any(|a| a == "--pipeline");
     spec.validate()?;
@@ -720,6 +746,24 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
             "  worker {w}: {} frame(s), {util:.1}% busy over the {:.1} ms drain",
             stats.frames,
             ms(report.makespan_cycles),
+        );
+    }
+    if spec.faults.is_some() || spec.timeout_us > 0 {
+        let f = report.faults;
+        println!(
+            "  faults: {} injected (hangs {}, bus errors {}, corruptions {}, spikes {}, \
+             crashes {}) | timeouts {} retries {} failovers {} sheds {} exhausted {}",
+            f.injected(),
+            f.hangs,
+            f.bus_errors,
+            f.corruptions_detected,
+            f.spikes,
+            f.crashes,
+            f.timeouts,
+            f.retries,
+            f.failovers,
+            f.sheds,
+            f.exhausted,
         );
     }
     println!(

@@ -109,6 +109,55 @@ fn serve_rejects_unknown_flags_with_the_accepted_list() {
     assert_rejects(&["serve", "lenet5"], &["unexpected argument `lenet5`"]);
 }
 
+#[test]
+fn serve_rejects_a_zero_timeout() {
+    // A zero deadline would abort every attempt at birth.
+    assert_rejects(
+        &["serve", "--models", "lenet5", "--timeout-us", "0"],
+        &["--timeout-us", ">= 1"],
+    );
+}
+
+#[test]
+fn serve_rejects_retries_without_a_timeout() {
+    assert_rejects(
+        &["serve", "--models", "lenet5", "--retries", "2"],
+        &["--retries needs --timeout-us"],
+    );
+}
+
+#[test]
+fn serve_rejects_malformed_fault_specs() {
+    // A bare term with no `=` names itself in the error.
+    assert_rejects(
+        &["serve", "--models", "lenet5", "--faults", "errors"],
+        &["`errors`", "not key=value"],
+    );
+    // An unknown key lists what it could have been.
+    assert_rejects(
+        &["serve", "--models", "lenet5", "--faults", "seed=1,frobs=9"],
+        &["unknown fault-spec key `frobs`"],
+    );
+    // Hang faults are undetectable without a watchdog.
+    assert_rejects(
+        &["serve", "--models", "lenet5", "--faults", "hangs=1000"],
+        &["hangs", "needs --timeout-us"],
+    );
+    // The per-attempt lottery draws one ticket per million.
+    assert_rejects(
+        &[
+            "serve",
+            "--models",
+            "lenet5",
+            "--timeout-us",
+            "10000",
+            "--faults",
+            "errors=900000,crashes=200000",
+        ],
+        &["sum to 1100000", "<= 1000000"],
+    );
+}
+
 /// Run the built binary; return (success, stdout) — for commands whose
 /// *output* is the contract, not their error path.
 fn rv_nvdla_stdout(args: &[&str]) -> (bool, String) {

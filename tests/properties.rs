@@ -328,7 +328,7 @@ proptest! {
 
 use rvnv_soc::batch::Policy;
 use rvnv_soc::serve::{
-    simulate, ArrivalProcess, LatencyStats, RequestTrace, ServeSpec, ServiceModel,
+    simulate, ArrivalProcess, FaultSpec, LatencyStats, RequestTrace, ServeSpec, ServiceModel,
 };
 
 /// A synthetic two-model service profile from four small numbers.
@@ -343,6 +343,7 @@ fn synthetic_profile(c0: u64, c1: u64, pre: u64, stretch: u64) -> ServiceModel {
             vec![c1 + stretch, c1 + 2 * stretch],
         ],
         preload_done: vec![vec![pre, pre * 4], vec![pre * 3, pre * 2]],
+        rewarm: pre * 10,
     }
 }
 
@@ -417,6 +418,9 @@ proptest! {
             pipelined: pipelined.is_multiple_of(2),
             queue_depth,
             slo_us: 5_000,
+            timeout_us: 0,
+            retries: 0,
+            faults: None,
         };
         let trace = RequestTrace::generate(
             spec.process, rate, spec.duration_cycles(hz), 2, seed, hz,
@@ -438,6 +442,118 @@ proptest! {
         let per_worker_frames: u64 = r.per_worker.iter().map(|w| w.frames).sum();
         prop_assert_eq!(per_worker_frames, r.served);
         prop_assert!(r.makespan_cycles >= r.total.max, "completions inside the makespan");
+    }
+
+    /// Chaos bookkeeping under arbitrary fault rates, seeds, timeout
+    /// and retry budgets: `offered == served + dropped` still holds,
+    /// every failed frame attempt resolves exactly once (the
+    /// [`rvnv_soc::serve::FaultReport`] reconciliation equation), hangs
+    /// are a subset of timeouts, and the whole faulted report replays
+    /// bit-identically from the same seeds.
+    #[test]
+    fn chaos_books_always_balance_and_replay_bit_identically(
+        c0 in 1_000u64..200_000,
+        c1 in 1_000u64..200_000,
+        pre in 1u64..2_000,
+        rate in 50u64..3_000,
+        window_ms in 1u64..25,
+        workers in 1usize..4,
+        queue_depth in 1usize..10,
+        policy_pick in any::<u8>(),
+        seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+        flips in 0u32..200_000,
+        errors in 0u32..200_000,
+        spikes in 0u32..200_000,
+        spike_us in 0u64..20_000,
+        hangs in 0u32..100_000,
+        crashes in 0u32..100_000,
+        timeout_us in 1u64..30_000,
+        retries in 0u32..4,
+    ) {
+        let hz = 100_000_000u64;
+        let service = synthetic_profile(c0, c1, pre, 0);
+        let spec = ServeSpec {
+            process: ArrivalProcess::Poisson,
+            rate_rps: rate,
+            duration_ms: window_ms,
+            seed,
+            workers,
+            policy: policy_from(policy_pick),
+            pipelined: false,
+            queue_depth,
+            slo_us: 5_000,
+            timeout_us,
+            retries,
+            faults: Some(FaultSpec {
+                seed: fault_seed,
+                flip_per_million: flips,
+                error_per_million: errors,
+                spike_per_million: spikes,
+                spike_us,
+                hang_per_million: hangs,
+                crash_per_million: crashes,
+            }),
+        };
+        spec.validate().expect("generated chaos spec is consistent");
+        let trace = RequestTrace::generate(
+            spec.process, rate, spec.duration_cycles(hz), 2, seed, hz,
+        );
+        let names = vec!["a".to_string(), "b".to_string()];
+        let r = simulate(&trace, &service, &spec, &names, hz);
+        prop_assert_eq!(r.served + r.dropped, r.offered, "every request accounted for");
+        let f = r.faults;
+        prop_assert_eq!(
+            f.timeouts + f.bus_errors + f.corruptions_detected + f.crashes,
+            f.retries + f.failovers + f.sheds + f.exhausted,
+            "every failed attempt must resolve exactly once"
+        );
+        prop_assert!(f.hangs <= f.timeouts, "a hang is detected as a timeout");
+        prop_assert!(r.slo_attained <= r.served);
+        let r2 = simulate(&trace, &service, &spec, &names, hz);
+        prop_assert_eq!(r, r2, "a faulted plan must replay bit-identically");
+    }
+
+    /// An armed-but-all-zero fault spec (and no timeout) is invisible:
+    /// the report is bit-identical to the same spec with `faults: None`
+    /// — the chaos machinery costs nothing when it has nothing to do.
+    #[test]
+    fn quiet_chaos_spec_is_bit_invisible(
+        c0 in 1_000u64..200_000,
+        c1 in 1_000u64..200_000,
+        pre in 1u64..2_000,
+        rate in 50u64..3_000,
+        window_ms in 1u64..25,
+        workers in 1usize..4,
+        queue_depth in 1usize..10,
+        policy_pick in any::<u8>(),
+        seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+    ) {
+        let hz = 100_000_000u64;
+        let service = synthetic_profile(c0, c1, pre, 0);
+        let quiet = ServeSpec {
+            process: ArrivalProcess::Poisson,
+            rate_rps: rate,
+            duration_ms: window_ms,
+            seed,
+            workers,
+            policy: policy_from(policy_pick),
+            pipelined: false,
+            queue_depth,
+            slo_us: 5_000,
+            timeout_us: 0,
+            retries: 0,
+            faults: Some(FaultSpec { seed: fault_seed, ..FaultSpec::default() }),
+        };
+        let none = ServeSpec { faults: None, ..quiet };
+        let trace = RequestTrace::generate(
+            quiet.process, rate, quiet.duration_cycles(hz), 2, seed, hz,
+        );
+        let names = vec!["a".to_string(), "b".to_string()];
+        let a = simulate(&trace, &service, &quiet, &names, hz);
+        let b = simulate(&trace, &service, &none, &names, hz);
+        prop_assert_eq!(a, b, "a quiet fault plan must be invisible");
     }
 }
 
@@ -561,5 +677,58 @@ fn timing_only_matches_functional_cycle_for_cycle() {
         assert_eq!(f.cpu_arbiter_wait, t.cpu_arbiter_wait, "arbiter, {tag}");
         assert_eq!(f.nvdla, t.nvdla, "engine op/cycle accounting, {tag}");
         assert_eq!(f.timeline.len(), t.timeline.len(), "op schedule, {tag}");
+    }
+}
+
+/// Recovery is lossless for random inputs and random fault streams: a
+/// SoC that took a storm of injected bus errors and bit flips, then was
+/// re-warmed ([`Soc::rewarm`] — reset plus re-pinning every resident
+/// weight image), runs the next frame bit- and cycle-identical to a SoC
+/// that never saw a fault.
+#[test]
+fn rewarmed_soc_is_bit_identical_to_never_faulted() {
+    use rvnv_bus::fault::FaultPlan;
+
+    let mut rng = proptest::TestRng::from_name(concat!(
+        file!(),
+        "::rewarmed_soc_is_bit_identical_to_never_faulted"
+    ));
+    let artifacts = lenet_artifacts();
+    for case in 0..DIFFERENTIAL_SAMPLES {
+        let input_seed = rng.next_u64();
+        let fault_seed = rng.next_u64();
+        let wfi = case % 2 == 0;
+        let input = Tensor::random(Model::LeNet5.build(1).input_shape(), input_seed);
+        let bytes = artifacts.quantize_input(&input);
+        let fw = wait_firmware(artifacts, wfi);
+        let tag = format!("input {input_seed:#x} faults {fault_seed:#x} wfi {wfi}");
+
+        let mut clean = Soc::new(SocConfig::zcu102_nv_small());
+        let truth = clean.run_firmware(artifacts, &bytes, &fw).expect("clean");
+
+        let mut victim = Soc::new(SocConfig::zcu102_nv_small());
+        victim
+            .run_firmware(artifacts, &bytes, &fw)
+            .expect("warm-up");
+        victim.arm_faults(FaultPlan {
+            seed: fault_seed,
+            flip_per_million: 200_000,
+            error_per_million: 200_000,
+            ..FaultPlan::default()
+        });
+        // The faulted frame may abort (injected error) or "succeed"
+        // with silently corrupted bytes (flips) — either way the worker
+        // is now suspect and gets the full recovery treatment.
+        let _ = victim.run_firmware(artifacts, &bytes, &fw);
+        victim.disarm_faults();
+        victim.rewarm([artifacts]).expect("re-warm");
+        let recovered = victim
+            .run_firmware(artifacts, &bytes, &fw)
+            .expect("recovered");
+
+        assert_eq!(recovered.cycles, truth.cycles, "cycles, {tag}");
+        assert_eq!(recovered.raw_output, truth.raw_output, "output, {tag}");
+        assert_eq!(recovered.instructions, truth.instructions, "retired, {tag}");
+        assert_eq!(recovered.nvdla, truth.nvdla, "nvdla stats, {tag}");
     }
 }

@@ -52,6 +52,9 @@ fn base_spec() -> ServeSpec {
         pipelined: false,
         queue_depth: 8,
         slo_us: 20_000,
+        timeout_us: 0,
+        retries: 0,
+        faults: None,
     }
 }
 
@@ -234,4 +237,47 @@ fn trace_is_seeded_and_offered_bounds_achieved() {
     let r = server.plan(&spec).expect("plan");
     assert!(r.achieved_rate() <= r.offered_rate() + 1e-9);
     assert_eq!(r.served + r.dropped, r.offered);
+}
+
+#[test]
+fn chaos_serve_keeps_replay_divergence_at_zero_and_books_balanced() {
+    let server = server();
+    let spec = ServeSpec {
+        duration_ms: 100,
+        workers: 2,
+        timeout_us: 10_000,
+        retries: 2,
+        faults: Some(FaultSpec {
+            seed: 0xFA1175,
+            flip_per_million: 30_000,
+            error_per_million: 60_000,
+            spike_per_million: 30_000,
+            spike_us: 2_000,
+            hang_per_million: 15_000,
+            crash_per_million: 15_000,
+        }),
+        ..base_spec()
+    };
+    let r = server.serve(&spec).expect("chaos serve");
+    // The seeded storm actually fired...
+    assert!(r.faults.injected() > 0, "no faults at a 15% composite rate");
+    // ...every fault is accounted for: offered splits into served +
+    // dropped, and every failed attempt resolved exactly once.
+    assert_eq!(r.served + r.dropped, r.offered);
+    let f = r.faults;
+    assert_eq!(
+        f.timeouts + f.bus_errors + f.corruptions_detected + f.crashes,
+        f.retries + f.failovers + f.sheds + f.exhausted,
+        "fault ledger must reconcile: {f:?}"
+    );
+    assert!(f.hangs <= f.timeouts, "hangs are detected as timeouts");
+    // The served frames replay cycle-exact on the real worker SoCs even
+    // with the chaos machinery armed: fault burns exist in modeled time
+    // only, so the dispatch plan stays honest.
+    assert_eq!(r.replay_divergence, 0, "chaos must not move the replay");
+    // And the whole faulted run is bit-identical from the same seeds
+    // (host wall-clock aside).
+    let mut again = server.serve(&spec).expect("chaos serve again");
+    again.host_seconds = r.host_seconds;
+    assert_eq!(r, again, "seeded chaos must replay bit-identically");
 }
