@@ -1,0 +1,138 @@
+//! Host-cost bench for the fleet subsystem: what a capacity-planning
+//! sweep costs on the host.
+//!
+//! Three costs matter:
+//!
+//! * `calibrate_2pool` — compiling both hardware classes and measuring
+//!   each pool's per-model/per-pair service profile on real SoCs (paid
+//!   once per fleet; profiles are deduped by class × residency).
+//! * `plan_knee_point` / `plan_saturated` — one pure balancer +
+//!   autoscaler queueing simulation of a 1-second diurnal trace over a
+//!   2-pool heterogeneous fleet, at the knee and deep in overload.
+//!   This is the per-point cost of `examples/capacity_planner.rs`'s
+//!   knee-finding sweep ("smallest N with p99 < SLO").
+//! * `run_spot_replay` — a short full run: plan plus the cycle-exact
+//!   spot-replay of K sampled dispatch windows on real per-pool SoCs.
+//!
+//! Before timing, the bench asserts the fleet oracles (determinism and
+//! zero spot-replay divergence on the heterogeneous fleet — the PR-6
+//! fingerprint-first convention), so `cargo bench -- --test` doubles
+//! as a correctness check in CI.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rvnv_compiler::codegen::{CodegenOptions, WaitMode};
+use rvnv_compiler::CompileOptions;
+use rvnv_nn::zoo::Model;
+use rvnv_nn::Network;
+use rvnv_soc::fleet::{Fleet, FleetSpec, PoolSpec, RoutePolicy, SocClass, TrafficShape};
+
+fn nets() -> [Network; 2] {
+    [Model::LeNet5.build(1), Model::ResNet18.build(1)]
+}
+
+fn options() -> CompileOptions {
+    let mut opt = CompileOptions::int8();
+    opt.calib_inputs = 1;
+    opt
+}
+
+fn wfi_codegen() -> CodegenOptions {
+    CodegenOptions {
+        wait_mode: WaitMode::Wfi,
+        ..CodegenOptions::default()
+    }
+}
+
+fn pool(class: SocClass, workers: usize) -> PoolSpec {
+    PoolSpec {
+        class,
+        workers,
+        min_workers: workers,
+        max_workers: workers,
+        queue_depth: 16,
+        models: None,
+    }
+}
+
+fn spec_at(rate: u64) -> FleetSpec {
+    FleetSpec {
+        pools: vec![pool(SocClass::NvSmall, 2), pool(SocClass::NvFull, 1)],
+        route: RoutePolicy::ModelAffinity,
+        shape: TrafficShape::Diurnal,
+        rate_rps: rate,
+        duration_ms: 1_000,
+        seed: 42,
+        slo_us: 12_000,
+        ..FleetSpec::default()
+    }
+}
+
+fn bench_fleet_capacity(c: &mut Criterion) {
+    let nets = nets();
+    let opt = options();
+    let fleet = Fleet::new(&nets, &opt, wfi_codegen(), &spec_at(300)).expect("calibrate");
+
+    // Correctness oracles before any timing: a fixed seed reproduces
+    // the report bit-for-bit and K sampled windows of the dispatch
+    // plan replay cycle-exactly on both pool classes.
+    {
+        let spec = FleetSpec {
+            duration_ms: 200,
+            ..spec_at(400)
+        };
+        let mut a = fleet.run(&spec).expect("run");
+        let mut b = fleet.run(&spec).expect("run again");
+        assert!(a.served > 0 && a.replayed_frames > 0);
+        assert_eq!(a.replay_divergence, 0, "spot-replay must be cycle-exact");
+        a.host_seconds = 0.0;
+        b.host_seconds = 0.0;
+        assert_eq!(a, b, "fixed seed must reproduce the report");
+        assert!(a.per_pool.iter().all(|p| p.routed > 0));
+    }
+
+    let mut g = c.benchmark_group("fleet_capacity");
+    g.sample_size(10);
+    g.bench_function("calibrate_2pool", |b| {
+        b.iter(|| {
+            Fleet::new(&nets, &opt, wfi_codegen(), &spec_at(300))
+                .expect("calibrate")
+                .pool_profile(0)
+                .service
+                .compute
+                .clone()
+        })
+    });
+    g.bench_function("plan_knee_point", |b| {
+        b.iter(|| fleet.plan(&spec_at(450)).expect("plan").served)
+    });
+    g.bench_function("plan_saturated", |b| {
+        b.iter(|| fleet.plan(&spec_at(900)).expect("plan").served)
+    });
+    // The autoscaler path: headroom to grow into under a flash crowd
+    // (window bookkeeping + scale events on top of the plain plan).
+    g.bench_function("plan_autoscaled_flash_crowd", |b| {
+        let mut spec = spec_at(900);
+        spec.shape = TrafficShape::FlashCrowd;
+        spec.pools[0].max_workers = 6;
+        b.iter(|| {
+            let r = fleet.plan(&spec).expect("plan");
+            assert!(r.per_pool[0].workers_high >= r.per_pool[0].workers_start);
+            r.served
+        })
+    });
+    g.bench_function("run_spot_replay_200ms_400rps", |b| {
+        let spec = FleetSpec {
+            duration_ms: 200,
+            ..spec_at(400)
+        };
+        b.iter(|| {
+            let r = fleet.run(&spec).expect("run");
+            assert_eq!(r.replay_divergence, 0);
+            r.served
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(fleet_capacity, bench_fleet_capacity);
+criterion_main!(fleet_capacity);

@@ -20,7 +20,11 @@
 //!   weight images pinned in one DRAM, frames interleaved across them),
 //! * [`serve`] — open-loop inference serving on top of [`batch`]:
 //!   seeded arrival traces, a bounded admission queue, a warm-SoC
-//!   worker pool and SLO-percentile reporting.
+//!   worker pool and SLO-percentile reporting,
+//! * [`fleet`] — fleet-scale serving on top of [`serve`]: heterogeneous
+//!   pools (`nv_small`/`nv_full`) behind a load balancer with pluggable
+//!   routing, per-pool bounded admission, a reactive autoscaler, and
+//!   spot-replay windows that pin the plan to real SoCs.
 //!
 //! # Example
 //!
@@ -43,6 +47,7 @@
 pub mod baseline;
 pub mod batch;
 pub mod firmware;
+pub mod fleet;
 pub mod profile;
 pub mod resources;
 pub mod serve;

@@ -1471,6 +1471,52 @@ pub fn simulate(
     simulate_plan(trace, service, spec, names, soc_hz).0
 }
 
+/// Replay per-burst model `seqs` on one fresh SoC of `config` with the
+/// whole `artifacts` set resident, streaming `frames` — `(model, input
+/// bytes)` in enqueue order — and return every frame's modeled latency
+/// ([`crate::batch::FrameLatency`] semantics) in run order. This is the
+/// shared replay engine behind [`Server::serve`]'s per-worker check and
+/// the fleet's spot-replay windows ([`crate::fleet`]): both simulate in
+/// calibrated cycles, then prove the plan against the real machine.
+pub(crate) fn replay_sequences(
+    config: &SocConfig,
+    artifacts: &[Arc<Artifacts>],
+    codegen: CodegenOptions,
+    policy: Policy,
+    pipelined: bool,
+    seqs: &[Vec<usize>],
+    frames: impl IntoIterator<Item = (usize, Vec<u8>)>,
+) -> Result<Vec<u64>, BatchError> {
+    let total: usize = seqs.iter().map(Vec::len).sum();
+    let mut latencies = Vec::with_capacity(total);
+    if pipelined {
+        let mut sched = PipelinedScheduler::new(config.clone(), policy);
+        for a in artifacts {
+            sched.add_model(a.clone(), codegen)?;
+        }
+        for (model, bytes) in frames {
+            sched.enqueue_bytes(model, bytes)?;
+        }
+        for seq in seqs {
+            let rep = sched.run_sequence(seq)?;
+            latencies.extend(rep.frame_latencies.iter().map(|f| f.cycles));
+        }
+    } else {
+        let mut sched = BatchScheduler::new(config.clone(), policy);
+        for a in artifacts {
+            sched.add_model(a.clone(), codegen)?;
+        }
+        for (model, bytes) in frames {
+            sched.enqueue_bytes(model, bytes)?;
+        }
+        for seq in seqs {
+            let rep = sched.run_sequence(seq)?;
+            latencies.extend(rep.frame_latencies.iter().map(|f| f.cycles));
+        }
+    }
+    Ok(latencies)
+}
+
 /// An inference server over a resident model set: calibrates the
 /// [`ServiceModel`] once at construction, then serves (or plans) any
 /// number of [`ServeSpec`] experiments against it.
@@ -1625,33 +1671,15 @@ impl Server {
                     .iter()
                     .flatten()
                     .map(|f| (trace.requests[f.request].model, input_for(f.request)));
-                let mut latencies = Vec::with_capacity(plan.frames());
-                if spec.pipelined {
-                    let mut sched = PipelinedScheduler::new(self.config.clone(), spec.policy);
-                    for a in &self.artifacts {
-                        sched.add_model(a.clone(), self.codegen)?;
-                    }
-                    for (model, bytes) in frames {
-                        sched.enqueue_bytes(model, bytes)?;
-                    }
-                    for seq in &seqs {
-                        let rep = sched.run_sequence(seq)?;
-                        latencies.extend(rep.frame_latencies.iter().map(|f| f.cycles));
-                    }
-                } else {
-                    let mut sched = BatchScheduler::new(self.config.clone(), spec.policy);
-                    for a in &self.artifacts {
-                        sched.add_model(a.clone(), self.codegen)?;
-                    }
-                    for (model, bytes) in frames {
-                        sched.enqueue_bytes(model, bytes)?;
-                    }
-                    for seq in &seqs {
-                        let rep = sched.run_sequence(seq)?;
-                        latencies.extend(rep.frame_latencies.iter().map(|f| f.cycles));
-                    }
-                }
-                Ok(latencies)
+                replay_sequences(
+                    &self.config,
+                    &self.artifacts,
+                    self.codegen,
+                    spec.policy,
+                    spec.pipelined,
+                    &seqs,
+                    frames,
+                )
             },
         );
         let mut divergence = 0u64;

@@ -124,6 +124,29 @@ impl SocConfig {
         }
     }
 
+    /// The `nv_full`-class configuration: the same ZCU102 platform and
+    /// clocks, but the full-size NVDLA (64×32 MACs, larger buffers).
+    /// This is the "big pool" class of a heterogeneous fleet
+    /// ([`crate::fleet`]); its per-frame compute is genuinely cheaper
+    /// because the compiler re-lowers every layer for the wider datapath.
+    #[must_use]
+    pub fn zcu102_nv_full() -> Self {
+        SocConfig {
+            hw: HwConfig::nv_full(),
+            ..Self::zcu102_nv_small()
+        }
+    }
+
+    /// Timing-only `nv_full` variant (the fleet serving flow).
+    #[must_use]
+    pub fn zcu102_nv_full_timing_only() -> Self {
+        SocConfig {
+            functional: false,
+            capture_timeline: false,
+            ..Self::zcu102_nv_full()
+        }
+    }
+
     /// Convert a cycle count at the SoC clock into milliseconds.
     #[must_use]
     pub fn cycles_to_ms(&self, cycles: u64) -> f64 {

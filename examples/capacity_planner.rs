@@ -1,0 +1,156 @@
+//! Capacity planner: the minimal worker count that holds an SLO.
+//!
+//! The question a fleet operator actually asks is not "what is the
+//! p99?" but "**how many workers** do I need so the p99 stays under my
+//! SLO at my expected rate?". This example answers it twice:
+//!
+//! 1. **Homogeneous**: one nv_small pool serving a LeNet-5/ResNet-18
+//!    mix under a diurnal trace — sweep the worker count, find the
+//!    smallest N whose p99 total latency meets the SLO, then
+//!    spot-replay sampled windows of that plan on real SoCs
+//!    (divergence must be 0: the answer is pinned to the machine, not
+//!    to a curve fit).
+//! 2. **Heterogeneous**: attach one nv_full worker behind a
+//!    model-affinity balancer and re-ask — how much nv_small capacity
+//!    does one big-configuration worker replace?
+//!
+//! The sweep runs on the **plan** path (calibrate once, then each
+//! worker count is a pure queueing simulation in modeled time), which
+//! is what makes asking "what if N=1..8?" cheap. See docs/FLEET.md.
+//!
+//! ```sh
+//! cargo run --release --example capacity_planner
+//! ```
+
+use rvnv_compiler::codegen::{CodegenOptions, WaitMode};
+use rvnv_compiler::CompileOptions;
+use rvnv_nn::zoo::Model;
+use rvnv_soc::fleet::{Fleet, FleetSpec, PoolSpec, RoutePolicy, SocClass, TrafficShape};
+
+const RATE_RPS: u64 = 500;
+const SLO_US: u64 = 12_000;
+const MAX_WORKERS: usize = 8;
+
+fn spec_with(pools: Vec<PoolSpec>) -> FleetSpec {
+    FleetSpec {
+        pools,
+        route: RoutePolicy::ModelAffinity,
+        shape: TrafficShape::Diurnal,
+        rate_rps: RATE_RPS,
+        duration_ms: 1_000,
+        seed: 42,
+        slo_us: SLO_US,
+        ..FleetSpec::default()
+    }
+}
+
+fn pool(class: SocClass, workers: usize) -> PoolSpec {
+    PoolSpec {
+        class,
+        workers,
+        min_workers: workers,
+        max_workers: workers,
+        queue_depth: 16,
+        models: None,
+    }
+}
+
+/// Sweep pool 0's worker count and return the smallest N that holds
+/// the SLO at p99 (printing the whole curve on the way).
+fn min_workers(fleet: &Fleet, base: &FleetSpec) -> Result<usize, Box<dyn std::error::Error>> {
+    println!("  workers  offered  achieved   p99 ms  drop%  shed   SLO%");
+    let mut winner = None;
+    for n in 1..=MAX_WORKERS {
+        let mut spec = base.clone();
+        spec.pools[0] = PoolSpec {
+            workers: n,
+            min_workers: n,
+            max_workers: n,
+            ..spec.pools[0].clone()
+        };
+        let r = fleet.plan(&spec)?;
+        let p99_ms = r.total.p99 as f64 * 1e3 / r.soc_hz as f64;
+        let holds = r.total.p99 < r.slo_cycles && r.shed == 0;
+        println!(
+            "  {n:>7}  {:>7.1}  {:>8.1}  {:>7.2}  {:>5.1}  {:>4}  {:>5.1}{}",
+            r.offered_rate(),
+            r.achieved_rate(),
+            p99_ms,
+            100.0 * r.drop_rate(),
+            r.shed,
+            100.0 * r.slo_attainment(),
+            if holds && winner.is_none() {
+                "  <- minimal"
+            } else {
+                ""
+            },
+        );
+        if holds && winner.is_none() {
+            winner = Some(n);
+        }
+    }
+    winner.ok_or_else(|| {
+        format!("no worker count up to {MAX_WORKERS} holds p99 < {SLO_US} us").into()
+    })
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let codegen = CodegenOptions {
+        wait_mode: WaitMode::Wfi,
+        ..CodegenOptions::default()
+    };
+    let mut opt = CompileOptions::int8();
+    opt.calib_inputs = 1;
+    let nets = [Model::LeNet5.build(1), Model::ResNet18.build(1)];
+
+    // Question 1: how many nv_small workers hold p99 < 12 ms at
+    // 500 req/s of diurnal traffic?
+    let small_spec = spec_with(vec![pool(SocClass::NvSmall, 1)]);
+    let calib = std::time::Instant::now();
+    let small_fleet = Fleet::new(&nets, &opt, codegen, &small_spec)?;
+    println!(
+        "calibrated nv_small pool in {:.0} ms; asking: minimal workers with \
+         p99 < {} ms at {RATE_RPS} req/s (diurnal)?",
+        calib.elapsed().as_secs_f64() * 1e3,
+        SLO_US / 1000,
+    );
+    let n_small = min_workers(&small_fleet, &small_spec)?;
+    println!("  answer: {n_small} nv_small worker(s)");
+
+    // Pin the answer to the machine: spot-replay sampled windows of the
+    // winning plan cycle-exactly on real SoCs.
+    let mut winning = small_spec.clone();
+    winning.pools[0] = PoolSpec {
+        workers: n_small,
+        min_workers: n_small,
+        max_workers: n_small,
+        ..winning.pools[0].clone()
+    };
+    winning.duration_ms = 300;
+    let r = small_fleet.run(&winning)?;
+    println!(
+        "  spot-replay of the winning plan: {} frame(s) on real SoCs, divergence {}\n",
+        r.replayed_frames, r.replay_divergence,
+    );
+    if r.replay_divergence != 0 {
+        return Err("spot-replay diverged from the plan".into());
+    }
+
+    // Question 2: with one nv_full worker behind a model-affinity
+    // balancer, how many nv_small workers does the same SLO need?
+    let hetero_spec = spec_with(vec![pool(SocClass::NvSmall, 1), pool(SocClass::NvFull, 1)]);
+    let calib = std::time::Instant::now();
+    let hetero_fleet = Fleet::new(&nets, &opt, codegen, &hetero_spec)?;
+    println!(
+        "calibrated nv_small+nv_full fleet in {:.0} ms; same question with one \
+         nv_full worker attached:",
+        calib.elapsed().as_secs_f64() * 1e3,
+    );
+    let n_hetero = min_workers(&hetero_fleet, &hetero_spec)?;
+    println!(
+        "  answer: {n_hetero} nv_small worker(s) + 1 nv_full — one nv_full worker \
+         replaces {} nv_small worker(s) at this SLO",
+        n_small.saturating_sub(n_hetero),
+    );
+    Ok(())
+}

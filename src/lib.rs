@@ -52,6 +52,10 @@ pub mod prelude {
         FrameLatency, PipelinedScheduler, Policy,
     };
     pub use rvnv_soc::firmware::Firmware;
+    pub use rvnv_soc::fleet::{
+        parse_pools, shaped_trace, Fleet, FleetOutcome, FleetRecord, FleetReport, FleetSpec,
+        PoolProfile, PoolReport, PoolSpec, RoutePolicy, SocClass, TrafficShape,
+    };
     pub use rvnv_soc::serve::{
         ArrivalProcess, FaultReport, FaultSpec, LatencyStats, RequestTrace, ServeReport, ServeSpec,
         Server, ServiceModel,

@@ -12,6 +12,10 @@
 //!                  [--queue-depth D] [--slo-us U] [--arrivals poisson|fixed]
 //!                  [--timeout-us U] [--retries N] [--faults SPEC]
 //!                  [--fp16] [--unfused]
+//! rv-nvdla fleet   --models A,B[,..] [--pools CLASS[:k=v,..][;..]] [--route POLICY]
+//!                  [--shape SHAPE] [--rate R] [--duration MS] [--seed S] [--slo-us U]
+//!                  [--scale-window MS] [--scale-up-below PCT] [--scale-down-above PCT]
+//!                  [--spot-windows K] [--window-frames N] [--fp16] [--unfused]
 //! rv-nvdla traces
 //! rv-nvdla resources
 //! rv-nvdla models
@@ -34,12 +38,13 @@ fn main() -> ExitCode {
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("fleet") => cmd_fleet(&args[1..]),
         Some("traces") => cmd_traces(),
         Some("resources") => cmd_resources(),
         Some("models") => cmd_models(),
         _ => {
             eprintln!(
-                "usage: rv-nvdla <compile|run|sweep|batch|serve|traces|resources|models> [options]\n\
+                "usage: rv-nvdla <compile|run|sweep|batch|serve|fleet|traces|resources|models> [options]\n\
                  \n\
                  compile <model> [--fp16] [--unfused] [--out DIR]\n\
                  \tCompile a zoo model; write config file, weight .bin,\n\
@@ -78,6 +83,23 @@ fn main() -> ExitCode {
                  \tper million frame attempts); --timeout-us bounds\n\
                  \teach attempt (the watchdog) and --retries the retry\n\
                  \tbudget. See docs/RESILIENCE.md.\n\
+                 fleet --models A,B[,..] [--pools CLASS[:k=v,..][;..]] [--route POLICY] [--shape SHAPE]\n\
+                 \x20     [--rate R] [--duration MS] [--seed S] [--slo-us U] [--scale-window MS]\n\
+                 \x20     [--scale-up-below PCT] [--scale-down-above PCT] [--spot-windows K]\n\
+                 \x20     [--window-frames N] [--fp16] [--unfused]\n\
+                 \tFleet-scale serving: a shaped arrival trace (--shape\n\
+                 \tsteady|diurnal|bursty|flash-crowd) drains through a\n\
+                 \tfront-end load balancer (--route weighted|least-loaded|\n\
+                 \tmodel-affinity) into heterogeneous pools of warm worker\n\
+                 \tSoCs, each with bounded admission and a reactive\n\
+                 \tautoscaler ([min..max] workers against a rolling SLO\n\
+                 \twindow; every scale-up pays the pool's re-warm cost in\n\
+                 \tmodeled time). Pool grammar, `;`-separated:\n\
+                 \t  --pools \"nv_small:workers=2,queue=8;nv_full:workers=1,models=ResNet-50\"\n\
+                 \t(class nv_small|nv_full, keys workers|min|max|queue|models,\n\
+                 \tmodels `+`-separated). K windows of the dispatch plan are\n\
+                 \tspot-replayed on real per-pool SoCs and cross-checked\n\
+                 \tcycle-exactly. See docs/FLEET.md.\n\
                  traces\n\
                  \tRun the standard NVDLA validation traces as firmware.\n\
                  resources\n\
@@ -116,7 +138,7 @@ fn find_model(name: &str) -> Result<Model, AnyError> {
 
 /// Flags that consume the following argument as their value (the model
 /// name scan must not mistake such a value for the model).
-const VALUE_FLAGS: [&str; 17] = [
+const VALUE_FLAGS: [&str; 25] = [
     "--out",
     "--repeat",
     "--clocks",
@@ -134,6 +156,14 @@ const VALUE_FLAGS: [&str; 17] = [
     "--timeout-us",
     "--retries",
     "--faults",
+    "--pools",
+    "--route",
+    "--shape",
+    "--scale-window",
+    "--scale-up-below",
+    "--scale-down-above",
+    "--spot-windows",
+    "--window-frames",
 ];
 
 /// Strict argument validation: every `--flag` must be in the command's
@@ -775,6 +805,192 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
         100.0 * report.drop_rate(),
         spec.slo_us,
         100.0 * report.slo_attainment(),
+        report.replay_divergence,
+        calib_ms,
+        report.host_seconds * 1e3,
+    );
+    Ok(())
+}
+
+fn cmd_fleet(args: &[String]) -> Result<(), AnyError> {
+    validate_args(
+        "fleet",
+        args,
+        &["--fp16", "--unfused"],
+        &[
+            "--models",
+            "--pools",
+            "--route",
+            "--shape",
+            "--rate",
+            "--duration",
+            "--seed",
+            "--slo-us",
+            "--scale-window",
+            "--scale-up-below",
+            "--scale-down-above",
+            "--spot-windows",
+            "--window-frames",
+        ],
+        0,
+    )?;
+    let models = parse_model_list("fleet", args)?;
+    let names: Vec<String> = models.iter().map(|m| m.name().to_string()).collect();
+    let mut spec = FleetSpec::default();
+    if let Some(s) = parse_value(args, "--pools")? {
+        spec.pools = parse_pools(s, &names)?;
+    }
+    if let Some(r) = parse_value(args, "--route")? {
+        spec.route = r.parse()?;
+    }
+    if let Some(s) = parse_value(args, "--shape")? {
+        spec.shape = s.parse()?;
+    }
+    if let Some(rate) = parse_positive(args, "--rate", "a rate of 0 offers no load")? {
+        spec.rate_rps = rate;
+    }
+    if let Some(ms) = parse_positive(args, "--duration", "modeled milliseconds of arrivals")? {
+        spec.duration_ms = ms;
+    }
+    if let Some(seed) = parse_number(args, "--seed")? {
+        spec.seed = seed;
+    }
+    if let Some(slo) = parse_number(args, "--slo-us")? {
+        spec.slo_us = slo;
+    }
+    if let Some(w) = parse_number(args, "--scale-window")? {
+        spec.scale_window_ms = w;
+    }
+    if let Some(p) = parse_number(args, "--scale-up-below")? {
+        spec.scale_up_below =
+            u32::try_from(p).map_err(|_| format!("bad --scale-up-below `{p}`"))?;
+    }
+    if let Some(p) = parse_number(args, "--scale-down-above")? {
+        spec.scale_down_above =
+            u32::try_from(p).map_err(|_| format!("bad --scale-down-above `{p}`"))?;
+    }
+    if let Some(k) = parse_number(args, "--spot-windows")? {
+        spec.spot_windows = k as usize;
+    }
+    if let Some(n) = parse_number(args, "--window-frames")? {
+        spec.window_frames = n as usize;
+    }
+    spec.validate(models.len())?;
+
+    // Fail the class/model mismatch before paying for compilation:
+    // nv_small cannot host the larger zoo models.
+    for (i, p) in spec.pools.iter().enumerate() {
+        if p.class != SocClass::NvSmall {
+            continue;
+        }
+        let resident = p
+            .models
+            .clone()
+            .unwrap_or_else(|| (0..models.len()).collect());
+        for m in resident {
+            if !Model::NV_SMALL.contains(&models[m]) {
+                return Err(format!(
+                    "pool {i} (nv_small): model `{}` is nv_full-only — give it an nv_full \
+                     pool or restrict this pool's models= list (see `rv-nvdla models`)",
+                    models[m].name()
+                )
+                .into());
+            }
+        }
+    }
+
+    let fp16 = args.iter().any(|a| a == "--fp16");
+    let mut opt = if fp16 {
+        CompileOptions::fp16()
+    } else {
+        let mut o = CompileOptions::int8();
+        o.calib_inputs = 1;
+        o
+    };
+    if args.iter().any(|a| a == "--unfused") {
+        opt = opt.unfused();
+    }
+    // Fleet serving is a timing flow (wfi firmware, timing-only SoCs);
+    // the per-pool hardware class overrides `opt.hw` inside `Fleet::new`.
+    let codegen = CodegenOptions {
+        wait_mode: WaitMode::Wfi,
+        ..CodegenOptions::default()
+    };
+    let nets: Vec<_> = models.iter().map(|m| m.build(1)).collect();
+    let calib_start = Instant::now();
+    let fleet = Fleet::new(&nets, &opt, codegen, &spec)?;
+    let calib_ms = calib_start.elapsed().as_secs_f64() * 1e3;
+    let report = fleet.run(&spec)?;
+
+    let ms = |cycles: u64| cycles as f64 * 1e3 / report.soc_hz as f64;
+    println!(
+        "fleet: {} model(s) across {} pool(s), route {}, {} arrivals at {} req/s for {} ms (seed {}):",
+        models.len(),
+        report.per_pool.len(),
+        report.route.name(),
+        report.shape.name(),
+        report.rate_rps,
+        spec.duration_ms,
+        report.seed,
+    );
+    println!("  pool  class     workers              routed  served  dropped  p99 total     SLO%  models");
+    for (i, p) in report.per_pool.iter().enumerate() {
+        let journey = format!(
+            "{} -> {} [{}..{}] +{}/-{}",
+            p.workers_start,
+            p.workers_final,
+            spec.pools[i].min_workers,
+            spec.pools[i].max_workers,
+            p.scale_ups,
+            p.scale_downs,
+        );
+        let slo_pct = if p.routed == 0 {
+            100.0
+        } else {
+            100.0 * p.slo_attained as f64 / p.routed as f64
+        };
+        let resident = p
+            .models
+            .iter()
+            .map(|&m| models[m].name())
+            .collect::<Vec<_>>()
+            .join("+");
+        println!(
+            "  {i:>4}  {:8}  {journey:<19} {:>6}  {:>6}  {:>7}  {:>7.3} ms  {slo_pct:>5.1}  {resident}",
+            p.class.name(),
+            p.routed,
+            p.served,
+            p.dropped,
+            ms(p.total.p99),
+        );
+    }
+    println!("  latency (ms)     p50      p95      p99     mean      max");
+    for (name, s) in [
+        ("queue wait", report.queue_wait),
+        ("service", report.service),
+        ("total", report.total),
+    ] {
+        println!(
+            "  {name:12} {:>7.3}  {:>7.3}  {:>7.3}  {:>7.3}  {:>7.3}",
+            ms(s.p50),
+            ms(s.p95),
+            ms(s.p99),
+            ms(s.mean),
+            ms(s.max),
+        );
+    }
+    println!(
+        "  offered {:.1} req/s -> achieved {:.1} req/s | dropped {} ({:.1}%) | shed {} | \
+         SLO {} us attained {:.1}% | spot replay {} frame(s), divergence {} | \
+         calib {:.0} ms + fleet host {:.0} ms",
+        report.offered_rate(),
+        report.achieved_rate(),
+        report.dropped,
+        100.0 * report.drop_rate(),
+        report.shed,
+        spec.slo_us,
+        100.0 * report.slo_attainment(),
+        report.replayed_frames,
         report.replay_divergence,
         calib_ms,
         report.host_seconds * 1e3,

@@ -158,6 +158,106 @@ fn serve_rejects_malformed_fault_specs() {
     );
 }
 
+#[test]
+fn fleet_rejects_degenerate_pool_specs() {
+    assert_rejects(
+        &["fleet", "--models", "lenet5", "--pools", "0"],
+        &["unknown pool class `0`", "nv_small|nv_full"],
+    );
+    assert_rejects(
+        &[
+            "fleet",
+            "--models",
+            "lenet5",
+            "--pools",
+            "nv_small:workers=zzz",
+        ],
+        &["`workers` value `zzz`", "not an integer"],
+    );
+    assert_rejects(
+        &["fleet", "--models", "lenet5", "--pools", "nv_small:frobs=2"],
+        &["unknown key `frobs`", "workers|min|max|queue|models"],
+    );
+    // Autoscaler bounds must bracket the starting worker count.
+    assert_rejects(
+        &[
+            "fleet",
+            "--models",
+            "lenet5",
+            "--pools",
+            "nv_small:min=3,max=1",
+        ],
+        &["min <= workers <= max"],
+    );
+    assert_rejects(
+        &["fleet", "--models", "lenet5", "--pools", ""],
+        &["at least one pool"],
+    );
+}
+
+#[test]
+fn fleet_rejects_unknown_route_shape_and_flags() {
+    assert_rejects(
+        &["fleet", "--models", "lenet5", "--route", "zig"],
+        &[
+            "unknown route policy `zig`",
+            "weighted|least-loaded|model-affinity",
+        ],
+    );
+    assert_rejects(
+        &["fleet", "--models", "lenet5", "--shape", "square"],
+        &[
+            "unknown traffic shape `square`",
+            "steady|diurnal|bursty|flash-crowd",
+        ],
+    );
+    // serve's flag is not fleet's flag: workers live in the pool spec.
+    assert_rejects(
+        &["fleet", "--models", "lenet5", "--workers", "2"],
+        &["unknown flag `--workers`", "--pools"],
+    );
+    assert_rejects(&["fleet", "lenet5"], &["unexpected argument `lenet5`"]);
+}
+
+#[test]
+fn fleet_rejects_homeless_models_and_misclassed_pools() {
+    // Every --models entry needs a home in some pool's models= subset.
+    assert_rejects(
+        &[
+            "fleet",
+            "--models",
+            "lenet5,resnet18",
+            "--pools",
+            "nv_small:models=lenet5",
+        ],
+        &["is resident in no pool"],
+    );
+    // nv_small silicon cannot host the nv_full-only zoo models.
+    assert_rejects(
+        &[
+            "fleet",
+            "--models",
+            "alexnet",
+            "--pools",
+            "nv_small:workers=1",
+        ],
+        &["nv_full-only"],
+    );
+    // Inverted autoscaler thresholds would flap forever.
+    assert_rejects(
+        &[
+            "fleet",
+            "--models",
+            "lenet5",
+            "--scale-up-below",
+            "90",
+            "--scale-down-above",
+            "50",
+        ],
+        &["--scale-up-below", "--scale-down-above"],
+    );
+}
+
 /// Run the built binary; return (success, stdout) — for commands whose
 /// *output* is the contract, not their error path.
 fn rv_nvdla_stdout(args: &[&str]) -> (bool, String) {

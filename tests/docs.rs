@@ -1,10 +1,12 @@
 //! Docs-consistency checks, run as a tier-1 test and as a dedicated CI
 //! step: every intra-repo markdown link must resolve to a real file,
-//! and every `rv-nvdla` subcommand a document names must exist in the
-//! binary's `--help` (usage) output — documentation can't drift from
-//! the CLI it describes.
+//! every `rv-nvdla` subcommand a document names must exist in the
+//! binary's `--help` (usage) output, and every `--flag` a document
+//! names for a subcommand must exist in that subcommand's strict
+//! `validate_args` rejection list — documentation can't drift from the
+//! CLI it describes, down to the flag grammar.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::PathBuf;
 use std::process::Command;
 
@@ -120,6 +122,144 @@ fn mentioned_subcommands(text: &str) -> BTreeSet<String> {
         }
     }
     out
+}
+
+/// The subcommands that accept flags at all. `traces`, `resources` and
+/// `models` take no arguments, so no document can name flags for them.
+const FLAGGED_COMMANDS: [&str; 6] = ["compile", "run", "sweep", "batch", "serve", "fleet"];
+
+/// Flags a subcommand accepts, parsed from its own strict-validation
+/// rejection message: feeding it a flag that cannot exist makes
+/// `validate_args` answer with the full `(accepted: ...)` list, so the
+/// source of truth is the binary itself, not a copy of its tables.
+fn accepted_flags(cmd: &str) -> BTreeSet<String> {
+    let out = Command::new(env!("CARGO_BIN_EXE_rv-nvdla"))
+        .args([cmd, "--no-such-flag-drift-probe"])
+        .output()
+        .unwrap_or_else(|e| panic!("run rv-nvdla {cmd}: {e}"));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let start = stderr
+        .find("accepted: ")
+        .unwrap_or_else(|| panic!("`{cmd}` rejection must list accepted flags, got:\n{stderr}"))
+        + "accepted: ".len();
+    let end = stderr[start..]
+        .find(')')
+        .map_or(stderr.len(), |i| start + i);
+    stderr[start..end].split(", ").map(str::to_string).collect()
+}
+
+/// Extract `--flag` tokens from a line: a `--` run preceded by line
+/// start, whitespace or markdown/grammar punctuation, followed by a
+/// letter, spanning `[a-z0-9-]`. Prose em-dashes (` — `, `--` between
+/// words) don't match; `[--pools ...]` usage grammar does.
+fn flag_tokens(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while let Some(j) = line[i..].find("--") {
+        let at = i + j;
+        let boundary = at == 0
+            || matches!(
+                bytes[at - 1],
+                b' ' | b'\t' | b'`' | b'(' | b'[' | b'|' | b'"' | b'\''
+            );
+        let token: String = line[at..]
+            .chars()
+            .take_while(|&c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+            .collect();
+        i = at + token.len().max(2);
+        if boundary && token.len() > 2 && token[2..].starts_with(|c: char| c.is_ascii_lowercase()) {
+            out.push(token.trim_end_matches('-').to_string());
+        }
+    }
+    out
+}
+
+/// File-level scope markers: `<!-- rv-nvdla-flags: CMD -->` declares
+/// that bare `--flag` mentions in this document (outside `cargo` lines
+/// and lines that name a subcommand explicitly) belong to CMD's
+/// grammar.
+fn marker_commands(text: &str, file: &std::path::Path) -> Vec<String> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(rest) = line.trim().strip_prefix("<!-- rv-nvdla-flags:") else {
+            continue;
+        };
+        let cmd = rest.trim_end_matches("-->").trim();
+        assert!(
+            FLAGGED_COMMANDS.contains(&cmd),
+            "{}: flag marker names unknown subcommand `{cmd}`",
+            file.display()
+        );
+        out.push(cmd.to_string());
+    }
+    out
+}
+
+#[test]
+fn documented_flags_exist_in_the_cli() {
+    let accepted: BTreeMap<&str, BTreeSet<String>> = FLAGGED_COMMANDS
+        .iter()
+        .map(|&cmd| (cmd, accepted_flags(cmd)))
+        .collect();
+    // Parse sanity: the probe really extracted the rejection lists.
+    assert!(
+        accepted["serve"].contains("--rate"),
+        "{:?}",
+        accepted["serve"]
+    );
+    assert!(
+        accepted["fleet"].contains("--pools"),
+        "{:?}",
+        accepted["fleet"]
+    );
+
+    let mut drift = Vec::new();
+    for file in doc_files() {
+        // The changelog narrates historical flag grammars (and flags of
+        // several subcommands on one line); it is not a contract about
+        // the current CLI. Links and subcommand names are still checked.
+        if file.file_name().is_some_and(|n| n == "CHANGES.md") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&file)
+            .unwrap_or_else(|e| panic!("read {}: {e}", file.display()));
+        let markers = marker_commands(&text, &file);
+        for (n, line) in text.lines().enumerate() {
+            // Lines invoking cargo talk about cargo's flags, not ours.
+            if line.contains("cargo ") {
+                continue;
+            }
+            let line_cmds: Vec<String> = FLAGGED_COMMANDS
+                .iter()
+                .filter(|c| line.contains(&format!("rv-nvdla {c}")))
+                .map(|c| (*c).to_string())
+                .collect();
+            let scope = if line_cmds.is_empty() {
+                &markers
+            } else {
+                &line_cmds
+            };
+            if scope.is_empty() {
+                continue;
+            }
+            for flag in flag_tokens(line) {
+                if !scope.iter().any(|c| accepted[c.as_str()].contains(&flag)) {
+                    drift.push(format!(
+                        "{}:{}: `{flag}` is not a flag of `{}`",
+                        file.display(),
+                        n + 1,
+                        scope.join("`/`"),
+                    ));
+                }
+            }
+        }
+    }
+    assert!(
+        drift.is_empty(),
+        "documents name flags the CLI would reject:\n{}",
+        drift.join("\n")
+    );
 }
 
 #[test]

@@ -1,0 +1,319 @@
+//! Fleet-subsystem oracles: the balancer/autoscaler simulation obeys
+//! its invariants on arbitrary synthetic fleets, and a real 2-pool
+//! heterogeneous fleet (nv_small + nv_full) replays its plan on real
+//! SoCs with divergence 0 under every routing policy.
+//!
+//! * **Conservation** — every offered request resolves exactly once:
+//!   `offered == shed + Σ_pool (served + dropped)`, and per pool
+//!   `routed == served + dropped`.
+//! * **Residency** — `model-affinity` (and every other policy) only
+//!   ever routes a request to a pool where its model is resident.
+//! * **Autoscaler bounds** — observed worker counts stay within
+//!   `[min_workers, max_workers]` and seeded reruns are bit-identical.
+//! * **Replay exactness** — `Fleet::run` spot-replays sampled windows
+//!   of the dispatch plan on real per-pool SoCs; divergence must be 0
+//!   across policies × heterogeneous pools.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use rv_nvdla::prelude::*;
+use rvnv_soc::fleet::{self, FleetOutcome, PoolProfile, SocClass};
+use rvnv_soc::serve::ServiceModel;
+
+const HZ: u64 = 100_000_000;
+
+/// A synthetic pool profile with uniform service cost (zero preload,
+/// `svc` compute) over the given global model residency.
+fn flat_profile(svc: u64, models: Vec<usize>) -> PoolProfile {
+    let n = models.len();
+    PoolProfile {
+        service: ServiceModel {
+            preload: vec![0; n],
+            fill: vec![0; n],
+            compute: vec![svc; n],
+            compute_with: vec![vec![svc; n]; n],
+            preload_done: vec![vec![0; n]; n],
+            rewarm: 10 * svc,
+        },
+        models,
+    }
+}
+
+fn model_names(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("m{i}")).collect()
+}
+
+fn shape_of(ix: usize) -> TrafficShape {
+    [
+        TrafficShape::Steady,
+        TrafficShape::Diurnal,
+        TrafficShape::Bursty,
+        TrafficShape::FlashCrowd,
+    ][ix % 4]
+}
+
+fn route_of(ix: usize) -> RoutePolicy {
+    [
+        RoutePolicy::Weighted,
+        RoutePolicy::LeastLoaded,
+        RoutePolicy::ModelAffinity,
+    ][ix % 3]
+}
+
+proptest! {
+    /// Every offered request resolves exactly once, whatever the pool
+    /// shapes, service costs, routing policy, traffic shape or load.
+    #[test]
+    fn conservation_offered_splits_into_served_dropped_shed(
+        pool_params in proptest::collection::vec(
+            (1usize..4, 1usize..6, 100_000u64..2_000_000), 1..4),
+        route_ix in 0usize..3,
+        shape_ix in 0usize..4,
+        rate in 50u64..800,
+        seed in 0u64..1000,
+    ) {
+        let models = 2;
+        let pools: Vec<PoolSpec> = pool_params.iter().map(|&(w, q, _)| PoolSpec {
+            workers: w,
+            min_workers: w,
+            max_workers: w,
+            queue_depth: q,
+            ..PoolSpec::default()
+        }).collect();
+        let profiles: Vec<PoolProfile> = pool_params
+            .iter()
+            .map(|&(_, _, svc)| flat_profile(svc, (0..models).collect()))
+            .collect();
+        let spec = FleetSpec {
+            pools,
+            route: route_of(route_ix),
+            shape: shape_of(shape_ix),
+            rate_rps: rate,
+            duration_ms: 100,
+            seed,
+            slo_us: 1_000,
+            ..FleetSpec::default()
+        };
+        let names = model_names(models);
+        let trace = fleet::shaped_trace(
+            spec.shape, spec.rate_rps, spec.duration_cycles(HZ), models, spec.seed, HZ);
+        let offered = trace.requests.len() as u64;
+        let r = fleet::simulate(&trace, &profiles, &spec, &names, HZ);
+        prop_assert_eq!(r.offered, offered);
+        let routed: u64 = r.per_pool.iter().map(|p| p.routed).sum();
+        prop_assert_eq!(r.offered, r.shed + routed, "balancer books must balance");
+        for p in &r.per_pool {
+            prop_assert_eq!(p.routed, p.served + p.dropped, "pool books must balance");
+        }
+        prop_assert_eq!(r.served + r.dropped + r.shed, r.offered);
+        prop_assert_eq!(r.records.len() as u64, offered, "one record per request");
+    }
+
+    /// No routing policy ever places a request in a pool that does not
+    /// host its model — residency is structural, not probabilistic.
+    #[test]
+    fn routing_never_leaves_a_models_resident_pools(
+        subset_bits in proptest::collection::vec(1usize..8, 1..3),
+        route_ix in 0usize..3,
+        rate in 100u64..600,
+        seed in 0u64..1000,
+    ) {
+        let models = 3;
+        // Pool 0 hosts everything (every model needs a home); the rest
+        // host arbitrary nonempty subsets.
+        let mut residency: Vec<Vec<usize>> = vec![(0..models).collect()];
+        residency.extend(subset_bits.iter().map(|bits| {
+            (0..models).filter(|m| bits & (1 << m) != 0).collect::<Vec<_>>()
+        }));
+        let pools: Vec<PoolSpec> = residency.iter().enumerate().map(|(i, res)| PoolSpec {
+            models: if i == 0 { None } else { Some(res.clone()) },
+            queue_depth: 4,
+            ..PoolSpec::default()
+        }).collect();
+        let profiles: Vec<PoolProfile> = residency
+            .iter()
+            .map(|res| flat_profile(400_000, res.clone()))
+            .collect();
+        let spec = FleetSpec {
+            pools,
+            route: route_of(route_ix),
+            rate_rps: rate,
+            duration_ms: 100,
+            seed,
+            slo_us: 1_000,
+            ..FleetSpec::default()
+        };
+        let names = model_names(models);
+        let trace = fleet::shaped_trace(
+            spec.shape, spec.rate_rps, spec.duration_cycles(HZ), models, spec.seed, HZ);
+        let r = fleet::simulate(&trace, &profiles, &spec, &names, HZ);
+        for rec in &r.records {
+            let pool = match rec.outcome {
+                FleetOutcome::Served { pool, .. } | FleetOutcome::Dropped { pool } => pool,
+                FleetOutcome::Shed => continue,
+            };
+            prop_assert!(
+                residency[pool].contains(&rec.model),
+                "request for model {} landed in pool {} with residency {:?}",
+                rec.model, pool, residency[pool]
+            );
+        }
+    }
+
+    /// The autoscaler never leaves `[min, max]`, and the whole seeded
+    /// experiment is bit-identical run-to-run.
+    #[test]
+    fn autoscaler_stays_in_bounds_and_reruns_bit_identically(
+        workers in 1usize..3,
+        headroom in 0usize..4,
+        shape_ix in 0usize..4,
+        rate in 200u64..2000,
+        seed in 0u64..1000,
+    ) {
+        let pools = vec![PoolSpec {
+            workers,
+            min_workers: 1,
+            max_workers: workers + headroom,
+            queue_depth: 8,
+            ..PoolSpec::default()
+        }];
+        let profiles = vec![flat_profile(600_000, vec![0, 1])];
+        let spec = FleetSpec {
+            pools,
+            shape: shape_of(shape_ix),
+            rate_rps: rate,
+            duration_ms: 150,
+            seed,
+            slo_us: 10_000,
+            scale_window_ms: 10,
+            ..FleetSpec::default()
+        };
+        let names = model_names(2);
+        let trace = fleet::shaped_trace(
+            spec.shape, spec.rate_rps, spec.duration_cycles(HZ), 2, spec.seed, HZ);
+        let a = fleet::simulate(&trace, &profiles, &spec, &names, HZ);
+        let p = &a.per_pool[0];
+        prop_assert!(p.workers_low >= 1, "never scales to zero");
+        prop_assert!(p.workers_high <= workers + headroom, "never exceeds max");
+        prop_assert!(p.workers_low <= p.workers_high);
+        prop_assert!(
+            (p.workers_low..=p.workers_high).contains(&p.workers_final),
+            "final count within the observed envelope"
+        );
+        let b = fleet::simulate(&trace, &profiles, &spec, &names, HZ);
+        prop_assert_eq!(a, b, "seeded fleet sim must be deterministic");
+    }
+}
+
+/// One compiled + calibrated heterogeneous fleet shared by the replay
+/// tests (two classes × two models of real calibration is the
+/// expensive part — do it once).
+fn fleet2() -> (&'static Fleet, FleetSpec) {
+    static FLEET: OnceLock<Fleet> = OnceLock::new();
+    let spec = FleetSpec {
+        pools: vec![
+            PoolSpec {
+                class: SocClass::NvSmall,
+                workers: 2,
+                min_workers: 2,
+                max_workers: 2,
+                queue_depth: 8,
+                models: None,
+            },
+            PoolSpec {
+                class: SocClass::NvFull,
+                workers: 1,
+                min_workers: 1,
+                max_workers: 1,
+                queue_depth: 8,
+                models: None,
+            },
+        ],
+        rate_rps: 300,
+        duration_ms: 150,
+        seed: 42,
+        slo_us: 20_000,
+        spot_windows: 3,
+        window_frames: 16,
+        ..FleetSpec::default()
+    };
+    let fleet = FLEET.get_or_init(|| {
+        let mut opt = CompileOptions::int8();
+        opt.calib_inputs = 1;
+        let nets = [Model::LeNet5.build(1), Model::ResNet18.build(1)];
+        let codegen = CodegenOptions {
+            wait_mode: WaitMode::Wfi,
+            ..CodegenOptions::default()
+        };
+        Fleet::new(&nets, &opt, codegen, &spec).expect("calibrate fleet")
+    });
+    (fleet, spec)
+}
+
+#[test]
+fn heterogeneous_replay_is_exact_for_every_route_policy() {
+    let (fleet, base) = fleet2();
+    for route in [
+        RoutePolicy::Weighted,
+        RoutePolicy::LeastLoaded,
+        RoutePolicy::ModelAffinity,
+    ] {
+        let spec = FleetSpec {
+            route,
+            ..base.clone()
+        };
+        let r = fleet.run(&spec).expect("fleet run");
+        assert!(r.served > 0, "{}: nothing served", route.name());
+        assert!(r.replayed_frames > 0, "{}: nothing replayed", route.name());
+        assert_eq!(
+            r.replay_divergence,
+            0,
+            "{}: spot-replay must be cycle-exact on both pool classes",
+            route.name()
+        );
+        assert!(
+            r.per_pool.iter().all(|p| p.routed > 0),
+            "{}: both pools should see traffic",
+            route.name()
+        );
+    }
+}
+
+#[test]
+fn fleet_run_is_deterministic_and_agrees_with_the_plan() {
+    let (fleet, spec) = fleet2();
+    let mut a = fleet.run(&spec).expect("first run");
+    let mut b = fleet.run(&spec).expect("second run");
+    a.host_seconds = 0.0;
+    b.host_seconds = 0.0;
+    assert_eq!(a, b, "fixed seed must reproduce the full fleet report");
+    // The plan-only path models the same fleet; only the replay
+    // bookkeeping differs.
+    let mut p = fleet.plan(&spec).expect("plan");
+    p.host_seconds = 0.0;
+    p.replayed_frames = a.replayed_frames;
+    assert_eq!(a, p, "plan and spot-replayed run must agree");
+}
+
+#[test]
+fn nv_full_pool_is_calibrated_faster_than_nv_small() {
+    let (fleet, _) = fleet2();
+    let small = fleet.pool_profile(0);
+    let full = fleet.pool_profile(1);
+    // Same global models resident in both pools, in the same order.
+    assert_eq!(small.models, full.models);
+    for (lm, (s, f)) in small
+        .service
+        .compute
+        .iter()
+        .zip(&full.service.compute)
+        .enumerate()
+    {
+        assert!(
+            f < s,
+            "model {lm}: nv_full compute {f} should beat nv_small {s}"
+        );
+    }
+}
