@@ -233,17 +233,12 @@ impl<T> FaultInjector<T> {
     }
 }
 
-/// SplitMix64 mix function (Steele, Lea, Flood 2014) — the same core
-/// the vendored `rand` stub uses, inlined here so `rvnv_bus` keeps
-/// zero dependencies. Public so higher layers (the serving simulator's
-/// per-attempt fault lottery) can share the exact same mixer instead
-/// of growing a second, subtly different one.
-pub fn mix64(x: u64) -> u64 {
-    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+/// SplitMix64 mix function (Steele, Lea, Flood 2014) — now the
+/// workspace-shared copy in `rvnv_util`, re-exported under its old
+/// path so higher layers (the serving simulator's per-attempt fault
+/// lottery, the fabric fuzz fingerprints) keep the exact same mixer
+/// without growing a second, subtly different one.
+pub use rvnv_util::mix64;
 
 impl<T: Target> Target for FaultInjector<T> {
     fn access(&mut self, req: &Request, now: Cycle) -> Result<Response, BusError> {

@@ -34,26 +34,23 @@ use rvnv_bus::fault::{mix64, FaultInjector, FaultKind, FaultPlan};
 use rvnv_bus::smartconnect::{Side, SmartConnect};
 use rvnv_bus::width::WidthConverter;
 use rvnv_bus::{AccessSize, BusError, Cycle, MasterId, Request, Reset, Target};
+use rvnv_util::SplitMix64;
 
-/// xorshift64* — deterministic, dependency-free stream generator.
-struct Rng(u64);
+/// Seeded stream generator over the shared SplitMix64 core, with the
+/// domain helpers this suite wants.
+struct Rng(SplitMix64);
 
 impl Rng {
     fn new(seed: u64) -> Self {
-        Rng(seed | 1)
+        Rng(SplitMix64::new(seed))
     }
 
     fn next(&mut self) -> u64 {
-        let mut x = self.0;
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        self.0 = x;
-        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        self.0.next_u64()
     }
 
     fn below(&mut self, n: u64) -> u64 {
-        self.next() % n
+        self.0.below(n)
     }
 
     fn master(&mut self) -> MasterId {
@@ -690,4 +687,28 @@ fn regression_fault_stream_survives_board_reset() {
     mux_of(&mut path).switch_to(Side::Soc);
     let resp = path.access(&Request::read32(0), 0).unwrap();
     assert_eq!(resp.data, 0);
+}
+
+/// Promoted from `rv-nvdla fuzz bus` (the planted-mutation shakedown,
+/// base seed 0): shrinking reduced a mispredicted program to a single
+/// 8-byte read at `0x1cbc6a` on a 1 MiB DRAM — an address that is both
+/// misaligned *and* out of range. The fabric checks alignment before
+/// range, so the typed error must be `Misaligned`, never `OutOfRange`;
+/// any mirror predicting in the other order is wrong.
+#[test]
+fn regression_alignment_outranks_range_in_error_precedence() {
+    let mut dram = Dram::new(1 << 20, DramTiming::mig_ddr4());
+    let err = dram
+        .access(&Request::read(0x001c_bc6a, AccessSize::Double), 0)
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            BusError::Misaligned {
+                addr: 0x001c_bc6a,
+                align: 8
+            }
+        ),
+        "want Misaligned before OutOfRange, got {err}"
+    );
 }

@@ -1,0 +1,86 @@
+//! Property tests for multi-model DRAM layout, driven by the shared
+//! `rvnv_fuzz` generator library: stacking randomized models with
+//! `at_dram_base` must give every model a private, in-bounds footprint
+//! `[dram_base, dram_used)` — footprints never overlap, and relocating
+//! a model never changes its footprint size.
+
+use rvnv_compiler::{compile, CompileOptions};
+use rvnv_fuzz::gen;
+
+/// The batch layout alignment (`rvnv_soc::batch` aligns stacked model
+/// bases to 4 KiB); mirrored here so the compiler-level property is
+/// checked under the same packing the schedulers use.
+const MODEL_BASE_ALIGN: u32 = 4096;
+
+fn options() -> CompileOptions {
+    let mut opt = CompileOptions::int8();
+    opt.calib_inputs = 1;
+    opt
+}
+
+/// Compile three random models stacked end to end; every pair of
+/// footprints must be disjoint and the last must stay in bounds.
+#[test]
+fn stacked_random_models_get_disjoint_footprints() {
+    for seed in 0..24u64 {
+        let nets: Vec<_> = (0..3)
+            .map(|k| {
+                gen::net_plan(seed * 3 + k)
+                    .build()
+                    .unwrap_or_else(|e| panic!("seed {seed}.{k}: {e}"))
+            })
+            .collect();
+        let mut base = 0u32;
+        let mut footprints: Vec<(u32, u32)> = Vec::new();
+        for (k, net) in nets.iter().enumerate() {
+            let Ok(artifacts) = compile(net, &options().at_dram_base(base)) else {
+                // A random model can legitimately exhaust DRAM at a high
+                // base; out-of-memory is a clean refusal, not overlap.
+                continue;
+            };
+            assert_eq!(artifacts.dram_base, base, "seed {seed}.{k}: base ignored");
+            assert!(
+                artifacts.dram_used >= artifacts.dram_base,
+                "seed {seed}.{k}: negative footprint"
+            );
+            assert!(
+                artifacts.dram_used <= options().dram_bytes,
+                "seed {seed}.{k}: footprint {:#x} beyond DRAM",
+                artifacts.dram_used
+            );
+            footprints.push((artifacts.dram_base, artifacts.dram_used));
+            base = artifacts
+                .dram_used
+                .div_ceil(MODEL_BASE_ALIGN)
+                .saturating_mul(MODEL_BASE_ALIGN);
+        }
+        for (i, &(b1, u1)) in footprints.iter().enumerate() {
+            for &(b2, u2) in &footprints[i + 1..] {
+                assert!(
+                    u1 <= b2 || u2 <= b1,
+                    "seed {seed}: footprints [{b1:#x},{u1:#x}) and [{b2:#x},{u2:#x}) overlap"
+                );
+            }
+        }
+    }
+}
+
+/// Relocating a model must shift its footprint rigidly: identical
+/// size at base 0 and at a high base.
+#[test]
+fn relocation_preserves_footprint_size() {
+    for seed in 0..24u64 {
+        let net = gen::net_plan(seed)
+            .build()
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let at0 = compile(&net, &options()).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let base = 1 << 22;
+        let hi = compile(&net, &options().at_dram_base(base))
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert_eq!(
+            hi.dram_used - hi.dram_base,
+            at0.dram_used - at0.dram_base,
+            "seed {seed}: relocation changed the footprint size"
+        );
+    }
+}

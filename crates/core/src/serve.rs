@@ -72,9 +72,9 @@ use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rvnv_bus::fault::mix64;
 use rvnv_compiler::codegen::CodegenOptions;
 use rvnv_compiler::Artifacts;
+use rvnv_util::mix64;
 
 use crate::batch::{input_slots, BatchError, BatchScheduler, PipelinedScheduler, Policy};
 use crate::firmware::Firmware;

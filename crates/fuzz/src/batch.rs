@@ -1,0 +1,164 @@
+//! `batch` target: random interleaved frame streams drained twice over
+//! the same two resident models — serially and pipelined — must serve
+//! the same frames in the same order with **bit-identical output
+//! bytes** (the overlapped preload moves cycles, never data), and the
+//! pipelined drain can only add contention cycles to a frame, never
+//! remove them. The `tests/batch.rs` oracles, under random streams.
+//!
+//! Policies are restricted to rr/sqf: both pick by queue state alone,
+//! so the serial and pipelined drains provably serve identical orders
+//! and frames can be compared one-to-one. (`eff` orders by finish-time
+//! predictions that legitimately differ between the two drains.)
+
+use std::sync::{Arc, OnceLock};
+
+use rvnv_compiler::codegen::CodegenOptions;
+use rvnv_compiler::{ArtifactCache, Artifacts, CompileOptions};
+use rvnv_nn::tensor::{Shape, Tensor};
+use rvnv_nn::zoo::Model;
+use rvnv_soc::batch::{self, BatchScheduler, PipelinedScheduler, Policy};
+use rvnv_soc::soc::SocConfig;
+use rvnv_util::SplitMix64;
+
+use crate::{shrink, FuzzTarget};
+
+/// A random batch case: the frame stream plus the scheduling policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchCase {
+    /// `(model index, input seed)` in enqueue order.
+    pub frames: Vec<(usize, u64)>,
+    /// 0 = round-robin, 1 = shortest-queue-first.
+    pub policy: u8,
+}
+
+/// Two distinct LeNet-5 compilations laid out at disjoint DRAM bases,
+/// shared across every case (compiling per case would dominate).
+fn artifacts() -> &'static Vec<Arc<Artifacts>> {
+    static ARTIFACTS: OnceLock<Vec<Arc<Artifacts>>> = OnceLock::new();
+    ARTIFACTS.get_or_init(|| {
+        let mut opt = CompileOptions::int8();
+        opt.calib_inputs = 1;
+        let cache = ArtifactCache::new();
+        let nets = [Model::LeNet5.build(1), Model::LeNet5.build(2)];
+        batch::layout_models(&cache, &nets, &opt).expect("layout two lenets")
+    })
+}
+
+fn input_shape() -> Shape {
+    Model::LeNet5.build(1).input_shape()
+}
+
+/// The serial-vs-pipelined byte-equality target.
+pub struct BatchTarget;
+
+impl FuzzTarget for BatchTarget {
+    type Input = BatchCase;
+    const NAME: &'static str = "batch";
+
+    fn generate(&self, seed: u64) -> BatchCase {
+        let mut rng = SplitMix64::new(seed);
+        let policy = rng.below(2) as u8;
+        BatchCase {
+            frames: crate::gen::frame_stream(rng.next_u64(), 2, 6),
+            policy,
+        }
+    }
+
+    fn check(&self, case: &BatchCase) -> Result<(), String> {
+        if case.frames.is_empty() {
+            return Ok(());
+        }
+        let artifacts = artifacts();
+        let shape = input_shape();
+        let config = SocConfig::zcu102_nv_small();
+        let codegen = CodegenOptions::default();
+        let policy = if case.policy == 0 {
+            Policy::RoundRobin
+        } else {
+            Policy::ShortestQueueFirst
+        };
+        let frames: Vec<(usize, Vec<u8>)> = case
+            .frames
+            .iter()
+            .map(|&(m, seed)| {
+                let input = Tensor::random(shape, seed);
+                (m, artifacts[m].quantize_input(&input))
+            })
+            .collect();
+
+        let mut serial = Vec::new();
+        let mut sched = BatchScheduler::new(config.clone(), policy);
+        for a in artifacts {
+            sched
+                .add_model(a.clone(), codegen)
+                .map_err(|e| format!("serial pin: {e}"))?;
+        }
+        for (m, b) in &frames {
+            sched
+                .enqueue_bytes(*m, b.clone())
+                .map_err(|e| format!("serial enqueue: {e}"))?;
+        }
+        sched
+            .run_with(|m, r| serial.push((m, r.raw_output.clone(), r.cycles)))
+            .map_err(|e| format!("serial drain: {e}"))?;
+
+        let mut piped = Vec::new();
+        let mut sched = PipelinedScheduler::new(config, policy);
+        for a in artifacts {
+            sched
+                .add_model(a.clone(), codegen)
+                .map_err(|e| format!("pipelined pin: {e}"))?;
+        }
+        for (m, b) in &frames {
+            sched
+                .enqueue_bytes(*m, b.clone())
+                .map_err(|e| format!("pipelined enqueue: {e}"))?;
+        }
+        sched
+            .run_with(|m, r| piped.push((m, r.raw_output.clone(), r.cycles)))
+            .map_err(|e| format!("pipelined drain: {e}"))?;
+
+        if serial.len() != piped.len() {
+            return Err(format!(
+                "frame counts diverged: serial {} vs pipelined {}",
+                serial.len(),
+                piped.len()
+            ));
+        }
+        for (i, ((ms, raw_s, cyc_s), (mp, raw_p, cyc_p))) in serial.iter().zip(&piped).enumerate() {
+            if ms != mp {
+                return Err(format!(
+                    "service order diverged at frame {i}: serial model {ms}, pipelined {mp}"
+                ));
+            }
+            if raw_s != raw_p {
+                return Err(format!(
+                    "output bytes diverged at frame {i} (model {ms}): pipelined drain \
+                     must be bit-identical to serial"
+                ));
+            }
+            if cyc_p < cyc_s {
+                return Err(format!(
+                    "frame {i}: pipelined cycles {cyc_p} < serial {cyc_s} \
+                     (contention can only add compute cycles)"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn shrink(&self, input: BatchCase, fails: &dyn Fn(&BatchCase) -> bool) -> BatchCase {
+        let policy = input.policy;
+        let frames = shrink::shrink_elements(input.frames, |fs| {
+            fails(&BatchCase {
+                frames: fs.to_vec(),
+                policy,
+            })
+        });
+        BatchCase { frames, policy }
+    }
+
+    fn size(input: &BatchCase) -> usize {
+        input.frames.len()
+    }
+}

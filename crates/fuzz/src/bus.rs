@@ -1,0 +1,334 @@
+//! `bus` target: seeded random programs over the SoC's composed DRAM
+//! path — `Arbiter<ClockCrossing<SmartConnect<FaultInjector<Dram>>>>`
+//! — checked against a host-side predicting mirror, the style of
+//! `crates/bus/tests/fuzz_fabric.rs` made shrinkable: the program is
+//! plain data ([`BusOp`] steps), so the delete-chunk pass can drop
+//! steps and replay the remainder against a freshly-predicted mirror.
+//!
+//! Invariants per program: hostile accesses fail only with the exact
+//! typed [`BusError`] the mirror predicts, successful reads match a
+//! shadow DRAM byte-for-byte, completion times never run backwards,
+//! the arbiter/DRAM counters conserve, and a second execution of the
+//! same program produces a bit-identical event fingerprint.
+
+use rvnv_bus::arbiter::Arbiter;
+use rvnv_bus::cdc::ClockCrossing;
+use rvnv_bus::dram::{Dram, DramTiming};
+use rvnv_bus::fault::FaultInjector;
+use rvnv_bus::smartconnect::{Side, SmartConnect};
+use rvnv_bus::{AccessSize, BusError, Cycle, MasterId, Request, Reset, Target};
+use rvnv_util::mix64;
+
+use crate::gen::{self, BusOp, BUS_DRAM_BYTES};
+use crate::{shrink, FuzzTarget};
+
+type DramPath = Arbiter<ClockCrossing<SmartConnect<FaultInjector<Dram>>>>;
+
+fn build_path() -> DramPath {
+    let dram = Dram::new(BUS_DRAM_BYTES, DramTiming::mig_ddr4());
+    let mux = SmartConnect::new(FaultInjector::new(dram));
+    Arbiter::new(ClockCrossing::new(mux, 100_000_000, 100_000_000, 2))
+}
+
+fn mux_of(path: &mut DramPath) -> &mut SmartConnect<FaultInjector<Dram>> {
+    path.downstream_mut().downstream_mut()
+}
+
+const MASTERS: [MasterId; 3] = [MasterId::Cpu, MasterId::NvdlaDbb, MasterId::ZynqPs];
+const SIZES: [AccessSize; 4] = [
+    AccessSize::Byte,
+    AccessSize::Half,
+    AccessSize::Word,
+    AccessSize::Double,
+];
+
+fn side_of(master: MasterId) -> Side {
+    match master {
+        MasterId::ZynqPs => Side::ZynqPs,
+        MasterId::Cpu | MasterId::NvdlaDbb => Side::Soc,
+    }
+}
+
+fn midx(master: MasterId) -> usize {
+    match master {
+        MasterId::Cpu => 0,
+        MasterId::NvdlaDbb => 1,
+        MasterId::ZynqPs => 2,
+    }
+}
+
+/// What the mirror predicts for one single-beat transaction, in fabric
+/// order: the SmartConnect gates on ownership, then DRAM checks
+/// alignment, then range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Expect {
+    Ok,
+    WrongSide,
+    Misaligned(u32),
+    OutOfRange,
+}
+
+/// Deliberate oracle mutations, used only by the harness's own
+/// planted-bug tests to prove the fuzzer catches and shrinks a real
+/// oracle violation. Never set outside tests.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mutation {
+    /// The faithful mirror.
+    #[default]
+    None,
+    /// Predict that misaligned single beats succeed — the mirror bug
+    /// the fuzzer must catch and shrink to a one-op program.
+    IgnoreAlignment,
+}
+
+/// The predicting-mirror fabric target.
+#[derive(Default)]
+pub struct BusTarget {
+    /// Planted-bug knob for the harness's own tests.
+    #[doc(hidden)]
+    pub mutation: Mutation,
+}
+
+impl BusTarget {
+    fn classify(&self, owner: Side, master: MasterId, addr: u32, size: AccessSize) -> Expect {
+        let n = size.bytes();
+        if side_of(master) != owner {
+            Expect::WrongSide
+        } else if !addr.is_multiple_of(n) && self.mutation != Mutation::IgnoreAlignment {
+            Expect::Misaligned(n)
+        } else if addr as usize + n as usize > BUS_DRAM_BYTES {
+            Expect::OutOfRange
+        } else {
+            Expect::Ok
+        }
+    }
+
+    /// Execute the program once, checking every prediction, and return
+    /// the event fingerprint.
+    fn execute(&self, ops: &[BusOp]) -> Result<u64, String> {
+        let mut path = build_path();
+        mux_of(&mut path).switch_to(Side::Soc);
+        let mut owner = Side::Soc;
+        let mut shadow = vec![0u8; BUS_DRAM_BYTES];
+        let mut attempts = [0u64; 3];
+        let mut ok_bytes = [0u64; 3];
+        let (mut singles_ok, mut bursts_ok) = (0u64, 0u64);
+        let mut now: Cycle = 0;
+        let mut fp = 0u64;
+        for (i, op) in ops.iter().enumerate() {
+            match *op {
+                BusOp::Single {
+                    master,
+                    write,
+                    addr,
+                    size,
+                    data,
+                } => {
+                    let master = MASTERS[master as usize % 3];
+                    let size = SIZES[size as usize % 4];
+                    let n = size.bytes();
+                    let req = if write {
+                        Request::write(addr, data, size)
+                    } else {
+                        Request::read(addr, size)
+                    }
+                    .with_master(master);
+                    let expect = self.classify(owner, master, addr, size);
+                    let mi = midx(master);
+                    attempts[mi] += 1;
+                    match path.access(&req, now) {
+                        Ok(resp) => {
+                            if expect != Expect::Ok {
+                                return Err(format!(
+                                    "op {i}: mirror predicted {expect:?} at {addr:#x}, \
+                                     fabric succeeded"
+                                ));
+                            }
+                            if resp.done_at < now {
+                                return Err(format!("op {i}: time ran backwards"));
+                            }
+                            let (o, n) = (addr as usize, n as usize);
+                            if write {
+                                shadow[o..o + n].copy_from_slice(&data.to_le_bytes()[..n]);
+                            } else {
+                                let mut want = [0u8; 8];
+                                want[..n].copy_from_slice(&shadow[o..o + n]);
+                                if resp.data != u64::from_le_bytes(want) {
+                                    return Err(format!(
+                                        "op {i}: read at {addr:#x} diverged from the shadow \
+                                         model ({:#x} != {:#x})",
+                                        resp.data,
+                                        u64::from_le_bytes(want)
+                                    ));
+                                }
+                            }
+                            ok_bytes[mi] += n as u64;
+                            singles_ok += 1;
+                            fp = mix64(fp ^ resp.done_at ^ resp.data.rotate_left(17));
+                            now = resp.done_at;
+                        }
+                        Err(e) => {
+                            check_error(expect, addr, &e).map_err(|m| format!("op {i}: {m}"))?;
+                            fp = mix64(fp ^ u64::from(addr));
+                        }
+                    }
+                }
+                BusOp::Burst {
+                    master,
+                    write,
+                    addr,
+                    len,
+                    fill,
+                } => {
+                    // Bursts bypass the ownership gate (the SoC switches
+                    // the mux before streaming), so only range can fail.
+                    let master = MASTERS[master as usize % 3];
+                    let len = len as usize;
+                    let in_range = addr as usize + len <= BUS_DRAM_BYTES;
+                    let mi = midx(master);
+                    attempts[mi] += 1;
+                    let result = if write {
+                        let buf: Vec<u8> = (0..len)
+                            .map(|j| (mix64(fill ^ j as u64) & 0xFF) as u8)
+                            .collect();
+                        let r = path.write_block_as(master, addr, &buf, now);
+                        if r.is_ok() {
+                            shadow[addr as usize..addr as usize + len].copy_from_slice(&buf);
+                        }
+                        r
+                    } else {
+                        let mut buf = vec![0u8; len];
+                        let r = path.read_block_as(master, addr, &mut buf, now);
+                        if r.is_ok() && buf != shadow[addr as usize..addr as usize + len] {
+                            return Err(format!(
+                                "op {i}: burst read at {addr:#x}+{len} diverged from the \
+                                 shadow model"
+                            ));
+                        }
+                        r
+                    };
+                    match result {
+                        Ok(done) => {
+                            if !in_range {
+                                return Err(format!(
+                                    "op {i}: out-of-range burst at {addr:#x}+{len} succeeded"
+                                ));
+                            }
+                            if done < now {
+                                return Err(format!("op {i}: time ran backwards"));
+                            }
+                            ok_bytes[mi] += len as u64;
+                            bursts_ok += 1;
+                            fp = mix64(fp ^ done);
+                            now = done;
+                        }
+                        Err(e) => {
+                            if in_range {
+                                return Err(format!(
+                                    "op {i}: in-range burst at {addr:#x}+{len} failed: {e}"
+                                ));
+                            }
+                            check_error(Expect::OutOfRange, addr, &e)
+                                .map_err(|m| format!("op {i}: {m}"))?;
+                            fp = mix64(fp ^ u64::from(addr));
+                        }
+                    }
+                }
+                BusOp::Switch { soc } => {
+                    let side = if soc { Side::Soc } else { Side::ZynqPs };
+                    mux_of(&mut path).switch_to(side);
+                    owner = side;
+                }
+                BusOp::Reset => {
+                    path.reset();
+                    shadow.fill(0);
+                    owner = Side::ZynqPs;
+                    attempts = [0; 3];
+                    ok_bytes = [0; 3];
+                    singles_ok = 0;
+                    bursts_ok = 0;
+                    // Modeled time is the master's clock; no rewind.
+                }
+                BusOp::Advance(d) => now += u64::from(d),
+            }
+        }
+        // Conservation: the fabric's books against the mirror's.
+        for (mi, master) in MASTERS.iter().enumerate() {
+            let s = path.port_stats(*master);
+            if s.grants != attempts[mi] {
+                return Err(format!(
+                    "grants {} != attempts {} for {master:?}",
+                    s.grants, attempts[mi]
+                ));
+            }
+            if s.bytes != ok_bytes[mi] {
+                return Err(format!(
+                    "bytes {} != moved bytes {} for {master:?}",
+                    s.bytes, ok_bytes[mi]
+                ));
+            }
+        }
+        let dram = mux_of(&mut path).dram_mut().inner().stats();
+        if dram.accesses != singles_ok {
+            return Err(format!(
+                "DRAM beats {} != successful beats {singles_ok}",
+                dram.accesses
+            ));
+        }
+        if dram.bursts != bursts_ok {
+            return Err(format!(
+                "DRAM bursts {} != successful bursts {bursts_ok}",
+                dram.bursts
+            ));
+        }
+        Ok(fp)
+    }
+}
+
+/// Assert an error is the typed variant the mirror predicted, with the
+/// payload a recovery layer would need.
+fn check_error(expect: Expect, addr: u32, err: &BusError) -> Result<(), String> {
+    match (expect, err) {
+        (Expect::WrongSide, BusError::SlaveError { addr: a, .. }) if *a == addr => Ok(()),
+        (Expect::Misaligned(n), BusError::Misaligned { addr: a, align })
+            if (*a, *align) == (addr, n) =>
+        {
+            Ok(())
+        }
+        (Expect::OutOfRange, BusError::OutOfRange { size, .. }) if *size == BUS_DRAM_BYTES => {
+            Ok(())
+        }
+        _ => Err(format!(
+            "mirror predicted {expect:?} at {addr:#x}, fabric returned {err}"
+        )),
+    }
+}
+
+impl FuzzTarget for BusTarget {
+    type Input = Vec<BusOp>;
+    const NAME: &'static str = "bus";
+
+    fn generate(&self, seed: u64) -> Vec<BusOp> {
+        gen::bus_program(seed)
+    }
+
+    fn check(&self, ops: &Vec<BusOp>) -> Result<(), String> {
+        let first = self.execute(ops)?;
+        let second = self.execute(ops)?;
+        if first != second {
+            return Err(format!(
+                "replay diverged: fingerprint {first:#x} then {second:#x}"
+            ));
+        }
+        Ok(())
+    }
+
+    fn shrink(&self, input: Vec<BusOp>, fails: &dyn Fn(&Vec<BusOp>) -> bool) -> Vec<BusOp> {
+        shrink::shrink_elements(input, |xs| fails(&xs.to_vec()))
+    }
+
+    fn size(input: &Vec<BusOp>) -> usize {
+        input.len()
+    }
+}

@@ -1,0 +1,511 @@
+//! The generator library: every random input the differential oracles
+//! consume, derived from one [`SplitMix64`] stream per case so a bare
+//! `u64` seed reproduces any of them bit-for-bit (the same discipline
+//! as `rvnv_bus::fault::FaultPlan`).
+//!
+//! Generators here are shared surface — the fuzz targets in this crate
+//! drive them, and the property suites in `crates/compiler/tests` and
+//! `crates/nn/tests` reuse [`net_plan`] — so the grammar of "a random
+//! small network" or "a random bus program" is defined exactly once.
+
+use rvnv_nn::graph::{ConvParams, Network, Op, PoolKind};
+use rvnv_nn::tensor::{Shape, WeightTensor};
+use rvnv_riscv::encode;
+use rvnv_riscv::inst::{AluOp, BranchOp, CsrOp, Inst, MemWidth, MulOp};
+use rvnv_riscv::reg::Reg;
+use rvnv_util::SplitMix64;
+
+fn reg(rng: &mut SplitMix64) -> Reg {
+    Reg::new(rng.below(32) as u8)
+}
+
+/// A random *valid* instruction, biased toward control flow and memory
+/// so streams actually loop, fault and hammer the decoded-block cache.
+/// Mirrors the distribution the ISS fuzz suite has used since PR 6.
+pub fn valid_inst(rng: &mut SplitMix64) -> Inst {
+    match rng.below(12) {
+        0 => Inst::Lui {
+            rd: reg(rng),
+            imm: rng.next_u32() & 0xFFFF_F000,
+        },
+        1 => Inst::AluImm {
+            op: AluOp::Add,
+            rd: reg(rng),
+            rs1: reg(rng),
+            imm: (rng.below(4096) as i32) - 2048,
+        },
+        2 => Inst::Alu {
+            op: [AluOp::Add, AluOp::Sub, AluOp::Xor, AluOp::And][rng.below(4) as usize],
+            rd: reg(rng),
+            rs1: reg(rng),
+            rs2: reg(rng),
+        },
+        3 => Inst::Mul {
+            op: [MulOp::Mul, MulOp::Mulhu, MulOp::Div, MulOp::Rem][rng.below(4) as usize],
+            rd: reg(rng),
+            rs1: reg(rng),
+            rs2: reg(rng),
+        },
+        4 => Inst::Load {
+            width: [
+                MemWidth::Byte,
+                MemWidth::ByteU,
+                MemWidth::Half,
+                MemWidth::HalfU,
+                MemWidth::Word,
+            ][rng.below(5) as usize],
+            rd: reg(rng),
+            rs1: reg(rng),
+            offset: (rng.below(4096) as i32) - 2048,
+        },
+        5 => Inst::Store {
+            width: [MemWidth::Byte, MemWidth::Half, MemWidth::Word][rng.below(3) as usize],
+            rs1: reg(rng),
+            rs2: reg(rng),
+            offset: (rng.below(4096) as i32) - 2048,
+        },
+        6 => Inst::Branch {
+            op: [BranchOp::Eq, BranchOp::Ne, BranchOp::Ltu, BranchOp::Geu][rng.below(4) as usize],
+            rs1: reg(rng),
+            rs2: reg(rng),
+            // Short even offsets: mostly in-range, some past the end.
+            offset: ((rng.below(32) as i32) - 8) * 4,
+        },
+        7 => Inst::Jal {
+            rd: reg(rng),
+            offset: ((rng.below(64) as i32) - 16) * 4,
+        },
+        8 => Inst::Jalr {
+            rd: reg(rng),
+            rs1: reg(rng),
+            offset: ((rng.below(32) as i32) - 8) * 4,
+        },
+        9 => Inst::Csr {
+            op: [CsrOp::Rw, CsrOp::Rs, CsrOp::Rc][rng.below(3) as usize],
+            rd: reg(rng),
+            rs1: reg(rng),
+            // Cycle/instret/custom — whatever the CSR file makes of it.
+            csr: [0xC00, 0xC02, 0x340, 0x305][rng.below(4) as usize],
+        },
+        10 => Inst::Fence,
+        _ => Inst::Ebreak,
+    }
+}
+
+/// A seeded instruction stream. One seed in three generates raw random
+/// words (mostly illegal encodings), one generates all-valid streams,
+/// one generates the mixed case — valid prefixes decaying into garbage,
+/// the nastiest input for a decoded-block cache.
+#[must_use]
+pub fn instruction_stream(seed: u64) -> Vec<u32> {
+    let mut rng = SplitMix64::new(seed);
+    let flavor = rng.below(3);
+    let len = rng.range(4, 120) as usize;
+    (0..len)
+        .map(|_| match flavor {
+            0 => rng.next_u32(),
+            1 => encode(&valid_inst(&mut rng)),
+            _ => {
+                if rng.chance(1, 3) {
+                    rng.next_u32()
+                } else {
+                    encode(&valid_inst(&mut rng))
+                }
+            }
+        })
+        .collect()
+}
+
+/// One step of a random bus program over the SoC's composed DRAM path.
+/// Plain data so the delete-chunk shrinker can drop steps and replay
+/// the remainder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BusOp {
+    /// A single beat: read or write, any master, any size, sometimes a
+    /// hostile (unowned / misaligned / out-of-range) address.
+    Single {
+        /// Index into the canonical `[Cpu, NvdlaDbb, ZynqPs]` order.
+        master: u8,
+        /// Write (true) or read.
+        write: bool,
+        /// Byte address.
+        addr: u32,
+        /// Index into `[Byte, Half, Word, Double]`.
+        size: u8,
+        /// Write data (ignored for reads).
+        data: u64,
+    },
+    /// A block transfer through the explicit-master arbiter ports.
+    Burst {
+        /// Index into the canonical `[Cpu, NvdlaDbb, ZynqPs]` order.
+        master: u8,
+        /// Write (true) or read.
+        write: bool,
+        /// Byte address.
+        addr: u32,
+        /// Transfer length in bytes (0 is legal and must succeed).
+        len: u16,
+        /// Seed for the write payload.
+        fill: u64,
+    },
+    /// Flip SmartConnect ownership.
+    Switch {
+        /// New owner: the SoC side (true) or the Zynq PS.
+        soc: bool,
+    },
+    /// Board reset: DRAM zeroes, ownership back to the PS, stats clear.
+    Reset,
+    /// Let modeled time idle forward.
+    Advance(u8),
+}
+
+/// DRAM size every bus program runs against (1 MiB, matching the bus
+/// crate's own fuzz suite).
+pub const BUS_DRAM_BYTES: usize = 1 << 20;
+
+/// A seeded bus program in the quiet-program distribution of
+/// `crates/bus/tests/fuzz_fabric.rs`: mostly singles, a quarter bursts,
+/// occasional ownership flips, resets and idle gaps.
+#[must_use]
+pub fn bus_program(seed: u64) -> Vec<BusOp> {
+    let mut rng = SplitMix64::new(seed);
+    let len = rng.range(4, 96) as usize;
+    (0..len)
+        .map(|_| match rng.below(100) {
+            0..=54 => {
+                let size = rng.below(4) as u8;
+                let n = 1u32 << size;
+                let addr = if rng.chance(1, 8) {
+                    rng.next_u32() % (2 * BUS_DRAM_BYTES as u32)
+                } else {
+                    (rng.next_u32() % (BUS_DRAM_BYTES as u32 - 8)) & !(n - 1)
+                };
+                BusOp::Single {
+                    master: rng.below(3) as u8,
+                    write: rng.chance(1, 2),
+                    addr,
+                    size,
+                    data: rng.next_u64(),
+                }
+            }
+            55..=79 => BusOp::Burst {
+                master: rng.below(3) as u8,
+                write: rng.chance(1, 2),
+                addr: if rng.chance(1, 8) {
+                    rng.next_u32() % (2 * BUS_DRAM_BYTES as u32)
+                } else {
+                    rng.next_u32() % (BUS_DRAM_BYTES as u32 - 600)
+                },
+                len: if rng.chance(1, 32) {
+                    0
+                } else {
+                    rng.range(1, 512) as u16
+                },
+                fill: rng.next_u64(),
+            },
+            80..=89 => BusOp::Switch {
+                soc: rng.chance(1, 2),
+            },
+            90..=92 => BusOp::Reset,
+            _ => BusOp::Advance(rng.below(16) as u8),
+        })
+        .collect()
+}
+
+/// One layer of a random small network, as plain data: the network is
+/// rebuilt from the plan on every check, so the shrinker can delete
+/// layers and the compiler sees a fresh consistent graph each time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayerPlan {
+    /// Square convolution; weights derived from the plan seed.
+    Conv {
+        /// Output channels.
+        out_c: u8,
+        /// Kernel size (square).
+        k: u8,
+        /// Stride.
+        stride: u8,
+        /// Zero padding.
+        pad: u8,
+    },
+    /// Rectified linear unit.
+    Relu,
+    /// Folded batch-norm with seeded per-channel scale/shift.
+    BatchNorm,
+    /// 2×2 pooling.
+    Pool {
+        /// Max (true) or average pooling.
+        max: bool,
+    },
+    /// Global average pooling down to 1×1.
+    GlobalAvgPool,
+    /// Fully connected head (terminal).
+    Fc {
+        /// Output dimension.
+        out: u8,
+    },
+}
+
+/// A buildable description of a random small network: input shape,
+/// layer list, and the seed all weights derive from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetPlan {
+    /// Input channels.
+    pub in_c: u8,
+    /// Input height == width.
+    pub in_hw: u8,
+    /// Seed for every weight, bias, scale and shift tensor.
+    pub weight_seed: u64,
+    /// The layer sequence (applied in order; single chain).
+    pub layers: Vec<LayerPlan>,
+}
+
+impl NetPlan {
+    /// The input shape the plan starts from.
+    #[must_use]
+    pub fn input_shape(&self) -> Shape {
+        Shape::new(self.in_c as usize, self.in_hw as usize, self.in_hw as usize)
+    }
+
+    /// Build the network, or explain why the plan is inconsistent (a
+    /// shrunk plan may pool a 1×1 activation, feed an FC twice, …).
+    /// Inconsistent plans are not counterexamples — the oracle treats
+    /// a build error as a passing case.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason the plan does not describe a network.
+    pub fn build(&self) -> Result<Network, String> {
+        let mut rng = SplitMix64::new(self.weight_seed);
+        let mut net = Network::new("fuzz", self.input_shape());
+        let (mut c, mut hw) = (self.in_c as usize, self.in_hw as usize);
+        let mut prev = net.input();
+        let mut done = false;
+        for (i, layer) in self.layers.iter().enumerate() {
+            if done {
+                return Err("layer after the FC head".into());
+            }
+            let id = match *layer {
+                LayerPlan::Conv {
+                    out_c,
+                    k,
+                    stride,
+                    pad,
+                } => {
+                    let (out_c, k, s, p) =
+                        (out_c as usize, k as usize, stride as usize, pad as usize);
+                    if out_c == 0 || k == 0 || s == 0 {
+                        return Err(format!("degenerate conv at layer {i}"));
+                    }
+                    if hw + 2 * p < k {
+                        return Err(format!("kernel {k} larger than input {hw}+2*{p}"));
+                    }
+                    let out_hw = (hw + 2 * p - k) / s + 1;
+                    let bias: Vec<f32> = (0..out_c)
+                        .map(|_| (rng.below(200) as f32 - 100.0) / 1000.0)
+                        .collect();
+                    let node = net.add(
+                        format!("conv{i}"),
+                        Op::Conv2d(ConvParams {
+                            weights: WeightTensor::random(out_c, c, k, k, rng.next_u64()),
+                            bias,
+                            stride: s,
+                            pad: p,
+                            groups: 1,
+                        }),
+                        &[prev],
+                    );
+                    c = out_c;
+                    hw = out_hw;
+                    node
+                }
+                LayerPlan::Relu => net.add(format!("relu{i}"), Op::Relu, &[prev]),
+                LayerPlan::BatchNorm => {
+                    let scale: Vec<f32> = (0..c)
+                        .map(|_| 0.5 + (rng.below(100) as f32) / 100.0)
+                        .collect();
+                    let shift: Vec<f32> = (0..c)
+                        .map(|_| (rng.below(100) as f32 - 50.0) / 100.0)
+                        .collect();
+                    net.add(format!("bn{i}"), Op::BatchNorm { scale, shift }, &[prev])
+                }
+                LayerPlan::Pool { max } => {
+                    if hw < 2 {
+                        return Err(format!("pooling a {hw}×{hw} activation at layer {i}"));
+                    }
+                    // Pool output uses Caffe ceil semantics, unlike conv.
+                    hw = (hw - 2).div_ceil(2) + 1;
+                    net.add(
+                        format!("pool{i}"),
+                        Op::Pool {
+                            kind: if max { PoolKind::Max } else { PoolKind::Avg },
+                            k: 2,
+                            stride: 2,
+                            pad: 0,
+                        },
+                        &[prev],
+                    )
+                }
+                LayerPlan::GlobalAvgPool => {
+                    hw = 1;
+                    net.add(format!("gap{i}"), Op::GlobalAvgPool, &[prev])
+                }
+                LayerPlan::Fc { out } => {
+                    let out = out as usize;
+                    if out == 0 {
+                        return Err(format!("zero-width FC at layer {i}"));
+                    }
+                    let input = c * hw * hw;
+                    let bound = (2.0 / input as f32).sqrt();
+                    let weights: Vec<f32> = (0..out * input)
+                        .map(|_| (rng.below(2000) as f32 / 1000.0 - 1.0) * bound)
+                        .collect();
+                    let bias: Vec<f32> = (0..out)
+                        .map(|_| (rng.below(200) as f32 - 100.0) / 1000.0)
+                        .collect();
+                    done = true;
+                    c = out;
+                    hw = 1;
+                    net.add(
+                        format!("fc{i}"),
+                        Op::FullyConnected {
+                            weights,
+                            out,
+                            input,
+                            bias,
+                        },
+                        &[prev],
+                    )
+                }
+            };
+            prev = id.map_err(|e| format!("{}: {}", e.node, e.message))?;
+        }
+        if net.layer_count() == 0 {
+            return Err("empty plan".into());
+        }
+        Ok(net)
+    }
+}
+
+/// A seeded random small network plan: 1–5 layers over a tiny input
+/// (≤ 4 channels, ≤ 14×14), convs/norms/pools in the body, optionally
+/// an FC head. Small enough that a full compile + two simulated
+/// inferences per case stays in the tens-of-milliseconds range.
+#[must_use]
+pub fn net_plan(seed: u64) -> NetPlan {
+    let mut rng = SplitMix64::new(seed);
+    let in_c = rng.range(1, 4) as u8;
+    let in_hw = rng.range(6, 14) as u8;
+    let body = rng.range(1, 4) as usize;
+    let mut layers = Vec::new();
+    let (mut c, mut hw) = (in_c as usize, in_hw as usize);
+    for _ in 0..body {
+        match rng.below(5) {
+            0 | 1 => {
+                let k = [1usize, 3, 5][rng.below(3) as usize];
+                let pad = rng.below(u64::from(k as u32)) as usize % 3;
+                let stride = rng.range(1, 2) as usize;
+                if hw + 2 * pad < k {
+                    continue;
+                }
+                let out_c = rng.range(1, 6) as u8;
+                layers.push(LayerPlan::Conv {
+                    out_c,
+                    k: k as u8,
+                    stride: stride as u8,
+                    pad: pad as u8,
+                });
+                c = out_c as usize;
+                hw = (hw + 2 * pad - k) / stride + 1;
+            }
+            2 => layers.push(LayerPlan::Relu),
+            3 => layers.push(LayerPlan::BatchNorm),
+            _ => {
+                if hw >= 2 {
+                    layers.push(LayerPlan::Pool {
+                        max: rng.chance(1, 2),
+                    });
+                    hw = (hw - 2).div_ceil(2) + 1;
+                }
+            }
+        }
+    }
+    let _ = c;
+    if rng.chance(1, 3) {
+        layers.push(LayerPlan::GlobalAvgPool);
+    }
+    if rng.chance(1, 2) || layers.is_empty() {
+        layers.push(LayerPlan::Fc {
+            out: rng.range(1, 10) as u8,
+        });
+    }
+    NetPlan {
+        in_c,
+        in_hw,
+        weight_seed: rng.next_u64(),
+        layers,
+    }
+}
+
+/// A seeded interleaved frame stream over `models` resident models:
+/// `(model index, input seed)` pairs, FIFO enqueue order.
+#[must_use]
+pub fn frame_stream(seed: u64, models: usize, max_frames: u64) -> Vec<(usize, u64)> {
+    let mut rng = SplitMix64::new(seed);
+    let len = rng.range(1, max_frames.max(1)) as usize;
+    (0..len)
+        .map(|_| (rng.below(models as u64) as usize, rng.next_u64()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_replay_bit_identically() {
+        for seed in 0..32u64 {
+            assert_eq!(instruction_stream(seed), instruction_stream(seed));
+            assert_eq!(bus_program(seed), bus_program(seed));
+            assert_eq!(net_plan(seed), net_plan(seed));
+            assert_eq!(frame_stream(seed, 2, 6), frame_stream(seed, 2, 6));
+        }
+    }
+
+    #[test]
+    fn generated_net_plans_build() {
+        let mut built = 0;
+        for seed in 0..100u64 {
+            let plan = net_plan(seed);
+            match plan.build() {
+                Ok(net) => {
+                    net.infer_shapes().expect("generated plans infer");
+                    built += 1;
+                }
+                Err(e) => panic!("seed {seed}: generator emitted unbuildable plan: {e}"),
+            }
+        }
+        assert_eq!(built, 100);
+    }
+
+    /// Promoted regression: the first 100-seed sweep caught this
+    /// module's shape tracker using floor division for pool outputs
+    /// while the graph uses Caffe ceil semantics, so the FC head was
+    /// sized off the wrong activation ("FC expects 18 inputs, got 32
+    /// (2x4x4)"). Minimal input: an odd 7×7 activation pooled 2/2 —
+    /// ceil gives 4×4, floor gave 3×3.
+    #[test]
+    fn regression_pool_tracking_uses_caffe_ceil() {
+        let plan = NetPlan {
+            in_c: 2,
+            in_hw: 7,
+            weight_seed: 1,
+            layers: vec![LayerPlan::Pool { max: true }, LayerPlan::Fc { out: 3 }],
+        };
+        let net = plan.build().expect("a pooled 7×7 plan is consistent");
+        // If the tracker drifts from the graph again, the FC head is
+        // mis-sized and shape inference rejects the network.
+        net.infer_shapes()
+            .expect("tracker and graph must agree on pooled shapes");
+    }
+}

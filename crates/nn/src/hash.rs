@@ -1,101 +1,11 @@
 //! Content fingerprinting (FNV-1a over 64-bit words).
 //!
-//! One hash implementation feeds every content-identity check in the
-//! workspace — [`crate::graph::Network::content_fingerprint`] and the
-//! compiler's weight-image fingerprint — so the fold can never silently
-//! diverge between them. Weight slices fold two `f32`s (or eight bytes)
-//! per step: fingerprinting even a ~100 MB model costs tens of
-//! milliseconds, far below the compilations and simulated inferences
-//! the fingerprints gate.
+//! The hasher itself now lives in `rvnv_util` (shared with the fuzz
+//! harness's corpus fingerprints); this module re-exports it under its
+//! long-standing path. One hash implementation feeds every
+//! content-identity check in the workspace —
+//! [`crate::graph::Network::content_fingerprint`] and the compiler's
+//! weight-image fingerprint — so the fold can never silently diverge
+//! between them.
 
-/// An incremental FNV-1a 64-bit hasher over word-sized chunks.
-#[derive(Debug, Clone)]
-pub struct Fnv(u64);
-
-impl Default for Fnv {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl Fnv {
-    /// Start from the FNV-1a offset basis.
-    #[must_use]
-    pub fn new() -> Self {
-        Fnv(0xcbf2_9ce4_8422_2325)
-    }
-
-    /// Fold one word.
-    pub fn mix(&mut self, v: u64) {
-        self.0 ^= v;
-        self.0 = self.0.wrapping_mul(0x0100_0000_01b3);
-    }
-
-    /// Fold a byte slice (length-prefixed; tail zero-padded to a word).
-    pub fn bytes(&mut self, data: &[u8]) {
-        self.mix(data.len() as u64);
-        let mut words = data.chunks_exact(8);
-        for w in &mut words {
-            self.mix(u64::from_le_bytes(w.try_into().expect("8 bytes")));
-        }
-        let rem = words.remainder();
-        if !rem.is_empty() {
-            let mut tail = [0u8; 8];
-            tail[..rem.len()].copy_from_slice(rem);
-            self.mix(u64::from_le_bytes(tail));
-        }
-    }
-
-    /// Fold a string.
-    pub fn str(&mut self, s: &str) {
-        self.bytes(s.as_bytes());
-    }
-
-    /// Fold an `f32` slice by bit pattern, two values per step.
-    pub fn floats(&mut self, data: &[f32]) {
-        self.mix(data.len() as u64);
-        let mut pairs = data.chunks_exact(2);
-        for p in &mut pairs {
-            self.mix(u64::from(p[0].to_bits()) | u64::from(p[1].to_bits()) << 32);
-        }
-        if let [last] = pairs.remainder() {
-            self.mix(u64::from(last.to_bits()));
-        }
-    }
-
-    /// The accumulated hash.
-    #[must_use]
-    pub fn finish(&self) -> u64 {
-        self.0
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn deterministic_and_sensitive() {
-        let hash = |f: &dyn Fn(&mut Fnv)| {
-            let mut h = Fnv::new();
-            f(&mut h);
-            h.finish()
-        };
-        assert_eq!(
-            hash(&|h| h.bytes(b"abcdefghij")),
-            hash(&|h| h.bytes(b"abcdefghij"))
-        );
-        assert_ne!(
-            hash(&|h| h.bytes(b"abcdefghij")),
-            hash(&|h| h.bytes(b"abcdefghiK"))
-        );
-        // Length prefix distinguishes a short slice from its padding.
-        assert_ne!(hash(&|h| h.bytes(b"ab")), hash(&|h| h.bytes(b"ab\0\0")));
-        assert_ne!(
-            hash(&|h| h.floats(&[1.0, 2.0])),
-            hash(&|h| h.floats(&[2.0, 1.0]))
-        );
-        // -0.0 and 0.0 are different bit patterns, hence different.
-        assert_ne!(hash(&|h| h.floats(&[0.0])), hash(&|h| h.floats(&[-0.0])));
-    }
-}
+pub use rvnv_util::Fnv;

@@ -1,0 +1,92 @@
+//! Property tests over randomized networks, driven by the shared
+//! `rvnv_fuzz` generator library: shape inference and the content
+//! fingerprint must be stable across rebuilds of the same plan, and
+//! the fingerprint must track content (weights), not just structure.
+
+use rvnv_fuzz::gen::{self, NetPlan};
+
+/// Build a plan twice; both builds must infer identical shapes and
+/// hash to the identical content fingerprint. 100 seeds.
+#[test]
+fn rebuilds_are_shape_and_fingerprint_stable() {
+    for seed in 0..100u64 {
+        let plan = gen::net_plan(seed);
+        let a = plan.build().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let b = plan.build().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let shapes_a = a
+            .infer_shapes()
+            .unwrap_or_else(|e| panic!("seed {seed}: {e:?}"));
+        let shapes_b = b
+            .infer_shapes()
+            .unwrap_or_else(|e| panic!("seed {seed}: {e:?}"));
+        assert_eq!(shapes_a, shapes_b, "seed {seed}: shape inference drifted");
+        assert_eq!(
+            a.content_fingerprint(),
+            b.content_fingerprint(),
+            "seed {seed}: fingerprint drifted across rebuilds"
+        );
+        assert_eq!(
+            a.input_shape(),
+            plan.input_shape(),
+            "seed {seed}: built input shape disagrees with the plan"
+        );
+    }
+}
+
+/// Same structure, different weight seed: the content fingerprint must
+/// differ — it hashes weights, not just topology.
+#[test]
+fn fingerprint_sees_weights_not_just_structure() {
+    for seed in 0..100u64 {
+        let plan = gen::net_plan(seed);
+        let weighted = plan.layers.iter().any(|l| {
+            matches!(
+                l,
+                gen::LayerPlan::Conv { .. } | gen::LayerPlan::Fc { .. } | gen::LayerPlan::BatchNorm
+            )
+        });
+        if !weighted {
+            // A pool/relu-only body draws nothing from the weight seed.
+            continue;
+        }
+        let reseeded = NetPlan {
+            weight_seed: plan.weight_seed.wrapping_add(1),
+            ..plan.clone()
+        };
+        let a = plan.build().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let b = reseeded
+            .build()
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert_ne!(
+            a.content_fingerprint(),
+            b.content_fingerprint(),
+            "seed {seed}: reseeded weights hashed identically"
+        );
+    }
+}
+
+/// The generator's shape tracker agrees with the graph's inference:
+/// every generated plan builds AND its inferred output is consistent
+/// with what the layer list implies (FC/GAP heads end at 1×1).
+#[test]
+fn generated_plans_infer_consistent_heads() {
+    for seed in 0..100u64 {
+        let plan = gen::net_plan(seed);
+        let net = plan.build().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        let shapes = net
+            .infer_shapes()
+            .unwrap_or_else(|e| panic!("seed {seed}: {e:?}"));
+        let out = shapes[net.output().index()];
+        let ends_flat = matches!(
+            plan.layers.last(),
+            Some(gen::LayerPlan::Fc { .. } | gen::LayerPlan::GlobalAvgPool)
+        );
+        if ends_flat {
+            assert_eq!(
+                (out.h, out.w),
+                (1, 1),
+                "seed {seed}: flat head left a spatial output {out}"
+            );
+        }
+    }
+}

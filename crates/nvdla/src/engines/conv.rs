@@ -466,16 +466,10 @@ mod tests {
         assert_eq!(out, vec![0.0, 2.0, 8.0, 10.0]);
     }
 
-    /// Pseudo-random byte pattern (xorshift; no external deps).
-    fn pattern(len: usize, mut seed: u32) -> Vec<u8> {
-        let mut out = Vec::with_capacity(len);
-        for _ in 0..len {
-            seed ^= seed << 13;
-            seed ^= seed >> 17;
-            seed ^= seed << 5;
-            out.push((seed >> 16) as u8);
-        }
-        out
+    /// Pseudo-random byte pattern over the shared SplitMix64 core.
+    fn pattern(len: usize, seed: u32) -> Vec<u8> {
+        let mut rng = rvnv_util::SplitMix64::new(u64::from(seed));
+        (0..len).map(|_| (rng.next_u64() >> 16) as u8).collect()
     }
 
     /// Replace f16 NaN encodings with max-normal values. A NaN *input*

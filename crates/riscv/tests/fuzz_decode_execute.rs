@@ -17,26 +17,23 @@ use rvnv_bus::sram::Sram;
 use rvnv_riscv::inst::{AluOp, BranchOp, CsrOp, Inst, MemWidth, MulOp};
 use rvnv_riscv::reg::Reg;
 use rvnv_riscv::{encode, Core, CpuError, StopReason};
+use rvnv_util::SplitMix64;
 
-/// xorshift64* — deterministic, dependency-free stream generator.
-struct Rng(u64);
+/// Seeded stream generator over the shared SplitMix64 core, with the
+/// domain helpers this suite wants.
+struct Rng(SplitMix64);
 
 impl Rng {
     fn new(seed: u64) -> Self {
-        Rng(seed | 1)
+        Rng(SplitMix64::new(seed))
     }
 
     fn next(&mut self) -> u64 {
-        let mut x = self.0;
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        self.0 = x;
-        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        self.0.next_u64()
     }
 
     fn below(&mut self, n: u64) -> u64 {
-        self.next() % n
+        self.0.below(n)
     }
 
     fn reg(&mut self) -> Reg {

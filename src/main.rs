@@ -16,6 +16,7 @@
 //!                  [--shape SHAPE] [--rate R] [--duration MS] [--seed S] [--slo-us U]
 //!                  [--scale-window MS] [--scale-up-below PCT] [--scale-down-above PCT]
 //!                  [--spot-windows K] [--window-frames N] [--fp16] [--unfused]
+//! rv-nvdla fuzz    <target|all> [--seed S] [--budget N] [--shrink]
 //! rv-nvdla traces
 //! rv-nvdla resources
 //! rv-nvdla models
@@ -39,12 +40,13 @@ fn main() -> ExitCode {
         Some("batch") => cmd_batch(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("fleet") => cmd_fleet(&args[1..]),
+        Some("fuzz") => cmd_fuzz(&args[1..]),
         Some("traces") => cmd_traces(),
         Some("resources") => cmd_resources(),
         Some("models") => cmd_models(),
         _ => {
             eprintln!(
-                "usage: rv-nvdla <compile|run|sweep|batch|serve|fleet|traces|resources|models> [options]\n\
+                "usage: rv-nvdla <compile|run|sweep|batch|serve|fleet|fuzz|traces|resources|models> [options]\n\
                  \n\
                  compile <model> [--fp16] [--unfused] [--out DIR]\n\
                  \tCompile a zoo model; write config file, weight .bin,\n\
@@ -100,6 +102,15 @@ fn main() -> ExitCode {
                  \tmodels `+`-separated). K windows of the dispatch plan are\n\
                  \tspot-replayed on real per-pool SoCs and cross-checked\n\
                  \tcycle-exactly. See docs/FLEET.md.\n\
+                 fuzz <target|all> [--seed S] [--budget N] [--shrink]\n\
+                 \tSeeded differential fuzzing over the standing\n\
+                 \tcontracts (targets riscv|bus|net|batch|serve|fleet).\n\
+                 \tCase i derives its input from seed S+i and checks the\n\
+                 \ttarget's oracle; with --shrink a failure is reduced to\n\
+                 \ta minimal input and printed as a one-line replay\n\
+                 \tcommand. --budget (or env RVNV_FUZZ_BUDGET) bounds the\n\
+                 \tcases per target; counterexamples are also written\n\
+                 \tunder target/fuzz/. See docs/FUZZING.md.\n\
                  traces\n\
                  \tRun the standard NVDLA validation traces as firmware.\n\
                  resources\n\
@@ -138,8 +149,9 @@ fn find_model(name: &str) -> Result<Model, AnyError> {
 
 /// Flags that consume the following argument as their value (the model
 /// name scan must not mistake such a value for the model).
-const VALUE_FLAGS: [&str; 25] = [
+const VALUE_FLAGS: [&str; 26] = [
     "--out",
+    "--budget",
     "--repeat",
     "--clocks",
     "--threads",
@@ -995,6 +1007,104 @@ fn cmd_fleet(args: &[String]) -> Result<(), AnyError> {
         calib_ms,
         report.host_seconds * 1e3,
     );
+    Ok(())
+}
+
+fn cmd_fuzz(args: &[String]) -> Result<(), AnyError> {
+    validate_args("fuzz", args, &["--shrink"], &["--seed", "--budget"], 1)?;
+    // The single positional is the target name; value flags consume
+    // their argument in the scan, exactly like the model-name scan.
+    let mut target = None;
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if VALUE_FLAGS.contains(&a) {
+            i += 2;
+            continue;
+        }
+        if !a.starts_with("--") {
+            target = Some(a);
+            break;
+        }
+        i += 1;
+    }
+    let target =
+        target.ok_or("missing fuzz target (one of riscv|bus|net|batch|serve|fleet|all)")?;
+    let seed = parse_number(args, "--seed")?.unwrap_or(1);
+    let budget = match parse_number(args, "--budget")? {
+        Some(b) => b,
+        None => match std::env::var("RVNV_FUZZ_BUDGET") {
+            Ok(v) => v
+                .parse()
+                .map_err(|_| format!("bad RVNV_FUZZ_BUDGET `{v}`"))?,
+            Err(_) => 100,
+        },
+    };
+    if budget == 0 {
+        return Err("bad --budget `0` (must be >= 1)".into());
+    }
+    let do_shrink = args.iter().any(|a| a == "--shrink");
+    let started = Instant::now();
+    let reports = rvnv_fuzz::run(target, seed, budget, do_shrink)?;
+    let mut failures = 0usize;
+    for r in &reports {
+        match &r.counterexample {
+            None => println!(
+                "fuzz {:<6} ok: {} cases passed (seeds {}..={})",
+                r.target,
+                r.executed,
+                r.base_seed,
+                r.base_seed.wrapping_add(r.budget - 1),
+            ),
+            Some(cx) => {
+                failures += 1;
+                println!(
+                    "fuzz {:<6} FAILED at seed {} after {} cases",
+                    r.target, cx.seed, r.executed
+                );
+                println!("  oracle: {}", cx.message);
+                println!(
+                    "  input shrank {} -> {} elements; minimized:",
+                    cx.size_orig, cx.size_min
+                );
+                for line in cx.minimized.lines() {
+                    println!("    {line}");
+                }
+                println!("  repro: {}", cx.repro);
+                // Persist the counterexample so CI can upload it.
+                let dir = PathBuf::from("target/fuzz");
+                std::fs::create_dir_all(&dir)?;
+                let path = dir.join(format!("{}.counterexample.txt", r.target));
+                std::fs::write(
+                    &path,
+                    format!(
+                        "target: {}\nseed: {}\nsize: {} -> {}\noracle: {}\nrepro: {}\n\n{}\n",
+                        cx.target,
+                        cx.seed,
+                        cx.size_orig,
+                        cx.size_min,
+                        cx.message,
+                        cx.repro,
+                        cx.minimized
+                    ),
+                )?;
+                println!("  written: {}", path.display());
+            }
+        }
+    }
+    println!(
+        "fuzz: {}/{} targets clean in {:.1}s",
+        reports.len() - failures,
+        reports.len(),
+        started.elapsed().as_secs_f64()
+    );
+    if failures > 0 {
+        return Err(format!(
+            "fuzz found {failures} counterexample(s); replay with the printed `rv-nvdla fuzz` \
+             command(s)"
+        )
+        .into());
+    }
     Ok(())
 }
 

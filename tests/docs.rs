@@ -126,7 +126,7 @@ fn mentioned_subcommands(text: &str) -> BTreeSet<String> {
 
 /// The subcommands that accept flags at all. `traces`, `resources` and
 /// `models` take no arguments, so no document can name flags for them.
-const FLAGGED_COMMANDS: [&str; 6] = ["compile", "run", "sweep", "batch", "serve", "fleet"];
+const FLAGGED_COMMANDS: [&str; 7] = ["compile", "run", "sweep", "batch", "serve", "fleet", "fuzz"];
 
 /// Flags a subcommand accepts, parsed from its own strict-validation
 /// rejection message: feeding it a flag that cannot exist makes

@@ -160,14 +160,18 @@ fn above_saturation_queueing_dominates_and_throughput_plateaus() {
     );
     assert!(above.total.p99 > 2 * below.total.p99, "the hockey stick");
 
-    // Offered keeps climbing, achieved pins at capacity (±2%).
+    // Offered keeps climbing, achieved pins at capacity. The whole
+    // pipeline is seeded (seed 42), so the plateau is not a tolerance
+    // band but an exact count: both overloaded plans serve precisely
+    // the 78 requests one worker can clear inside the window.
     assert!(above.offered_rate() > 1.5 * above.achieved_rate());
-    let plateau = (far_above.achieved_rate() - above.achieved_rate()).abs();
-    assert!(
-        plateau < 0.02 * above.achieved_rate(),
-        "achieved must plateau: {:.1} vs {:.1}",
-        above.achieved_rate(),
-        far_above.achieved_rate()
+    assert_eq!(
+        above.served, 78,
+        "seed-42 single-worker capacity over 300 ms"
+    );
+    assert_eq!(
+        far_above.served, above.served,
+        "pushing offered 400 -> 600 req/s must not move the served count"
     );
     assert!(
         far_above.total.p99 >= above.total.p99 / 2,
