@@ -24,8 +24,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use rvnv_compiler::codegen::{CodegenOptions, WaitMode};
 use rvnv_compiler::{ArtifactCache, Artifacts, CompileOptions};
 use rvnv_nn::zoo::Model;
+use rvnv_obs::Tracer;
 use rvnv_soc::batch::{layout_models, Policy};
-use rvnv_soc::serve::{ArrivalProcess, FaultSpec, ServeSpec, Server};
+use rvnv_soc::serve::{simulate, simulate_traced, ArrivalProcess, FaultSpec, ServeSpec, Server};
 use rvnv_soc::soc::SocConfig;
 
 fn artifacts() -> Vec<Arc<Artifacts>> {
@@ -132,6 +133,55 @@ fn bench_serve_latency(c: &mut Criterion) {
         b.iter(|| {
             let r = server.plan(&spec).expect("plan");
             assert!(r.faults.injected() > 0);
+            r.served
+        })
+    });
+    // Tracing overhead, both sides of the arm switch. The disarmed row
+    // must cost the same as the plain simulation (every emission site
+    // is one `Option` branch; asserted ≈ `sim_below_knee` in
+    // docs/BASELINES.md), and the armed row prices actually recording
+    // spans.
+    let sim_spec = spec_at(100, false);
+    let sim_trace = server.trace(&sim_spec);
+    let sim_names = vec!["lenet5".to_string(), "resnet18".to_string()];
+    g.bench_function("sim_below_knee", |b| {
+        b.iter(|| {
+            simulate(
+                &sim_trace,
+                server.service_model(),
+                &sim_spec,
+                &sim_names,
+                config.soc_hz,
+            )
+            .served
+        })
+    });
+    g.bench_function("sim_below_knee_quiet_tracer", |b| {
+        let tracer = Tracer::disarmed();
+        b.iter(|| {
+            simulate_traced(
+                &sim_trace,
+                server.service_model(),
+                &sim_spec,
+                &sim_names,
+                config.soc_hz,
+                &tracer,
+            )
+            .served
+        })
+    });
+    g.bench_function("sim_below_knee_armed_tracer", |b| {
+        b.iter(|| {
+            let tracer = Tracer::armed();
+            let r = simulate_traced(
+                &sim_trace,
+                server.service_model(),
+                &sim_spec,
+                &sim_names,
+                config.soc_hz,
+                &tracer,
+            );
+            assert!(!tracer.snapshot().spans.is_empty());
             r.served
         })
     });

@@ -23,6 +23,11 @@
 //! against the naive tap-at-a-time reference over shapes covering
 //! padding, stride, grouping, depthwise and fully-clipped windows, in
 //! both INT8 and FP16 (where the summation order is the contract).
+//!
+//! Finally, the observability layer's honesty contract is gated the
+//! same way: firmware runs and serve simulations with an armed
+//! `rvnv_obs::Tracer` must be bit- and cycle-identical to untraced
+//! ones, while recording a structurally valid, nonempty trace.
 
 use rvnv_bench::inference_fingerprint;
 use rvnv_compiler::codegen::{CodegenOptions, WaitMode};
@@ -158,6 +163,98 @@ fn check_soc_kernels() {
     }
 }
 
+/// The observability honesty contract as a hard gate: arming a
+/// [`Tracer`] must not move a single modeled cycle, retired
+/// instruction, or output byte — at the SoC level (firmware runs with
+/// span emission) and at the serving level (the queueing simulation) —
+/// while still actually recording spans that pass structural
+/// validation.
+fn check_tracing_invisible() {
+    use rvnv_obs::{Tracer, TrackKind};
+
+    // SoC level: a traced cold+warm pair against an untraced one.
+    let net = Model::LeNet5.build(1);
+    let mut opt = CompileOptions::int8();
+    opt.calib_inputs = 1;
+    let artifacts = compile(&net, &opt).expect("compile");
+    let input = Tensor::random(net.input_shape(), 2);
+    let bytes = artifacts.quantize_input(&input);
+    let fw = Firmware::build_with(&artifacts, CodegenOptions::default()).expect("fw");
+    let tracer = Tracer::armed();
+    let mut traced = Soc::new(SocConfig::zcu102_nv_small());
+    let track = tracer.track("soc", TrackKind::Sync);
+    traced.set_tracer(tracer.clone(), track);
+    let mut plain = Soc::new(SocConfig::zcu102_nv_small());
+    for run in 0..2 {
+        let t = traced
+            .run_firmware(&artifacts, &bytes, &fw)
+            .expect("traced");
+        let p = plain.run_firmware(&artifacts, &bytes, &fw).expect("plain");
+        assert_identical(&format!("traced soc run#{run}"), &t, &p);
+    }
+    let trace = tracer.snapshot();
+    assert!(
+        !trace.spans.is_empty(),
+        "the armed tracer must actually record spans"
+    );
+    trace.validate().expect("soc trace must be well-formed");
+
+    // Serving level: simulate vs simulate_traced on a synthetic
+    // profile, spanning both worker modes.
+    use rvnv_soc::batch::Policy;
+    use rvnv_soc::serve::{
+        simulate, simulate_traced, ArrivalProcess, RequestTrace, ServeSpec, ServiceModel,
+    };
+    let hz = 100_000_000u64;
+    let service = ServiceModel {
+        preload: vec![2_000, 4_000],
+        fill: vec![2_000, 4_000],
+        compute: vec![60_000, 110_000],
+        compute_with: vec![vec![61_000, 62_000], vec![111_000, 112_000]],
+        preload_done: vec![vec![2_000, 8_000], vec![6_000, 4_000]],
+        rewarm: 20_000,
+    };
+    let names = vec!["a".to_string(), "b".to_string()];
+    for pipelined in [false, true] {
+        let spec = ServeSpec {
+            process: ArrivalProcess::Poisson,
+            rate_rps: 800,
+            duration_ms: 40,
+            seed: 42,
+            workers: 2,
+            policy: Policy::RoundRobin,
+            pipelined,
+            queue_depth: 8,
+            slo_us: 5_000,
+            timeout_us: 0,
+            retries: 0,
+            faults: None,
+        };
+        let reqs = RequestTrace::generate(
+            spec.process,
+            spec.rate_rps,
+            spec.duration_cycles(hz),
+            2,
+            spec.seed,
+            hz,
+        );
+        let serve_tracer = Tracer::armed();
+        let on = simulate_traced(&reqs, &service, &spec, &names, hz, &serve_tracer);
+        let off = simulate(&reqs, &service, &spec, &names, hz);
+        assert_eq!(
+            on, off,
+            "pipelined={pipelined}: traced serve report diverged from untraced"
+        );
+        let spans = serve_tracer.snapshot();
+        assert!(
+            !spans.spans.is_empty(),
+            "pipelined={pipelined}: the armed tracer must record spans"
+        );
+        spans.validate().expect("serve trace must be well-formed");
+    }
+    println!("tracing armed == disarmed: bit- and cycle-identical at SoC and serve level  ok");
+}
+
 /// Pseudo-random byte pattern (xorshift; no external deps).
 fn pattern(len: usize, mut seed: u32) -> Vec<u8> {
     let mut out = Vec::with_capacity(len);
@@ -260,5 +357,6 @@ fn check_conv_kernel() {
 fn main() {
     check_soc_kernels();
     check_conv_kernel();
+    check_tracing_invisible();
     println!("determinism fingerprint: all fast-kernel paths are architecturally invisible");
 }

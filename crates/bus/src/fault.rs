@@ -160,6 +160,29 @@ impl FaultStats {
     pub fn total(&self) -> u64 {
         self.flips + self.errors + self.spikes
     }
+
+    /// Counter-wise difference since `earlier` (same injector, later in
+    /// time) — the repo-wide snapshot-delta convention
+    /// (`BlockCacheStats::since`).
+    #[must_use]
+    pub fn since(&self, earlier: &FaultStats) -> FaultStats {
+        FaultStats {
+            accesses: self.accesses - earlier.accesses,
+            flips: self.flips - earlier.flips,
+            errors: self.errors - earlier.errors,
+            spikes: self.spikes - earlier.spikes,
+        }
+    }
+
+    /// Publish these counters into a [`rvnv_obs::MetricsRegistry`]
+    /// under the `fault.*` namespace. Call with a delta ([`FaultStats::since`])
+    /// to publish one run's share, or with cumulative stats once.
+    pub fn publish(&self, metrics: &rvnv_obs::MetricsRegistry) {
+        metrics.counter("fault.accesses", self.accesses);
+        metrics.counter("fault.flips", self.flips);
+        metrics.counter("fault.errors", self.errors);
+        metrics.counter("fault.spikes", self.spikes);
+    }
 }
 
 /// The injection shim. Wraps a downstream [`Target`]; see the module

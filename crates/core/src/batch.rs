@@ -60,6 +60,7 @@ use rvnv_compiler::codegen::CodegenOptions;
 use rvnv_compiler::{ArtifactCache, Artifacts, CompileError, CompileOptions};
 use rvnv_nn::graph::Network;
 use rvnv_nn::Tensor;
+use rvnv_obs::{MetricsRegistry, SpanKind, SpanRef, Tracer, TrackId, TrackKind};
 
 use crate::firmware::Firmware;
 use crate::soc::{InferenceResult, Soc, SocConfig, SocError};
@@ -386,6 +387,19 @@ impl BatchReport {
         warm.iter().sum::<u64>() / warm.len() as u64
     }
 
+    /// Publish this report into a [`MetricsRegistry`] under the
+    /// `batch.*` namespace: stream totals plus one observation per
+    /// frame in the `batch.frame_cycles` histogram.
+    pub fn publish(&self, metrics: &MetricsRegistry) {
+        metrics.counter("batch.frames", self.total_frames());
+        metrics.counter("batch.cycles", self.total_cycles());
+        metrics.counter("batch.arbiter_wait_cycles", self.total_arbiter_wait());
+        metrics.counter("batch.makespan_cycles", self.makespan_cycles);
+        for frame in &self.frame_latencies {
+            metrics.histogram("batch.frame_cycles", frame.cycles);
+        }
+    }
+
     /// Merge `other` into `self` (used to combine per-worker shards of
     /// a [`run_parallel`] drain). Panics if the model lists differ.
     fn merge(&mut self, other: &BatchReport) {
@@ -431,6 +445,10 @@ pub struct BatchScheduler {
     models: Vec<ModelSlot>,
     /// Next model index the round-robin rotation considers.
     cursor: usize,
+    /// Span sink (disarmed by default: one branch per emission site).
+    tracer: Tracer,
+    /// The sync track this scheduler's drain spans land on.
+    track: TrackId,
 }
 
 impl BatchScheduler {
@@ -442,7 +460,19 @@ impl BatchScheduler {
             policy,
             models: Vec::new(),
             cursor: 0,
+            tracer: Tracer::disarmed(),
+            track: TrackId::NONE,
         }
+    }
+
+    /// Emit this scheduler's drain spans into `tracer` on `track`:
+    /// per-frame `preload`/`compute` spans on the drain's modeled clock
+    /// (each drain restarts at cycle 0). Arming never changes a modeled
+    /// cycle or output byte — spans only record values the drain
+    /// computed anyway.
+    pub fn set_tracer(&mut self, tracer: Tracer, track: TrackId) {
+        self.tracer = tracer;
+        self.track = track;
     }
 
     /// Register a model: build its firmware and pin its weight image
@@ -658,6 +688,17 @@ impl BatchScheduler {
             cycles: latency,
             fill: false,
         });
+        if self.tracer.is_armed() {
+            // The serial drain clock is the running makespan: this
+            // frame occupied [makespan, makespan + latency].
+            let name = &self.models[i].artifacts.model;
+            let pre = self.models[i].preload_cycles;
+            let t0 = *makespan;
+            self.tracer
+                .span(self.track, SpanKind::Preload, t0, t0 + pre, name);
+            self.tracer
+                .span(self.track, SpanKind::Compute, t0 + pre, t0 + latency, name);
+        }
         *makespan += latency;
         on_frame(i, &result);
         Ok(())
@@ -841,9 +882,46 @@ pub fn run_parallel(
     frames: &[Frame],
     threads: usize,
 ) -> Result<BatchReport, BatchError> {
+    run_parallel_traced(
+        config,
+        policy,
+        models,
+        codegen,
+        frames,
+        threads,
+        &Tracer::disarmed(),
+    )
+}
+
+/// [`run_parallel`], emitting spans into `tracer`: each worker shard
+/// drains on its own "batch worker N" sync track (per-frame
+/// `preload`/`compute` spans on the shard's modeled clock). Arming the
+/// tracer never changes a modeled cycle or output byte.
+///
+/// # Errors
+///
+/// The first worker error, in worker order.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (propagated by [`fan_out`]).
+#[allow(clippy::too_many_arguments)]
+pub fn run_parallel_traced(
+    config: &SocConfig,
+    policy: Policy,
+    models: &[Arc<Artifacts>],
+    codegen: CodegenOptions,
+    frames: &[Frame],
+    threads: usize,
+    tracer: &Tracer,
+) -> Result<BatchReport, BatchError> {
     let threads = threads.clamp(1, frames.len().max(1));
     let mut shards = fan_out(threads, threads, |w| -> Result<BatchReport, BatchError> {
         let mut sched = BatchScheduler::new(config.clone(), policy);
+        if tracer.is_armed() {
+            let track = tracer.track(&format!("batch worker {w}"), TrackKind::Sync);
+            sched.set_tracer(tracer.clone(), track);
+        }
         for artifacts in models {
             sched.add_model(artifacts.clone(), codegen)?;
         }
@@ -952,6 +1030,13 @@ impl PipelinedScheduler {
         codegen: CodegenOptions,
     ) -> Result<usize, BatchError> {
         self.inner.add_model(artifacts, codegen)
+    }
+
+    /// Emit drain spans into `tracer` on `track`: one `drain` parent
+    /// per burst with `ps_burst`/`compute` child spans. See
+    /// [`BatchScheduler::set_tracer`].
+    pub fn set_tracer(&mut self, tracer: Tracer, track: TrackId) {
+        self.inner.set_tracer(tracer, track);
     }
 
     /// Queue one frame for `model`, quantizing the input.
@@ -1098,6 +1183,22 @@ impl PipelinedScheduler {
             .ps_stream(slots[cur_slot], &first_bytes, 0)
             .map_err(BatchError::Load)?;
         drop(first_bytes);
+        // The whole burst nests under one `drain` span (closed at the
+        // last completion); frame spans are its children.
+        let drain_ref = if sched.tracer.is_armed() {
+            let d = sched.tracer.begin(sched.track, SpanKind::Drain, 0, "drain");
+            sched.tracer.child(
+                d,
+                sched.track,
+                SpanKind::PsBurst,
+                0,
+                fill,
+                &sched.models[cur].artifacts.model,
+            );
+            d
+        } else {
+            SpanRef::NONE
+        };
         // Global pipeline clock: `t_global` is where the current frame's
         // compute window starts, `pending_preload` the cycles spent
         // streaming the current frame's input (attributed to it).
@@ -1156,6 +1257,30 @@ impl PipelinedScheduler {
             });
             carries_fill = false;
             prev_completion = completion;
+            if sched.tracer.is_armed() {
+                sched.tracer.child(
+                    drain_ref,
+                    sched.track,
+                    SpanKind::Compute,
+                    t_global,
+                    completion,
+                    &sched.models[cur].artifacts.model,
+                );
+                if let Some(i) = next {
+                    if window > result.cycles {
+                        // The staged successor's input still streaming
+                        // after this frame's compute retired.
+                        sched.tracer.child(
+                            drain_ref,
+                            sched.track,
+                            SpanKind::PsBurst,
+                            completion,
+                            t_global + window,
+                            &sched.models[i].artifacts.model,
+                        );
+                    }
+                }
+            }
             t_global += window;
             on_frame(cur, &result);
             match next {
@@ -1167,6 +1292,7 @@ impl PipelinedScheduler {
                 None => break,
             }
         }
+        sched.tracer.end(drain_ref, prev_completion);
         // The stream's span ends at the last frame's completion.
         Ok(report(sched, frame_latencies, prev_completion))
     }
@@ -1257,9 +1383,47 @@ pub fn run_parallel_pipelined(
     frames: &[Frame],
     threads: usize,
 ) -> Result<BatchReport, BatchError> {
+    run_parallel_pipelined_traced(
+        config,
+        policy,
+        models,
+        codegen,
+        frames,
+        threads,
+        &Tracer::disarmed(),
+    )
+}
+
+/// [`run_parallel_pipelined`], emitting spans into `tracer`: each
+/// worker shard drains on its own "batch worker N" sync track, with one
+/// `drain` parent span per drain wrapping the `ps_burst` fill and the
+/// per-frame `compute`/`ps_burst` pipeline children. Arming the tracer
+/// never changes a modeled cycle or output byte.
+///
+/// # Errors
+///
+/// The first worker error, in worker order.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (propagated by [`fan_out`]).
+#[allow(clippy::too_many_arguments)]
+pub fn run_parallel_pipelined_traced(
+    config: &SocConfig,
+    policy: Policy,
+    models: &[Arc<Artifacts>],
+    codegen: CodegenOptions,
+    frames: &[Frame],
+    threads: usize,
+    tracer: &Tracer,
+) -> Result<BatchReport, BatchError> {
     let threads = threads.clamp(1, frames.len().max(1));
     let mut shards = fan_out(threads, threads, |w| -> Result<BatchReport, BatchError> {
         let mut sched = PipelinedScheduler::new(config.clone(), policy);
+        if tracer.is_armed() {
+            let track = tracer.track(&format!("batch worker {w}"), TrackKind::Sync);
+            sched.set_tracer(tracer.clone(), track);
+        }
         for artifacts in models {
             sched.add_model(artifacts.clone(), codegen)?;
         }

@@ -64,6 +64,7 @@ use rvnv_compiler::codegen::CodegenOptions;
 use rvnv_compiler::{ArtifactCache, Artifacts, CompileOptions};
 use rvnv_nn::graph::Network;
 use rvnv_nvdla::HwConfig;
+use rvnv_obs::{Json, MetricsRegistry, SpanKind, Tracer, TrackId, TrackKind};
 
 use crate::batch::{layout_models, Policy};
 use crate::serve::{
@@ -763,6 +764,122 @@ impl FleetReport {
         }
         self.slo_attained as f64 / self.offered as f64
     }
+
+    /// Publish this report into a [`MetricsRegistry`] under the
+    /// `fleet.*` namespace: outcome and autoscaler counters (summed
+    /// across pools — the per-pool breakdown stays on
+    /// [`FleetReport::per_pool`]), plus one observation per served
+    /// request in the `fleet.queue_wait_cycles` /
+    /// `fleet.service_cycles` / `fleet.total_cycles` histograms.
+    pub fn publish(&self, metrics: &MetricsRegistry) {
+        metrics.counter("fleet.offered", self.offered);
+        metrics.counter("fleet.served", self.served);
+        metrics.counter("fleet.dropped", self.dropped);
+        metrics.counter("fleet.shed", self.shed);
+        metrics.counter("fleet.slo_attained", self.slo_attained);
+        metrics.counter("fleet.makespan_cycles", self.makespan_cycles);
+        for pool in &self.per_pool {
+            metrics.counter("fleet.scale_ups", pool.scale_ups);
+            metrics.counter("fleet.scale_downs", pool.scale_downs);
+            metrics.counter("fleet.busy_cycles", pool.busy_cycles);
+        }
+        for rec in &self.records {
+            if let FleetOutcome::Served {
+                queue_wait,
+                service,
+                ..
+            } = rec.outcome
+            {
+                metrics.histogram("fleet.queue_wait_cycles", queue_wait);
+                metrics.histogram("fleet.service_cycles", service);
+                metrics.histogram("fleet.total_cycles", queue_wait + service);
+            }
+        }
+    }
+
+    /// Structured report for `rv-nvdla fleet --json`. Carries every
+    /// **modeled** quantity and omits host wall-clock, so two runs of
+    /// the same spec print byte-identical JSON (`tests/cli.rs` pins
+    /// the round trip). Cycle figures are denominated in `soc_hz`.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        use std::collections::BTreeMap;
+        let mut m = BTreeMap::new();
+        m.insert(
+            "route".to_string(),
+            Json::Str(self.route.name().to_string()),
+        );
+        m.insert(
+            "shape".to_string(),
+            Json::Str(self.shape.name().to_string()),
+        );
+        m.insert("rate_rps".to_string(), Json::Int(self.rate_rps));
+        m.insert("seed".to_string(), Json::Int(self.seed));
+        m.insert("soc_hz".to_string(), Json::Int(self.soc_hz));
+        m.insert(
+            "duration_cycles".to_string(),
+            Json::Int(self.duration_cycles),
+        );
+        m.insert("slo_cycles".to_string(), Json::Int(self.slo_cycles));
+        m.insert("offered".to_string(), Json::Int(self.offered));
+        m.insert("served".to_string(), Json::Int(self.served));
+        m.insert("dropped".to_string(), Json::Int(self.dropped));
+        m.insert("shed".to_string(), Json::Int(self.shed));
+        m.insert(
+            "makespan_cycles".to_string(),
+            Json::Int(self.makespan_cycles),
+        );
+        m.insert("queue_wait".to_string(), self.queue_wait.to_json());
+        m.insert("service".to_string(), self.service.to_json());
+        m.insert("total".to_string(), self.total.to_json());
+        m.insert("slo_attained".to_string(), Json::Int(self.slo_attained));
+        m.insert(
+            "replayed_frames".to_string(),
+            Json::Int(self.replayed_frames),
+        );
+        m.insert(
+            "replay_divergence".to_string(),
+            Json::Int(self.replay_divergence),
+        );
+        m.insert(
+            "per_pool".to_string(),
+            Json::Arr(
+                self.per_pool
+                    .iter()
+                    .map(|p| {
+                        let mut pm = BTreeMap::new();
+                        pm.insert("class".to_string(), Json::Str(p.class.name().to_string()));
+                        pm.insert(
+                            "models".to_string(),
+                            Json::Arr(p.models.iter().map(|&i| Json::Int(i as u64)).collect()),
+                        );
+                        pm.insert(
+                            "workers_start".to_string(),
+                            Json::Int(p.workers_start as u64),
+                        );
+                        pm.insert("workers_low".to_string(), Json::Int(p.workers_low as u64));
+                        pm.insert("workers_high".to_string(), Json::Int(p.workers_high as u64));
+                        pm.insert(
+                            "workers_final".to_string(),
+                            Json::Int(p.workers_final as u64),
+                        );
+                        pm.insert("scale_ups".to_string(), Json::Int(p.scale_ups));
+                        pm.insert("scale_downs".to_string(), Json::Int(p.scale_downs));
+                        pm.insert("routed".to_string(), Json::Int(p.routed));
+                        pm.insert("served".to_string(), Json::Int(p.served));
+                        pm.insert("dropped".to_string(), Json::Int(p.dropped));
+                        pm.insert("busy_cycles".to_string(), Json::Int(p.busy_cycles));
+                        pm.insert("queue_wait".to_string(), p.queue_wait.to_json());
+                        pm.insert("service".to_string(), p.service.to_json());
+                        pm.insert("total".to_string(), p.total.to_json());
+                        pm.insert("slo_attained".to_string(), Json::Int(p.slo_attained));
+                        Json::Obj(pm)
+                    })
+                    .collect(),
+            ),
+        );
+        Json::Obj(m)
+    }
 }
 
 /// Event-driven state of one simulated pool.
@@ -787,11 +904,39 @@ struct SimPool<'a> {
     high: usize,
     ups: u64,
     downs: u64,
+    /// Span-emission state; inert (empty / [`TrackId::NONE`]) when the
+    /// tracer is disarmed. `tracks` stays parallel to `active` — worker
+    /// identities survive autoscaler churn via `serial`, so a departed
+    /// worker's track is never reused.
+    prefix: String,
+    tracks: Vec<TrackId>,
+    serial: usize,
+    queue_track: TrackId,
+    auto_track: TrackId,
+}
+
+/// Span-emission context shared by every pool: the tracer handle plus
+/// the global model names used as span labels.
+struct FleetTrace<'a> {
+    tracer: &'a Tracer,
+    names: &'a [String],
 }
 
 impl SimPool<'_> {
+    /// Register a sync track for one new worker, named by the pool
+    /// prefix and a never-reused serial number.
+    fn push_track(&mut self, tracer: &Tracer) {
+        let id = tracer.track(
+            &format!("{} w{}", self.prefix, self.serial),
+            TrackKind::Sync,
+        );
+        self.serial += 1;
+        self.tracks.push(id);
+    }
+
     /// Dispatch queued requests into workers becoming free up to
     /// `until`.
+    #[allow(clippy::too_many_arguments)]
     fn advance(
         &mut self,
         pool_idx: usize,
@@ -799,6 +944,7 @@ impl SimPool<'_> {
         until: u64,
         slo_cycles: u64,
         track_window: bool,
+        tr: &FleetTrace<'_>,
     ) {
         while !self.queue.is_empty() {
             let mut wi = 0;
@@ -821,6 +967,33 @@ impl SimPool<'_> {
             let start = free_at.max(rec.arrival);
             let completion = start + svc;
             let wait = start - rec.arrival;
+            if tr.tracer.is_armed() {
+                let name = &tr.names[rec.model];
+                if wait > 0 {
+                    tr.tracer.span(
+                        self.queue_track,
+                        SpanKind::QueueWait,
+                        rec.arrival,
+                        start,
+                        &format!("req {req}"),
+                    );
+                }
+                let preload = self.profile.service.preload[lm];
+                tr.tracer.span(
+                    self.tracks[wi],
+                    SpanKind::Preload,
+                    start,
+                    start + preload,
+                    name,
+                );
+                tr.tracer.span(
+                    self.tracks[wi],
+                    SpanKind::Compute,
+                    start + preload,
+                    completion,
+                    name,
+                );
+            }
             rec.outcome = FleetOutcome::Served {
                 pool: pool_idx,
                 queue_wait: wait,
@@ -843,6 +1016,7 @@ impl SimPool<'_> {
         window_cycles: u64,
         scale_up_below: u32,
         scale_down_above: u32,
+        tr: &FleetTrace<'_>,
     ) {
         self.window.retain(|&(c, _)| c + window_cycles > b);
         let mut met = 0u64;
@@ -864,6 +1038,19 @@ impl SimPool<'_> {
                 self.busy += self.profile.service.rewarm;
                 self.ups += 1;
                 self.high = self.high.max(self.active.len());
+                if tr.tracer.is_armed() {
+                    self.push_track(tr.tracer);
+                    let track = *self.tracks.last().expect("just pushed");
+                    tr.tracer.span(
+                        track,
+                        SpanKind::Rewarm,
+                        b,
+                        b + self.profile.service.rewarm,
+                        "scale-up",
+                    );
+                    tr.tracer
+                        .instant(self.auto_track, SpanKind::Autoscale, b, "up");
+                }
             }
         } else if met * 100 > u64::from(scale_down_above) * total
             && self.active.len() > self.spec.min_workers
@@ -879,6 +1066,11 @@ impl SimPool<'_> {
             self.active.remove(victim);
             self.downs += 1;
             self.low = self.low.min(self.active.len());
+            if tr.tracer.is_armed() {
+                self.tracks.remove(victim);
+                tr.tracer
+                    .instant(self.auto_track, SpanKind::Autoscale, b, "down");
+            }
         }
     }
 
@@ -945,12 +1137,16 @@ fn least_loaded(cands: &[usize], pools: &[SimPool<'_>], now: u64) -> usize {
 /// Run the fleet queueing system over `trace` in modeled time and
 /// build the report plus per-pool dispatch orders. Pure: no SoC is
 /// touched (the property tests drive this with synthetic profiles).
+/// Spans land in `tracer` (disarmed in the plain [`simulate`] path);
+/// emission only records values this function computed anyway, keeping
+/// the traced run bit- and cycle-identical to the untraced one.
 fn simulate_plan(
     trace: &RequestTrace,
     profiles: &[PoolProfile],
     spec: &FleetSpec,
     names: &[String],
     soc_hz: u64,
+    tracer: &Tracer,
 ) -> (FleetReport, Vec<Vec<usize>>) {
     assert_eq!(
         profiles.len(),
@@ -982,8 +1178,24 @@ fn simulate_plan(
             high: pspec.workers,
             ups: 0,
             downs: 0,
+            prefix: String::new(),
+            tracks: Vec::new(),
+            serial: 0,
+            queue_track: TrackId::NONE,
+            auto_track: TrackId::NONE,
         })
         .collect();
+    let tr = FleetTrace { tracer, names };
+    if tracer.is_armed() {
+        for (p, pool) in pools.iter_mut().enumerate() {
+            pool.prefix = format!("pool{p} {}", pool.spec.class.name());
+            pool.queue_track = tracer.track(&format!("{} queue", pool.prefix), TrackKind::Async);
+            pool.auto_track = tracer.track(&format!("{} autoscaler", pool.prefix), TrackKind::Sync);
+            for _ in 0..pool.spec.workers {
+                pool.push_track(tracer);
+            }
+        }
+    }
     // Candidate pools per global model — routing is *structurally*
     // restricted to pools with the model resident.
     let candidates: Vec<Vec<usize>> = (0..names.len())
@@ -1009,18 +1221,19 @@ fn simulate_plan(
         // Autoscaler boundaries strictly before this arrival.
         while autoscaling && next_eval <= r.arrival {
             for (p, pool) in pools.iter_mut().enumerate() {
-                pool.advance(p, &mut records, next_eval, slo_cycles, true);
+                pool.advance(p, &mut records, next_eval, slo_cycles, true, &tr);
                 pool.autoscale(
                     next_eval,
                     window_cycles,
                     spec.scale_up_below,
                     spec.scale_down_above,
+                    &tr,
                 );
             }
             next_eval += window_cycles;
         }
         for (p, pool) in pools.iter_mut().enumerate() {
-            pool.advance(p, &mut records, r.arrival, slo_cycles, autoscaling);
+            pool.advance(p, &mut records, r.arrival, slo_cycles, autoscaling, &tr);
         }
         let cands = &candidates[r.model];
         assert!(
@@ -1039,7 +1252,7 @@ fn simulate_plan(
         pools[p].routed += 1;
         if pools[p].queue.len() < pools[p].spec.queue_depth {
             pools[p].queue.push_back(i);
-            pools[p].advance(p, &mut records, r.arrival, slo_cycles, autoscaling);
+            pools[p].advance(p, &mut records, r.arrival, slo_cycles, autoscaling, &tr);
         } else {
             records[i].outcome = FleetOutcome::Dropped { pool: p };
             if autoscaling {
@@ -1049,7 +1262,7 @@ fn simulate_plan(
     }
     // Drain: no arrivals remain, so the autoscaler holds its size.
     for (p, pool) in pools.iter_mut().enumerate() {
-        pool.advance(p, &mut records, u64::MAX, slo_cycles, false);
+        pool.advance(p, &mut records, u64::MAX, slo_cycles, false, &tr);
     }
 
     // Aggregate.
@@ -1157,7 +1370,31 @@ pub fn simulate(
     names: &[String],
     soc_hz: u64,
 ) -> FleetReport {
-    simulate_plan(trace, profiles, spec, names, soc_hz).0
+    simulate_plan(trace, profiles, spec, names, soc_hz, &Tracer::disarmed()).0
+}
+
+/// [`simulate`], emitting spans into `tracer`: per pool, one sync track
+/// per worker ("poolN CLASS wK" — serial numbers survive autoscaler
+/// churn) carrying `preload`/`compute`/`rewarm` spans whose top-level
+/// cycles sum to the pool's `busy_cycles`, an async "poolN CLASS queue"
+/// track whose `queue_wait` spans sum to the pool's queue-wait total,
+/// and a "poolN CLASS autoscaler" track of instant `autoscale` markers.
+/// Arming the tracer is observationally free: the report is
+/// byte-identical to [`simulate`]'s (proptested).
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`simulate`].
+#[must_use]
+pub fn simulate_traced(
+    trace: &RequestTrace,
+    profiles: &[PoolProfile],
+    spec: &FleetSpec,
+    names: &[String],
+    soc_hz: u64,
+    tracer: &Tracer,
+) -> FleetReport {
+    simulate_plan(trace, profiles, spec, names, soc_hz, tracer).0
 }
 
 /// One pool's compiled-and-calibrated runtime state.
@@ -1328,11 +1565,27 @@ impl Fleet {
     ///
     /// [`ServeError::Config`] for a degenerate or shape-changing spec.
     pub fn plan(&self, spec: &FleetSpec) -> Result<FleetReport, ServeError> {
+        self.plan_traced(spec, &Tracer::disarmed())
+    }
+
+    /// [`Fleet::plan`], emitting spans into `tracer` (see
+    /// [`simulate_traced`] for the track layout and the bit-identity
+    /// contract).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Config`] for a degenerate or shape-changing spec.
+    pub fn plan_traced(
+        &self,
+        spec: &FleetSpec,
+        tracer: &Tracer,
+    ) -> Result<FleetReport, ServeError> {
         self.check_spec(spec)?;
         let start = Instant::now();
         let trace = self.trace(spec);
         let profiles: Vec<PoolProfile> = self.pools.iter().map(|p| p.profile.clone()).collect();
-        let (mut report, _) = simulate_plan(&trace, &profiles, spec, &self.names, self.soc_hz);
+        let (mut report, _) =
+            simulate_plan(&trace, &profiles, spec, &self.names, self.soc_hz, tracer);
         report.host_seconds = start.elapsed().as_secs_f64();
         Ok(report)
     }
@@ -1356,12 +1609,30 @@ impl Fleet {
     ///
     /// Panics if a replay thread panics (propagated by [`fan_out`]).
     pub fn run(&self, spec: &FleetSpec) -> Result<FleetReport, ServeError> {
+        self.run_traced(spec, &Tracer::disarmed())
+    }
+
+    /// [`Fleet::run`], emitting spans into `tracer` (see
+    /// [`simulate_traced`] for the track layout and the bit-identity
+    /// contract). Only the planning half emits — the spot-replay is a
+    /// cross-check of the very cycles the plan's spans already carry.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Config`] for a degenerate or shape-changing spec,
+    /// [`ServeError::Batch`] when a replay SoC fails to build or a
+    /// frame fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a replay thread panics (propagated by [`fan_out`]).
+    pub fn run_traced(&self, spec: &FleetSpec, tracer: &Tracer) -> Result<FleetReport, ServeError> {
         self.check_spec(spec)?;
         let start = Instant::now();
         let trace = self.trace(spec);
         let profiles: Vec<PoolProfile> = self.pools.iter().map(|p| p.profile.clone()).collect();
         let (mut report, dispatched) =
-            simulate_plan(&trace, &profiles, spec, &self.names, self.soc_hz);
+            simulate_plan(&trace, &profiles, spec, &self.names, self.soc_hz, tracer);
         // Sample K evenly-spaced windows of W consecutive dispatches
         // per pool (fewer when a pool dispatched less than that).
         let mut jobs: Vec<(usize, usize, usize)> = Vec::new();

@@ -74,6 +74,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rvnv_compiler::codegen::CodegenOptions;
 use rvnv_compiler::Artifacts;
+use rvnv_obs::{Json, MetricsRegistry, SpanKind, Tracer, TrackId, TrackKind};
 use rvnv_util::mix64;
 
 use crate::batch::{input_slots, BatchError, BatchScheduler, PipelinedScheduler, Policy};
@@ -671,6 +672,18 @@ impl LatencyStats {
             max: *samples.last().expect("nonempty"),
         }
     }
+
+    /// `{"p50", "p95", "p99", "mean", "max"}`, in cycles.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("p50".to_string(), Json::Int(self.p50));
+        m.insert("p95".to_string(), Json::Int(self.p95));
+        m.insert("p99".to_string(), Json::Int(self.p99));
+        m.insert("mean".to_string(), Json::Int(self.mean));
+        m.insert("max".to_string(), Json::Int(self.max));
+        Json::Obj(m)
+    }
 }
 
 /// Nearest-rank percentile of an already **sorted** sample set:
@@ -842,6 +855,141 @@ impl ServeReport {
             return 1.0;
         }
         self.slo_attained as f64 / self.offered as f64
+    }
+
+    /// Publish this report into a [`MetricsRegistry`] under the
+    /// `serve.*` namespace: outcome and fault counters, plus one
+    /// observation per served request in the
+    /// `serve.queue_wait_cycles` / `serve.service_cycles` /
+    /// `serve.total_cycles` histograms.
+    pub fn publish(&self, metrics: &MetricsRegistry) {
+        metrics.counter("serve.offered", self.offered);
+        metrics.counter("serve.served", self.served);
+        metrics.counter("serve.dropped", self.dropped);
+        metrics.counter("serve.slo_attained", self.slo_attained);
+        metrics.counter("serve.makespan_cycles", self.makespan_cycles);
+        metrics.counter("serve.fault.hangs", self.faults.hangs);
+        metrics.counter("serve.fault.timeouts", self.faults.timeouts);
+        metrics.counter("serve.fault.retries", self.faults.retries);
+        metrics.counter("serve.fault.bus_errors", self.faults.bus_errors);
+        metrics.counter(
+            "serve.fault.corruptions_detected",
+            self.faults.corruptions_detected,
+        );
+        metrics.counter("serve.fault.spikes", self.faults.spikes);
+        metrics.counter("serve.fault.crashes", self.faults.crashes);
+        metrics.counter("serve.fault.failovers", self.faults.failovers);
+        metrics.counter("serve.fault.sheds", self.faults.sheds);
+        metrics.counter("serve.fault.exhausted", self.faults.exhausted);
+        for rec in &self.records {
+            if let RequestOutcome::Served {
+                queue_wait,
+                service,
+                ..
+            } = rec.outcome
+            {
+                metrics.histogram("serve.queue_wait_cycles", queue_wait);
+                metrics.histogram("serve.service_cycles", service);
+                metrics.histogram("serve.total_cycles", queue_wait + service);
+            }
+        }
+    }
+
+    /// Structured report for `rv-nvdla serve --json`. Carries every
+    /// **modeled** quantity and omits host wall-clock, so two runs of
+    /// the same spec print byte-identical JSON (`tests/cli.rs` pins
+    /// the round trip). Cycle figures are denominated in `soc_hz`.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        use std::collections::BTreeMap;
+        let mut m = BTreeMap::new();
+        m.insert(
+            "policy".to_string(),
+            Json::Str(self.policy.name().to_string()),
+        );
+        m.insert("pipelined".to_string(), Json::Bool(self.pipelined));
+        m.insert("workers".to_string(), Json::Int(self.workers as u64));
+        m.insert(
+            "queue_depth".to_string(),
+            Json::Int(self.queue_depth as u64),
+        );
+        m.insert(
+            "arrivals".to_string(),
+            Json::Str(self.process.name().to_string()),
+        );
+        m.insert("rate_rps".to_string(), Json::Int(self.rate_rps));
+        m.insert("seed".to_string(), Json::Int(self.seed));
+        m.insert("soc_hz".to_string(), Json::Int(self.soc_hz));
+        m.insert(
+            "duration_cycles".to_string(),
+            Json::Int(self.duration_cycles),
+        );
+        m.insert("slo_cycles".to_string(), Json::Int(self.slo_cycles));
+        m.insert("offered".to_string(), Json::Int(self.offered));
+        m.insert("served".to_string(), Json::Int(self.served));
+        m.insert("dropped".to_string(), Json::Int(self.dropped));
+        m.insert(
+            "makespan_cycles".to_string(),
+            Json::Int(self.makespan_cycles),
+        );
+        m.insert("queue_wait".to_string(), self.queue_wait.to_json());
+        m.insert("service".to_string(), self.service.to_json());
+        m.insert("total".to_string(), self.total.to_json());
+        m.insert("slo_attained".to_string(), Json::Int(self.slo_attained));
+        m.insert(
+            "replay_divergence".to_string(),
+            Json::Int(self.replay_divergence),
+        );
+        m.insert(
+            "per_model".to_string(),
+            Json::Arr(
+                self.per_model
+                    .iter()
+                    .map(|s| {
+                        let mut mm = BTreeMap::new();
+                        mm.insert("name".to_string(), Json::Str(s.name.clone()));
+                        mm.insert("offered".to_string(), Json::Int(s.offered));
+                        mm.insert("served".to_string(), Json::Int(s.served));
+                        mm.insert("dropped".to_string(), Json::Int(s.dropped));
+                        mm.insert("service".to_string(), s.service.to_json());
+                        mm.insert("total".to_string(), s.total.to_json());
+                        mm.insert("slo_attained".to_string(), Json::Int(s.slo_attained));
+                        Json::Obj(mm)
+                    })
+                    .collect(),
+            ),
+        );
+        m.insert(
+            "per_worker".to_string(),
+            Json::Arr(
+                self.per_worker
+                    .iter()
+                    .map(|w| {
+                        let mut wm = BTreeMap::new();
+                        wm.insert("frames".to_string(), Json::Int(w.frames));
+                        wm.insert("busy_cycles".to_string(), Json::Int(w.busy_cycles));
+                        Json::Obj(wm)
+                    })
+                    .collect(),
+            ),
+        );
+        let f = &self.faults;
+        let mut fm = BTreeMap::new();
+        fm.insert("hangs".to_string(), Json::Int(f.hangs));
+        fm.insert("timeouts".to_string(), Json::Int(f.timeouts));
+        fm.insert("retries".to_string(), Json::Int(f.retries));
+        fm.insert("bus_errors".to_string(), Json::Int(f.bus_errors));
+        fm.insert(
+            "corruptions_detected".to_string(),
+            Json::Int(f.corruptions_detected),
+        );
+        fm.insert("spikes".to_string(), Json::Int(f.spikes));
+        fm.insert("crashes".to_string(), Json::Int(f.crashes));
+        fm.insert("failovers".to_string(), Json::Int(f.failovers));
+        fm.insert("sheds".to_string(), Json::Int(f.sheds));
+        fm.insert("exhausted".to_string(), Json::Int(f.exhausted));
+        m.insert("faults".to_string(), Json::Obj(fm));
+        Json::Obj(m)
     }
 }
 
@@ -1024,16 +1172,65 @@ impl Dispatcher<'_> {
     }
 }
 
+/// Span-emission context for one simulation: the tracer handle plus the
+/// tracks its spans land on and the model names used as labels. With a
+/// disarmed tracer the track ids are all [`TrackId::NONE`] and every
+/// emission site below is one `is_armed` branch — the whole struct is
+/// inert.
+struct ServeTrace<'a> {
+    tracer: &'a Tracer,
+    names: &'a [String],
+    /// One sync track per worker ("worker N"); empty when disarmed.
+    workers: Vec<TrackId>,
+    /// One async track for the admission queue (waits overlap).
+    queue: TrackId,
+}
+
+impl<'a> ServeTrace<'a> {
+    fn new(tracer: &'a Tracer, names: &'a [String], workers: usize) -> ServeTrace<'a> {
+        let worker_tracks = if tracer.is_armed() {
+            (0..workers)
+                .map(|w| tracer.track(&format!("worker {w}"), TrackKind::Sync))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        ServeTrace {
+            tracer,
+            names,
+            workers: worker_tracks,
+            queue: tracer.track("queue", TrackKind::Async),
+        }
+    }
+
+    /// A request's wait in the admission queue, `[arrival, dispatch]`.
+    fn queue_wait(&self, arrival: u64, dispatch: u64, req: usize) {
+        if self.tracer.is_armed() {
+            self.tracer.span(
+                self.queue,
+                SpanKind::QueueWait,
+                arrival,
+                dispatch,
+                &format!("req {req}"),
+            );
+        }
+    }
+}
+
 /// Run the queueing system over `trace` in modeled time and build the
 /// report plus per-worker dispatch plans. Pure: no SoC is touched, so
 /// this scales to arbitrarily long traces (and is what the property
-/// tests drive with synthetic profiles).
+/// tests drive with synthetic profiles). Spans land in `tracer`
+/// (disarmed in the plain [`simulate`] path); emission only records
+/// values this function computed anyway, which is what keeps the traced
+/// run bit- and cycle-identical to the untraced one.
 fn simulate_plan(
     trace: &RequestTrace,
     service: &ServiceModel,
     spec: &ServeSpec,
     names: &[String],
     soc_hz: u64,
+    tracer: &Tracer,
 ) -> (ServeReport, Vec<WorkerPlan>) {
     assert_eq!(
         names.len(),
@@ -1077,6 +1274,7 @@ fn simulate_plan(
         attempts: vec![0u32; trace.requests.len()],
         report: FaultReport::default(),
     };
+    let tr = ServeTrace::new(tracer, names, spec.workers);
 
     /// Advance one worker's state machine at its decision point.
     #[allow(clippy::too_many_arguments)]
@@ -1089,6 +1287,7 @@ fn simulate_plan(
         pipelined: bool,
         queue_depth: usize,
         chaos: &mut ChaosCtx,
+        tr: &ServeTrace<'_>,
     ) {
         let now = workers[w].free_at;
         if pipelined {
@@ -1107,6 +1306,31 @@ fn simulate_plan(
                     None => (service.compute[m], service.compute[m]),
                 };
                 let completion = now + compute;
+                if tr.tracer.is_armed() {
+                    tr.queue_wait(records[req].arrival, now, req);
+                    tr.tracer.span(
+                        tr.workers[w],
+                        SpanKind::Compute,
+                        now,
+                        completion,
+                        &tr.names[m],
+                    );
+                    if window > compute {
+                        // The staged successor's input still streaming
+                        // after this frame's compute retired.
+                        let nm = workers[w]
+                            .staged
+                            .map(|r| records[r].model)
+                            .expect("window exceeds compute only when a successor is staged");
+                        tr.tracer.span(
+                            tr.workers[w],
+                            SpanKind::PsBurst,
+                            completion,
+                            now + window,
+                            &tr.names[nm],
+                        );
+                    }
+                }
                 records[req].outcome = RequestOutcome::Served {
                     worker: w,
                     queue_wait: now - records[req].arrival,
@@ -1130,6 +1354,15 @@ fn simulate_plan(
                 // Burst start: dequeue and stream the fill.
                 let m = disp.pick(None).expect("step called with work");
                 let req = disp.pop(m);
+                if tr.tracer.is_armed() {
+                    tr.tracer.span(
+                        tr.workers[w],
+                        SpanKind::PsBurst,
+                        now,
+                        now + service.fill[m],
+                        &tr.names[m],
+                    );
+                }
                 workers[w].staged = Some(req);
                 workers[w].plan.bursts.push(Vec::new());
                 workers[w].burst_prev_completion = now;
@@ -1143,6 +1376,24 @@ fn simulate_plan(
             if !chaos.armed() {
                 // Fault-free fast path: byte-identical behaviour (and
                 // report) to a build without the chaos machinery.
+                if tr.tracer.is_armed() {
+                    tr.queue_wait(records[req].arrival, now, req);
+                    let track = tr.workers[w];
+                    tr.tracer.span(
+                        track,
+                        SpanKind::Preload,
+                        now,
+                        now + service.preload[m],
+                        &tr.names[m],
+                    );
+                    tr.tracer.span(
+                        track,
+                        SpanKind::Compute,
+                        now + service.preload[m],
+                        now + svc,
+                        &tr.names[m],
+                    );
+                }
                 records[req].outcome = RequestOutcome::Served {
                     worker: w,
                     queue_wait: now - records[req].arrival,
@@ -1228,6 +1479,18 @@ fn simulate_plan(
                 if served.is_some() {
                     break;
                 }
+                if tr.tracer.is_armed() {
+                    // The failed attempt's burn, labeled by what killed it.
+                    let label = match fault {
+                        None | Some(FrameFault::Spike) => "timeout",
+                        Some(FrameFault::BusErr) => "bus_err",
+                        Some(FrameFault::Flip) => "corrupt",
+                        Some(FrameFault::Hang) => "hang",
+                        Some(FrameFault::Crash) => "crash",
+                    };
+                    tr.tracer
+                        .span(tr.workers[w], SpanKind::Retry, start, start + burn, label);
+                }
                 start += burn;
                 if crashed {
                     break;
@@ -1244,10 +1507,37 @@ fn simulate_plan(
                     break;
                 }
                 chaos.report.retries += 1;
+                if tr.tracer.is_armed() {
+                    tr.tracer.span(
+                        tr.workers[w],
+                        SpanKind::Retry,
+                        start,
+                        start + backoff,
+                        "backoff",
+                    );
+                }
                 start += backoff;
             }
             if let Some(dur) = served {
                 let completion = start + dur;
+                if tr.tracer.is_armed() {
+                    tr.queue_wait(arrival, start, req);
+                    let track = tr.workers[w];
+                    tr.tracer.span(
+                        track,
+                        SpanKind::Preload,
+                        start,
+                        start + service.preload[m],
+                        &tr.names[m],
+                    );
+                    tr.tracer.span(
+                        track,
+                        SpanKind::Compute,
+                        start + service.preload[m],
+                        completion,
+                        &tr.names[m],
+                    );
+                }
                 records[req].outcome = RequestOutcome::Served {
                     worker: w,
                     queue_wait: start - arrival,
@@ -1286,6 +1576,10 @@ fn simulate_plan(
                     chaos.report.sheds += 1;
                 }
                 let free = start.saturating_add(service.rewarm);
+                if tr.tracer.is_armed() {
+                    tr.tracer
+                        .span(tr.workers[w], SpanKind::Rewarm, start, free, &tr.names[m]);
+                }
                 workers[w].stats.busy_cycles += free - dispatch;
                 workers[w].free_at = free;
             } else {
@@ -1308,6 +1602,7 @@ fn simulate_plan(
         pipelined: bool,
         queue_depth: usize,
         chaos: &mut ChaosCtx,
+        tr: &ServeTrace<'_>,
     ) {
         loop {
             let ready = (0..workers.len())
@@ -1324,6 +1619,7 @@ fn simulate_plan(
                         pipelined,
                         queue_depth,
                         chaos,
+                        tr,
                     );
                 }
                 _ => break,
@@ -1341,6 +1637,7 @@ fn simulate_plan(
             spec.pipelined,
             spec.queue_depth,
             &mut chaos,
+            &tr,
         );
         let idle = (0..workers.len())
             .find(|&w| workers[w].free_at <= r.arrival && workers[w].staged.is_none());
@@ -1357,6 +1654,7 @@ fn simulate_plan(
                 spec.pipelined,
                 spec.queue_depth,
                 &mut chaos,
+                &tr,
             );
         } else if disp.queued < spec.queue_depth {
             disp.enqueue(r.model, i);
@@ -1372,6 +1670,7 @@ fn simulate_plan(
         spec.pipelined,
         spec.queue_depth,
         &mut chaos,
+        &tr,
     );
 
     // Aggregate.
@@ -1468,7 +1767,30 @@ pub fn simulate(
     names: &[String],
     soc_hz: u64,
 ) -> ServeReport {
-    simulate_plan(trace, service, spec, names, soc_hz).0
+    simulate_plan(trace, service, spec, names, soc_hz, &Tracer::disarmed()).0
+}
+
+/// [`simulate`], emitting spans into `tracer`: per-worker sync tracks
+/// carry `preload`/`compute`/`ps_burst`/`retry`/`rewarm` spans whose
+/// top-level cycles sum to each worker's `busy_cycles`, and an async
+/// `queue` track carries one `queue_wait` span per served request whose
+/// cycles sum to the report's queue-wait total. Arming the tracer is
+/// observationally free: the report is byte-identical to [`simulate`]'s
+/// (proptested, and pinned by the `determinism_fingerprint` CI gate).
+///
+/// # Panics
+///
+/// Panics when `names` does not have one entry per calibrated model.
+#[must_use]
+pub fn simulate_traced(
+    trace: &RequestTrace,
+    service: &ServiceModel,
+    spec: &ServeSpec,
+    names: &[String],
+    soc_hz: u64,
+    tracer: &Tracer,
+) -> ServeReport {
+    simulate_plan(trace, service, spec, names, soc_hz, tracer).0
 }
 
 /// Replay per-burst model `seqs` on one fresh SoC of `config` with the
@@ -1588,6 +1910,21 @@ impl Server {
     ///
     /// [`ServeError::Config`] for a degenerate spec.
     pub fn plan(&self, spec: &ServeSpec) -> Result<ServeReport, ServeError> {
+        self.plan_traced(spec, &Tracer::disarmed())
+    }
+
+    /// [`Server::plan`], emitting spans into `tracer` (see
+    /// [`simulate_traced`] for the track layout and the bit-identity
+    /// contract).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Config`] for a degenerate spec.
+    pub fn plan_traced(
+        &self,
+        spec: &ServeSpec,
+        tracer: &Tracer,
+    ) -> Result<ServeReport, ServeError> {
         spec.validate()?;
         let start = Instant::now();
         let trace = self.trace(spec);
@@ -1597,6 +1934,7 @@ impl Server {
             spec,
             &self.names(),
             self.config.soc_hz,
+            tracer,
         );
         report.host_seconds = start.elapsed().as_secs_f64();
         Ok(report)
@@ -1622,6 +1960,28 @@ impl Server {
     ///
     /// Panics if a worker thread panics (propagated by [`fan_out`]).
     pub fn serve(&self, spec: &ServeSpec) -> Result<ServeReport, ServeError> {
+        self.serve_traced(spec, &Tracer::disarmed())
+    }
+
+    /// [`Server::serve`], emitting spans into `tracer` (see
+    /// [`simulate_traced`] for the track layout and the bit-identity
+    /// contract). Only the planning half emits — the replay is a
+    /// cross-check of the very cycles the plan's spans already carry.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Config`] for a degenerate spec,
+    /// [`ServeError::Batch`] when a worker fails to build or a frame
+    /// fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panics (propagated by [`fan_out`]).
+    pub fn serve_traced(
+        &self,
+        spec: &ServeSpec,
+        tracer: &Tracer,
+    ) -> Result<ServeReport, ServeError> {
         spec.validate()?;
         let start = Instant::now();
         let trace = self.trace(spec);
@@ -1631,6 +1991,7 @@ impl Server {
             spec,
             &self.names(),
             self.config.soc_hz,
+            tracer,
         );
         // Per-request input bytes, deterministic from the seed and the
         // request index alone: the replay streams real (varied) images,

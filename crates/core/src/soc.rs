@@ -17,6 +17,7 @@ use rvnv_compiler::Artifacts;
 use rvnv_nn::hash::Fnv;
 use rvnv_nn::Tensor;
 use rvnv_nvdla::{HwConfig, Nvdla, NvdlaStats, Precision};
+use rvnv_obs::{MetricsRegistry, SpanKind, Tracer, TrackId};
 use rvnv_riscv::block_cache::{BlockCache, BlockCacheStats};
 use rvnv_riscv::cpu::{Core, CpuError, StopReason};
 use rvnv_riscv::pipeline::PipelineStats;
@@ -293,6 +294,23 @@ impl InferenceResult {
     pub fn latency_ms(&self, hz: u64) -> f64 {
         self.cycles as f64 * 1000.0 / hz as f64
     }
+
+    /// Publish this run into a [`MetricsRegistry`]: `soc.*` totals and
+    /// the `soc.run_cycles` histogram, plus the nested
+    /// [`PipelineStats`], [`NvdlaStats`] and [`BlockCacheStats`]
+    /// counters via their own `publish` methods.
+    pub fn publish(&self, metrics: &MetricsRegistry) {
+        metrics.counter("soc.runs", 1);
+        metrics.counter("soc.cycles", self.cycles);
+        metrics.counter("soc.firmware_cycles", self.firmware_cycles);
+        metrics.counter("soc.instructions", self.instructions);
+        metrics.counter("soc.cpu_arbiter_wait", self.cpu_arbiter_wait);
+        metrics.counter("soc.elided_polls", self.elided_polls);
+        metrics.histogram("soc.run_cycles", self.cycles);
+        self.pipeline.publish(metrics);
+        self.nvdla.publish(metrics);
+        self.block_cache.publish(metrics);
+    }
 }
 
 /// Outcome of one pipelined frame ([`Soc::run_firmware_staged`]).
@@ -407,6 +425,15 @@ pub struct Soc {
     /// a run whose modeled clock passes this many cycles returns
     /// [`SocError::WatchdogExpired`] instead of spinning.
     watchdog: Option<u64>,
+    /// Observability sink ([`Soc::set_tracer`]); disarmed by default, in
+    /// which case every emission site is a single branch.
+    tracer: Tracer,
+    /// Track the SoC's spans land on (meaningful only when armed).
+    track: TrackId,
+    /// Trace-time offset of the next run. Each run's modeled clock
+    /// starts at 0; runs are laid end to end on the track so a
+    /// `--repeat` sequence reads as consecutive frames.
+    trace_base: u64,
 }
 
 impl Soc {
@@ -422,7 +449,22 @@ impl Soc {
             next_image_id: 1,
             decoded: None,
             watchdog: None,
+            tracer: Tracer::disarmed(),
+            track: TrackId::NONE,
+            trace_base: 0,
         }
+    }
+
+    /// Emit this SoC's spans into `tracer` on `track`: one `compute`
+    /// span per run, with a child per accelerator operation when
+    /// [`SocConfig::capture_timeline`] is on, plus a `preload` span per
+    /// [`Soc::ps_stream`]. Successive runs are laid end to end on the
+    /// track. Arming a tracer never changes a modeled cycle or output
+    /// byte — it only records values the simulation already computed.
+    pub fn set_tracer(&mut self, tracer: Tracer, track: TrackId) {
+        self.tracer = tracer;
+        self.track = track;
+        self.trace_base = 0;
     }
 
     fn build_fabric(config: &SocConfig) -> (DramPath, SocNvdla) {
@@ -689,7 +731,17 @@ impl Soc {
     pub fn ps_stream(&self, addr: u32, bytes: &[u8], now: u64) -> Result<u64, BusError> {
         let mut pump = PreloadPump::new(addr, bytes, now);
         self.pump_preload(&mut pump, u64::MAX)?;
-        Ok(pump.done.max(now))
+        let done = pump.done.max(now);
+        if self.tracer.is_armed() {
+            self.tracer.span(
+                self.track,
+                SpanKind::Preload,
+                self.trace_base + now,
+                self.trace_base + done,
+                "ps_stream",
+            );
+        }
+        Ok(done)
     }
 
     /// Issue every preload chunk due at or before `until` (the PS
@@ -1161,6 +1213,32 @@ impl Soc {
             };
             (dla.stats().clone(), timeline)
         };
+        if self.tracer.is_armed() {
+            // One frame on the track: the whole run as a `compute` span
+            // at the current trace offset, with a child per accelerator
+            // operation from the captured timeline (empty when
+            // [`SocConfig::capture_timeline`] is off).
+            let base = self.trace_base;
+            let cycles = core.cycle();
+            let parent = self.tracer.span(
+                self.track,
+                SpanKind::Compute,
+                base,
+                base + cycles,
+                &artifacts.model,
+            );
+            for op in &timeline {
+                self.tracer.child(
+                    parent,
+                    self.track,
+                    SpanKind::Compute,
+                    base + op.start,
+                    base + op.done.min(cycles),
+                    op.block.name(),
+                );
+            }
+            self.trace_base = base + cycles;
+        }
         Ok((
             InferenceResult {
                 cycles: core.cycle(),

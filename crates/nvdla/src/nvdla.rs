@@ -70,6 +70,21 @@ impl NvdlaStats {
     pub fn total_macs(&self) -> u64 {
         self.per_engine.values().map(|e| e.macs).sum()
     }
+
+    /// Publish these counters into a [`rvnv_obs::MetricsRegistry`]
+    /// under the `nvdla.*` namespace (whole-accelerator totals; the
+    /// per-engine breakdown stays on [`NvdlaStats::engine`]).
+    pub fn publish(&self, metrics: &rvnv_obs::MetricsRegistry) {
+        metrics.counter("nvdla.csb_reads", self.csb_reads);
+        metrics.counter("nvdla.csb_writes", self.csb_writes);
+        metrics.counter("nvdla.ops", self.total_ops());
+        metrics.counter("nvdla.dma_bytes", self.total_dma_bytes());
+        metrics.counter("nvdla.macs", self.total_macs());
+        metrics.counter(
+            "nvdla.compute_cycles",
+            self.per_engine.values().map(|e| e.compute_cycles).sum(),
+        );
+    }
 }
 
 #[derive(Debug, Clone, Copy)]

@@ -1,0 +1,176 @@
+//! Hand-rolled Chrome-trace (Perfetto) JSON export.
+//!
+//! The Trace Event Format is what `ui.perfetto.dev` and `chrome://tracing`
+//! ingest: a `{"traceEvents": [...]}` object. Like every other format in
+//! this repo the writer is hand-rolled — no serde.
+//!
+//! Layout decisions:
+//!
+//! * [`TrackKind::Sync`] tracks become threads (`tid`) of one process
+//!   (`pid` 1, named `modeled time`), emitted as `ph:"X"` complete
+//!   events. Chrome stacks same-thread events by nesting, which matches
+//!   the parent-ref discipline of [`Trace`].
+//! * [`TrackKind::Async`] tracks (queues — overlap expected) each get
+//!   their *own* process (`pid = 1000 + track`) of `ph:"b"`/`ph:"e"`
+//!   async event pairs, because Chrome renders async events of one id
+//!   on one line; a private process gives each queue a stacked lane.
+//! * Timestamps are microseconds of modeled time (`cycles * 1e6 /
+//!   soc_hz`), so the Perfetto ruler reads in real units; the exact
+//!   cycle bounds ride along in `args` for lossless round-trips.
+
+use crate::trace::{Trace, TrackKind};
+
+/// Append `s` as a JSON string literal (quotes included).
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Cycles → microseconds of modeled time at `soc_hz`.
+fn us(cycles: u64, soc_hz: u64) -> f64 {
+    cycles as f64 * 1.0e6 / soc_hz.max(1) as f64
+}
+
+/// Render a [`Trace`] as Chrome-trace JSON, openable in
+/// `ui.perfetto.dev`. `soc_hz` is the modeled clock used to place spans
+/// on a microsecond ruler.
+pub fn to_chrome_json(trace: &Trace, soc_hz: u64) -> String {
+    let mut out = String::with_capacity(256 + trace.spans.len() * 160);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let mut push_event = |out: &mut String, body: String| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&body);
+    };
+
+    // Metadata: name the sync process and every track.
+    push_event(
+        &mut out,
+        "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\
+         \"args\":{\"name\":\"modeled time\"}}"
+            .to_string(),
+    );
+    for (i, track) in trace.tracks.iter().enumerate() {
+        let mut m = String::new();
+        match track.kind {
+            TrackKind::Sync => {
+                m.push_str(&format!(
+                    "{{\"ph\":\"M\",\"pid\":1,\"tid\":{i},\"name\":\"thread_name\",\"args\":{{\"name\":"
+                ));
+                push_json_str(&mut m, &track.name);
+                m.push_str("}}");
+            }
+            TrackKind::Async => {
+                // A queue gets its own process so its overlapping spans
+                // stack instead of collapsing onto one line.
+                m.push_str(&format!(
+                    "{{\"ph\":\"M\",\"pid\":{},\"tid\":0,\"name\":\"process_name\",\"args\":{{\"name\":",
+                    1000 + i
+                ));
+                push_json_str(&mut m, &track.name);
+                m.push_str("}}");
+            }
+        }
+        push_event(&mut out, m);
+    }
+
+    for (si, span) in trace.spans.iter().enumerate() {
+        let track = &trace.tracks[span.track.0 as usize];
+        let ts = us(span.start, soc_hz);
+        let dur = us(span.cycles(), soc_hz);
+        let mut e = String::with_capacity(160);
+        match track.kind {
+            TrackKind::Sync => {
+                if span.end == span.start {
+                    // Instant marker.
+                    e.push_str(&format!(
+                        "{{\"ph\":\"i\",\"pid\":1,\"tid\":{},\"s\":\"t\",\"ts\":{ts:.3},\"cat\":",
+                        span.track.0
+                    ));
+                } else {
+                    e.push_str(&format!(
+                        "{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{ts:.3},\"dur\":{dur:.3},\"cat\":",
+                        span.track.0
+                    ));
+                }
+                push_json_str(&mut e, span.kind.name());
+                e.push_str(",\"name\":");
+                push_json_str(&mut e, &span.label);
+                e.push_str(&format!(
+                    ",\"args\":{{\"start_cycle\":{},\"end_cycle\":{}}}}}",
+                    span.start, span.end
+                ));
+                push_event(&mut out, e);
+            }
+            TrackKind::Async => {
+                let pid = 1000 + span.track.0 as usize;
+                for ph in ["b", "e"] {
+                    let at = if ph == "b" { ts } else { us(span.end, soc_hz) };
+                    let mut a = String::with_capacity(140);
+                    a.push_str(&format!(
+                        "{{\"ph\":\"{ph}\",\"pid\":{pid},\"tid\":0,\"id\":{si},\"ts\":{at:.3},\"cat\":"
+                    ));
+                    push_json_str(&mut a, span.kind.name());
+                    a.push_str(",\"name\":");
+                    push_json_str(&mut a, &span.label);
+                    if ph == "b" {
+                        a.push_str(&format!(
+                            ",\"args\":{{\"start_cycle\":{},\"end_cycle\":{}}}",
+                            span.start, span.end
+                        ));
+                    }
+                    a.push('}');
+                    push_event(&mut out, a);
+                }
+            }
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{SpanKind, Tracer, TrackKind};
+
+    #[test]
+    fn export_is_valid_json_with_one_event_per_sync_span() {
+        let t = Tracer::armed();
+        let w = t.track("worker 0", TrackKind::Sync);
+        let q = t.track("queue", TrackKind::Async);
+        t.span(w, SpanKind::Compute, 100, 300, "lenet5 \"quoted\"");
+        t.span(q, SpanKind::QueueWait, 0, 100, "req 0");
+        t.instant(w, SpanKind::Autoscale, 300, "mark");
+        let json = to_chrome_json(&t.snapshot(), 100_000_000);
+        let v = crate::json::Json::parse(&json).expect("valid JSON");
+        let events = v.get("traceEvents").and_then(|e| e.as_array()).unwrap();
+        // 3 metadata + 1 X + 1 instant + b/e pair.
+        assert_eq!(events.len(), 7);
+        let x = events
+            .iter()
+            .find(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .expect("one complete event");
+        assert_eq!(x.get("cat").and_then(|c| c.as_str()), Some("compute"));
+        // 200 cycles at 100 MHz = 2 µs.
+        assert_eq!(x.get("dur").and_then(|d| d.as_f64()), Some(2.0));
+        let args = x.get("args").unwrap();
+        assert_eq!(args.get("start_cycle").and_then(|s| s.as_u64()), Some(100));
+    }
+}

@@ -1,0 +1,29 @@
+//! Modeled-time observability for the RISC-V + NVDLA stack.
+//!
+//! Three pieces (docs/OBSERVABILITY.md has the operator's guide):
+//!
+//! * [`trace`] — a zero-cost-when-disarmed [`Tracer`] recording typed
+//!   spans in *modeled cycles* (not host time) across every layer: SoC
+//!   firmware runs, batch drains, serve dispatches, fleet autoscaling.
+//! * [`chrome`] — a hand-rolled Chrome-trace/Perfetto JSON writer;
+//!   `rv-nvdla … --trace-out FILE` produces a file `ui.perfetto.dev`
+//!   opens directly.
+//! * [`metrics`] — a unified [`MetricsRegistry`] (counters +
+//!   fixed-bucket histograms) the typed `*Stats` structs publish into,
+//!   dumped by `--metrics-out FILE` under a stable JSON schema.
+//!
+//! The honesty contract: arming the tracer must not move a single
+//! modeled cycle or output byte. The tracer only *records* values the
+//! simulation already computed — it never draws randomness, never
+//! advances time — and the `determinism_fingerprint` CI gate pins a
+//! traced run bit- and cycle-identical to an untraced one.
+
+pub mod chrome;
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use chrome::to_chrome_json;
+pub use json::Json;
+pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot, BUCKET_BOUNDS};
+pub use trace::{Span, SpanKind, SpanRef, Trace, Tracer, Track, TrackId, TrackKind};

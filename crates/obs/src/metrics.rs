@@ -1,0 +1,235 @@
+//! A unified metrics registry: counters and fixed-bucket histograms.
+//!
+//! The existing typed `*Stats` structs (`FaultStats`, `PipelineStats`,
+//! `BlockCacheStats`, `NvdlaStats`, …) stay the programmatic API; a
+//! [`MetricsRegistry`] is the *operator* view they publish into, so one
+//! `--metrics-out FILE` dump carries every layer's numbers under one
+//! stable schema. Snapshots follow the repo's `.since(&baseline)` delta
+//! convention.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::json::Json;
+
+/// Upper bounds (inclusive, in modeled cycles) of the fixed histogram
+/// buckets, spanning one DRAM burst to a full second at 100 MHz. The
+/// last implicit bucket is `> 100_000_000` (the overflow count).
+pub const BUCKET_BOUNDS: [u64; 7] = [
+    100,
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+];
+
+/// One histogram: fixed [`BUCKET_BOUNDS`] buckets plus count/sum/min/max.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Histogram {
+    /// Per-bucket counts; `counts[i]` holds values `<= BUCKET_BOUNDS[i]`
+    /// (and greater than the previous bound). One extra slot at the end
+    /// counts overflow values.
+    pub counts: [u64; BUCKET_BOUNDS.len() + 1],
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+}
+
+impl Histogram {
+    fn record(&mut self, value: u64) {
+        let bucket = BUCKET_BOUNDS
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(BUCKET_BOUNDS.len());
+        self.counts[bucket] += 1;
+        if self.count == 0 || value < self.min {
+            self.min = value;
+        }
+        if value > self.max {
+            self.max = value;
+        }
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A point-in-time copy of every metric, with the repo's
+/// [`since`](MetricsSnapshot::since) delta convention and a stable JSON
+/// rendering (see docs/OBSERVABILITY.md for the schema).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter name → cumulative value.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Histogram name → cumulative histogram.
+    pub histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl MetricsSnapshot {
+    /// Field-wise delta against an `earlier` snapshot of the same
+    /// registry (the `BlockCacheStats::since` convention). Counters,
+    /// bucket counts, `count` and `sum` subtract; `min`/`max` are
+    /// cumulative watermarks and carry over from `self` unchanged.
+    #[must_use]
+    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(&k, &v)| (k, v - earlier.counters.get(k).copied().unwrap_or(0)))
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(&k, h)| {
+                let mut d = h.clone();
+                if let Some(e) = earlier.histograms.get(k) {
+                    for (c, &ec) in d.counts.iter_mut().zip(e.counts.iter()) {
+                        *c -= ec;
+                    }
+                    d.count -= e.count;
+                    d.sum -= e.sum;
+                }
+                (k, d)
+            })
+            .collect();
+        MetricsSnapshot {
+            counters,
+            histograms,
+        }
+    }
+
+    /// Stable-schema JSON: `{"counters": {...}, "histograms": {name:
+    /// {"bounds": [...], "counts": [...], "count", "sum", "min", "max",
+    /// "mean"}}}`. Keys are sorted; the schema is pinned in
+    /// docs/OBSERVABILITY.md and tests/cli.rs.
+    pub fn to_json(&self) -> Json {
+        let counters = Json::Obj(
+            self.counters
+                .iter()
+                .map(|(&k, &v)| (k.to_string(), Json::Int(v)))
+                .collect(),
+        );
+        let histograms = Json::Obj(
+            self.histograms
+                .iter()
+                .map(|(&k, h)| {
+                    let mut m = BTreeMap::new();
+                    m.insert(
+                        "bounds".to_string(),
+                        Json::Arr(BUCKET_BOUNDS.iter().map(|&b| Json::Int(b)).collect()),
+                    );
+                    m.insert(
+                        "counts".to_string(),
+                        Json::Arr(h.counts.iter().map(|&c| Json::Int(c)).collect()),
+                    );
+                    m.insert("count".to_string(), Json::Int(h.count));
+                    m.insert("sum".to_string(), Json::Int(h.sum));
+                    m.insert("min".to_string(), Json::Int(h.min));
+                    m.insert("max".to_string(), Json::Int(h.max));
+                    m.insert("mean".to_string(), Json::Float(h.mean()));
+                    (k.to_string(), Json::Obj(m))
+                })
+                .collect(),
+        );
+        let mut root = BTreeMap::new();
+        root.insert("counters".to_string(), counters);
+        root.insert("histograms".to_string(), histograms);
+        Json::Obj(root)
+    }
+}
+
+/// The registry itself: thread-safe, keyed by `&'static str` so call
+/// sites read as documentation and keys cost nothing to hash or clone.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<MetricsSnapshot>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Add `delta` to a named counter (created at zero on first use).
+    pub fn counter(&self, name: &'static str, delta: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        *inner.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Record one value into a named fixed-bucket histogram.
+    pub fn histogram(&self, name: &'static str, value: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.histograms.entry(name).or_default().record(value);
+    }
+
+    /// Copy out the current state.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.inner.lock().unwrap().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_since_subtracts() {
+        let m = MetricsRegistry::new();
+        m.counter("serve.requests_offered", 10);
+        let base = m.snapshot();
+        m.counter("serve.requests_offered", 5);
+        m.counter("serve.requests_dropped", 1);
+        let delta = m.snapshot().since(&base);
+        assert_eq!(delta.counters["serve.requests_offered"], 5);
+        assert_eq!(delta.counters["serve.requests_dropped"], 1);
+    }
+
+    #[test]
+    fn histogram_buckets_and_watermarks() {
+        let m = MetricsRegistry::new();
+        for v in [50, 500, 500, 2_000_000_000] {
+            m.histogram("serve.queue_wait_cycles", v);
+        }
+        let h = &m.snapshot().histograms["serve.queue_wait_cycles"];
+        assert_eq!(h.counts[0], 1); // <= 100
+        assert_eq!(h.counts[1], 2); // <= 1_000
+        assert_eq!(h.counts[BUCKET_BOUNDS.len()], 1); // overflow
+        assert_eq!(h.count, 4);
+        assert_eq!(h.min, 50);
+        assert_eq!(h.max, 2_000_000_000);
+    }
+
+    #[test]
+    fn json_schema_is_stable_and_parses() {
+        let m = MetricsRegistry::new();
+        m.counter("a.b", 3);
+        m.histogram("c.d", 42);
+        let json = m.snapshot().to_json().to_string();
+        let v = Json::parse(&json).expect("valid");
+        assert_eq!(
+            v.get("counters")
+                .and_then(|c| c.get("a.b"))
+                .and_then(Json::as_u64),
+            Some(3)
+        );
+        let h = v.get("histograms").and_then(|h| h.get("c.d")).unwrap();
+        assert_eq!(h.get("count").and_then(Json::as_u64), Some(1));
+        assert_eq!(h.get("sum").and_then(Json::as_u64), Some(42));
+    }
+}

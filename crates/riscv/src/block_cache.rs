@@ -69,6 +69,17 @@ impl BlockCacheStats {
             replayed_ops: self.replayed_ops - earlier.replayed_ops,
         }
     }
+
+    /// Publish these counters into a [`rvnv_obs::MetricsRegistry`]
+    /// under the `block_cache.*` namespace. Call with a delta
+    /// ([`BlockCacheStats::since`]) to publish one run's share, or with
+    /// cumulative stats once.
+    pub fn publish(&self, metrics: &rvnv_obs::MetricsRegistry) {
+        metrics.counter("block_cache.hits", self.hits);
+        metrics.counter("block_cache.misses", self.misses);
+        metrics.counter("block_cache.invalidations", self.invalidations);
+        metrics.counter("block_cache.replayed_ops", self.replayed_ops);
+    }
 }
 
 /// Sentinel for "no block starts at this word".

@@ -755,19 +755,8 @@ impl<I: Target, D: Target> Core<I, D> {
         self.cycle += dc * k;
         self.retired += dr * k;
         self.lease_elided += (self.lease_elided - a.elided) * k;
-        let pstats = self.pipeline.stats();
-        self.pipeline.fast_forward(
-            &PipelineStats {
-                retired: pstats.retired - a.pstats.retired,
-                base_cycles: pstats.base_cycles - a.pstats.base_cycles,
-                branch_stalls: pstats.branch_stalls - a.pstats.branch_stalls,
-                load_use_stalls: pstats.load_use_stalls - a.pstats.load_use_stalls,
-                muldiv_stalls: pstats.muldiv_stalls - a.pstats.muldiv_stalls,
-                fetch_stalls: pstats.fetch_stalls - a.pstats.fetch_stalls,
-                mem_stalls: pstats.mem_stalls - a.pstats.mem_stalls,
-            },
-            k,
-        );
+        let per_period = self.pipeline.stats().since(&a.pstats);
+        self.pipeline.fast_forward(&per_period, k);
         let cache = self.cache.as_mut().expect("checked above");
         cache.stats.hits += (cstats.hits - a.cstats.hits) * k;
         cache.stats.replayed_ops += (cstats.replayed_ops - a.cstats.replayed_ops) * k;

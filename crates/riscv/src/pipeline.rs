@@ -81,6 +81,36 @@ impl PipelineStats {
             .checked_div(self.retired)
             .unwrap_or(0)
     }
+
+    /// Counter-wise difference since `earlier` (same core, later in
+    /// time) — the repo-wide snapshot-delta convention
+    /// (`BlockCacheStats::since`).
+    #[must_use]
+    pub fn since(&self, earlier: &PipelineStats) -> PipelineStats {
+        PipelineStats {
+            retired: self.retired - earlier.retired,
+            base_cycles: self.base_cycles - earlier.base_cycles,
+            branch_stalls: self.branch_stalls - earlier.branch_stalls,
+            load_use_stalls: self.load_use_stalls - earlier.load_use_stalls,
+            muldiv_stalls: self.muldiv_stalls - earlier.muldiv_stalls,
+            fetch_stalls: self.fetch_stalls - earlier.fetch_stalls,
+            mem_stalls: self.mem_stalls - earlier.mem_stalls,
+        }
+    }
+
+    /// Publish these counters into a [`rvnv_obs::MetricsRegistry`]
+    /// under the `cpu.*` namespace. Call with a delta
+    /// ([`PipelineStats::since`]) to publish one run's share, or with
+    /// cumulative stats once.
+    pub fn publish(&self, metrics: &rvnv_obs::MetricsRegistry) {
+        metrics.counter("cpu.retired", self.retired);
+        metrics.counter("cpu.base_cycles", self.base_cycles);
+        metrics.counter("cpu.branch_stalls", self.branch_stalls);
+        metrics.counter("cpu.load_use_stalls", self.load_use_stalls);
+        metrics.counter("cpu.muldiv_stalls", self.muldiv_stalls);
+        metrics.counter("cpu.fetch_stalls", self.fetch_stalls);
+        metrics.counter("cpu.mem_stalls", self.mem_stalls);
+    }
 }
 
 /// The pipeline hazard tracker.

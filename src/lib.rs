@@ -13,7 +13,9 @@
 //! * [`rvnv_nn`] — tensors, the six-model zoo, golden executor, INT8/FP16;
 //! * [`rvnv_nvdla`] — the register-level NVDLA model (`nv_small`/`nv_full`);
 //! * [`rvnv_compiler`] — layer→engine lowering, traces, VP, codegen;
-//! * [`rvnv_soc`] — the SoC, firmware, resource model, baselines.
+//! * [`rvnv_soc`] — the SoC, firmware, resource model, baselines;
+//! * [`rvnv_obs`] — modeled-time span tracing + the unified metrics
+//!   registry (Perfetto export, docs/OBSERVABILITY.md).
 //!
 //! # Quickstart
 //!
@@ -36,6 +38,7 @@ pub use rvnv_bus;
 pub use rvnv_compiler;
 pub use rvnv_nn;
 pub use rvnv_nvdla;
+pub use rvnv_obs;
 pub use rvnv_riscv;
 pub use rvnv_soc;
 
@@ -47,9 +50,14 @@ pub mod prelude {
     pub use rvnv_nn::zoo::Model;
     pub use rvnv_nn::{Shape, Tensor};
     pub use rvnv_nvdla::{HwConfig, Nvdla, Precision};
+    pub use rvnv_obs::{
+        to_chrome_json, Json, MetricsRegistry, MetricsSnapshot, SpanKind, Trace, Tracer, TrackId,
+        TrackKind,
+    };
     pub use rvnv_soc::batch::{
-        layout_models, run_parallel, run_parallel_pipelined, BatchReport, BatchScheduler, Frame,
-        FrameLatency, PipelinedScheduler, Policy,
+        layout_models, run_parallel, run_parallel_pipelined, run_parallel_pipelined_traced,
+        run_parallel_traced, BatchReport, BatchScheduler, Frame, FrameLatency, PipelinedScheduler,
+        Policy,
     };
     pub use rvnv_soc::firmware::Firmware;
     pub use rvnv_soc::fleet::{

@@ -4,18 +4,21 @@
 //! ```text
 //! rv-nvdla compile <model> [--fp16] [--unfused] [--out DIR]
 //! rv-nvdla run     <model> [--fp16] [--unfused] [--wfi] [--timing-only] [--repeat N]
+//!                  [--trace-out FILE] [--metrics-out FILE]
 //! rv-nvdla sweep   <model> [--fp16] [--unfused] [--clocks MHZ,..] [--threads N]
 //! rv-nvdla batch   --models A,B[,..] [--frames N] [--policy rr|sqf|eff] [--threads N]
 //!                  [--pipeline] [--functional] [--wfi] [--fp16] [--unfused]
+//!                  [--trace-out FILE] [--metrics-out FILE]
 //! rv-nvdla serve   --models A,B[,..] [--rate R] [--duration MS] [--seed S]
 //!                  [--workers W] [--policy rr|sqf|eff] [--pipeline]
 //!                  [--queue-depth D] [--slo-us U] [--arrivals poisson|fixed]
 //!                  [--timeout-us U] [--retries N] [--faults SPEC]
-//!                  [--fp16] [--unfused]
+//!                  [--fp16] [--unfused] [--json] [--trace-out FILE] [--metrics-out FILE]
 //! rv-nvdla fleet   --models A,B[,..] [--pools CLASS[:k=v,..][;..]] [--route POLICY]
 //!                  [--shape SHAPE] [--rate R] [--duration MS] [--seed S] [--slo-us U]
 //!                  [--scale-window MS] [--scale-up-below PCT] [--scale-down-above PCT]
 //!                  [--spot-windows K] [--window-frames N] [--fp16] [--unfused]
+//!                  [--json] [--trace-out FILE] [--metrics-out FILE]
 //! rv-nvdla fuzz    <target|all> [--seed S] [--budget N] [--shrink]
 //! rv-nvdla traces
 //! rv-nvdla resources
@@ -52,14 +55,18 @@ fn main() -> ExitCode {
                  \tCompile a zoo model; write config file, weight .bin,\n\
                  \tassembly and program-memory .mem image.\n\
                  run <model> [--fp16] [--unfused] [--wfi] [--timing-only] [--repeat N]\n\
+                 \x20   [--trace-out FILE] [--metrics-out FILE]\n\
                  \tRun N bare-metal inferences on the co-simulated SoC;\n\
                  \trepeats after the first reuse the resident weight image\n\
-                 \t(compile-once/run-many hot path).\n\
+                 \t(compile-once/run-many hot path). --trace-out writes a\n\
+                 \tPerfetto-loadable modeled-time trace, --metrics-out a\n\
+                 \tJSON metrics dump (docs/OBSERVABILITY.md).\n\
                  sweep <model> [--fp16] [--unfused] [--clocks 50,100,150,200] [--threads N]\n\
                  \tTiming-only system-clock sweep (wfi firmware) against\n\
                  \tthe 100 MHz MIG, fanned out across worker threads.\n\
                  batch --models A,B[,..] [--frames N] [--policy rr|sqf|eff] [--threads N]\n\
                  \x20     [--pipeline] [--functional] [--wfi] [--fp16] [--unfused]\n\
+                 \x20     [--trace-out FILE] [--metrics-out FILE]\n\
                  \tKeep every listed model resident in DRAM at disjoint\n\
                  \tbases and drain an interleaved frame queue across them\n\
                  \ton one SoC per worker thread (timing-only + wfi unless\n\
@@ -72,7 +79,7 @@ fn main() -> ExitCode {
                  \x20     [--policy rr|sqf|eff] [--pipeline] [--queue-depth D] [--slo-us U]\n\
                  \x20     [--arrivals poisson|fixed] [--timeout-us U] [--retries N]\n\
                  \x20     [--faults seed=S,flips=F,errors=E,spikes=P,spike-us=U,hangs=H,crashes=C]\n\
-                 \x20     [--fp16] [--unfused]\n\
+                 \x20     [--fp16] [--unfused] [--json] [--trace-out FILE] [--metrics-out FILE]\n\
                  \tOpen-loop serving: a seeded arrival trace (R req/s of\n\
                  \tmodeled time for MS ms) drains through a bounded\n\
                  \tadmission queue into W warm worker SoCs with every\n\
@@ -88,7 +95,8 @@ fn main() -> ExitCode {
                  fleet --models A,B[,..] [--pools CLASS[:k=v,..][;..]] [--route POLICY] [--shape SHAPE]\n\
                  \x20     [--rate R] [--duration MS] [--seed S] [--slo-us U] [--scale-window MS]\n\
                  \x20     [--scale-up-below PCT] [--scale-down-above PCT] [--spot-windows K]\n\
-                 \x20     [--window-frames N] [--fp16] [--unfused]\n\
+                 \x20     [--window-frames N] [--fp16] [--unfused] [--json]\n\
+                 \x20     [--trace-out FILE] [--metrics-out FILE]\n\
                  \tFleet-scale serving: a shaped arrival trace (--shape\n\
                  \tsteady|diurnal|bursty|flash-crowd) drains through a\n\
                  \tfront-end load balancer (--route weighted|least-loaded|\n\
@@ -149,8 +157,10 @@ fn find_model(name: &str) -> Result<Model, AnyError> {
 
 /// Flags that consume the following argument as their value (the model
 /// name scan must not mistake such a value for the model).
-const VALUE_FLAGS: [&str; 26] = [
+const VALUE_FLAGS: [&str; 28] = [
     "--out",
+    "--trace-out",
+    "--metrics-out",
     "--budget",
     "--repeat",
     "--clocks",
@@ -277,6 +287,54 @@ fn parse_options(args: &[String]) -> Result<(Model, CompileOptions, bool, bool),
     Ok((model, opt, wfi, timing_only))
 }
 
+/// The observability sinks shared by `run`/`batch`/`serve`/`fleet`:
+/// `--trace-out FILE` (Chrome-trace/Perfetto JSON of the modeled-time
+/// spans) and `--metrics-out FILE` (the unified metrics snapshot). See
+/// docs/OBSERVABILITY.md.
+struct ObsOut {
+    trace_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
+    tracer: Tracer,
+}
+
+impl ObsOut {
+    /// Parse the two flags. The tracer is armed only when `--trace-out`
+    /// asks for spans — disarmed, every emission site in the simulators
+    /// is a single branch, and arming never changes a modeled cycle.
+    fn from_args(args: &[String]) -> Result<ObsOut, AnyError> {
+        let trace_out = parse_value(args, "--trace-out")?.map(PathBuf::from);
+        let metrics_out = parse_value(args, "--metrics-out")?.map(PathBuf::from);
+        let tracer = if trace_out.is_some() {
+            Tracer::armed()
+        } else {
+            Tracer::disarmed()
+        };
+        Ok(ObsOut {
+            trace_out,
+            metrics_out,
+            tracer,
+        })
+    }
+
+    /// Whether `--metrics-out` asked for a metrics dump.
+    fn wants_metrics(&self) -> bool {
+        self.metrics_out.is_some()
+    }
+
+    /// Write whichever sinks were requested: the trace with its µs
+    /// timestamps denominated at `soc_hz`, and the metrics snapshot.
+    /// Quiet on stdout so `--json` output stays machine-parseable.
+    fn write(&self, soc_hz: u64, metrics: &MetricsRegistry) -> Result<(), AnyError> {
+        if let Some(path) = &self.trace_out {
+            std::fs::write(path, to_chrome_json(&self.tracer.snapshot(), soc_hz))?;
+        }
+        if let Some(path) = &self.metrics_out {
+            std::fs::write(path, format!("{}\n", metrics.snapshot().to_json()))?;
+        }
+        Ok(())
+    }
+}
+
 fn cmd_compile(args: &[String]) -> Result<(), AnyError> {
     validate_args("compile", args, &["--fp16", "--unfused"], &["--out"], 1)?;
     let (model, opt, _, _) = parse_options(args)?;
@@ -315,11 +373,12 @@ fn cmd_run(args: &[String]) -> Result<(), AnyError> {
         "run",
         args,
         &["--fp16", "--unfused", "--wfi", "--timing-only"],
-        &["--repeat"],
+        &["--repeat", "--trace-out", "--metrics-out"],
         1,
     )?;
     let (model, opt, wfi, timing_only) = parse_options(args)?;
     let repeat = parse_number(args, "--repeat")?.unwrap_or(1).max(1);
+    let obs = ObsOut::from_args(args)?;
     let net = model.build(1);
     // The cache is trivially one entry here; `run` goes through it so
     // the CLI exercises the same path a long-lived server would.
@@ -331,7 +390,17 @@ fn cmd_run(args: &[String]) -> Result<(), AnyError> {
         SocConfig::zcu102_nv_small()
     };
     config.hw = opt.hw.clone();
+    if obs.tracer.is_armed() {
+        // Per-op child spans come from the captured timeline.
+        config.capture_timeline = true;
+    }
+    let soc_hz = config.soc_hz;
+    let metrics = MetricsRegistry::new();
     let mut soc = Soc::new(config);
+    if obs.tracer.is_armed() {
+        let track = obs.tracer.track("soc", TrackKind::Sync);
+        soc.set_tracer(obs.tracer.clone(), track);
+    }
     let input = Tensor::random(net.input_shape(), 7);
     let input_bytes = artifacts.quantize_input(&input);
     let codegen = CodegenOptions {
@@ -343,6 +412,9 @@ fn cmd_run(args: &[String]) -> Result<(), AnyError> {
     let cold_start = Instant::now();
     let result = soc.run_firmware(&artifacts, &input_bytes, &fw)?;
     let cold_host = cold_start.elapsed();
+    if obs.wants_metrics() {
+        result.publish(&metrics);
+    }
     println!(
         "{}: {} cycles = {:.2} ms @100 MHz | {} instructions | firmware {} B | class {}",
         model.name(),
@@ -372,6 +444,9 @@ fn cmd_run(args: &[String]) -> Result<(), AnyError> {
         let mut elided_polls = result.elided_polls;
         for i in 1..repeat {
             let warm = soc.run_firmware(&artifacts, &input_bytes, &fw)?;
+            if obs.wants_metrics() {
+                warm.publish(&metrics);
+            }
             if warm.cycles != result.cycles || warm.raw_output != result.raw_output {
                 return Err(format!(
                     "warm run {i} diverged: {} cycles vs {}",
@@ -394,6 +469,7 @@ fn cmd_run(args: &[String]) -> Result<(), AnyError> {
             cache_stats.hits, cache_stats.misses, elided_polls,
         );
     }
+    obs.write(soc_hz, &metrics)?;
     Ok(())
 }
 
@@ -535,10 +611,19 @@ fn cmd_batch(args: &[String]) -> Result<(), AnyError> {
         "batch",
         args,
         &["--fp16", "--unfused", "--wfi", "--functional", "--pipeline"],
-        &["--models", "--frames", "--policy", "--threads"],
+        &[
+            "--models",
+            "--frames",
+            "--policy",
+            "--threads",
+            "--trace-out",
+            "--metrics-out",
+        ],
         0,
     )?;
     let models = parse_model_list("batch", args)?;
+    let obs = ObsOut::from_args(args)?;
+    let metrics = MetricsRegistry::new();
     let frames =
         parse_positive(args, "--frames", "an empty batch serves nothing")?.unwrap_or(16) as usize;
     let policy: Policy = parse_value(args, "--policy")?.unwrap_or("rr").parse()?;
@@ -594,9 +679,25 @@ fn cmd_batch(args: &[String]) -> Result<(), AnyError> {
 
     let start = Instant::now();
     let report = if pipeline {
-        run_parallel_pipelined(&config, policy, &artifacts, codegen, &frame_stream, threads)?
+        run_parallel_pipelined_traced(
+            &config,
+            policy,
+            &artifacts,
+            codegen,
+            &frame_stream,
+            threads,
+            &obs.tracer,
+        )?
     } else {
-        run_parallel(&config, policy, &artifacts, codegen, &frame_stream, threads)?
+        run_parallel_traced(
+            &config,
+            policy,
+            &artifacts,
+            codegen,
+            &frame_stream,
+            threads,
+            &obs.tracer,
+        )?
     };
     let host_ms = start.elapsed().as_secs_f64() * 1e3;
 
@@ -635,6 +736,10 @@ fn cmd_batch(args: &[String]) -> Result<(), AnyError> {
         // including per-worker setup), so the pair is self-consistent.
         report.total_frames() as f64 / (host_ms / 1e3).max(1e-9),
     );
+    if obs.wants_metrics() {
+        report.publish(&metrics);
+    }
+    obs.write(config.soc_hz, &metrics)?;
     Ok(())
 }
 
@@ -642,7 +747,7 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
     validate_args(
         "serve",
         args,
-        &["--fp16", "--unfused", "--pipeline"],
+        &["--fp16", "--unfused", "--pipeline", "--json"],
         &[
             "--models",
             "--rate",
@@ -656,10 +761,14 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
             "--timeout-us",
             "--retries",
             "--faults",
+            "--trace-out",
+            "--metrics-out",
         ],
         0,
     )?;
     let models = parse_model_list("serve", args)?;
+    let obs = ObsOut::from_args(args)?;
+    let json = args.iter().any(|a| a == "--json");
     let mut spec = ServeSpec::default();
     if let Some(rate) = parse_positive(args, "--rate", "a rate of 0 offers no load")? {
         spec.rate_rps = rate;
@@ -731,7 +840,20 @@ fn cmd_serve(args: &[String]) -> Result<(), AnyError> {
     let calib_start = Instant::now();
     let server = Server::new(config.clone(), artifacts, codegen)?;
     let calib_ms = calib_start.elapsed().as_secs_f64() * 1e3;
-    let report = server.serve(&spec)?;
+    let report = server.serve_traced(&spec, &obs.tracer)?;
+
+    let metrics = MetricsRegistry::new();
+    if obs.wants_metrics() {
+        report.publish(&metrics);
+    }
+    obs.write(config.soc_hz, &metrics)?;
+    if json {
+        // Machine-readable report on stdout, nothing else: every field
+        // is modeled (host wall-clock excluded), so two runs of the
+        // same spec print byte-identical JSON.
+        println!("{}", report.to_json());
+        return Ok(());
+    }
 
     let ms = |cycles: u64| config.cycles_to_ms(cycles);
     println!(
@@ -828,7 +950,7 @@ fn cmd_fleet(args: &[String]) -> Result<(), AnyError> {
     validate_args(
         "fleet",
         args,
-        &["--fp16", "--unfused"],
+        &["--fp16", "--unfused", "--json"],
         &[
             "--models",
             "--pools",
@@ -843,10 +965,14 @@ fn cmd_fleet(args: &[String]) -> Result<(), AnyError> {
             "--scale-down-above",
             "--spot-windows",
             "--window-frames",
+            "--trace-out",
+            "--metrics-out",
         ],
         0,
     )?;
     let models = parse_model_list("fleet", args)?;
+    let obs = ObsOut::from_args(args)?;
+    let json = args.iter().any(|a| a == "--json");
     let names: Vec<String> = models.iter().map(|m| m.name().to_string()).collect();
     let mut spec = FleetSpec::default();
     if let Some(s) = parse_value(args, "--pools")? {
@@ -932,7 +1058,20 @@ fn cmd_fleet(args: &[String]) -> Result<(), AnyError> {
     let calib_start = Instant::now();
     let fleet = Fleet::new(&nets, &opt, codegen, &spec)?;
     let calib_ms = calib_start.elapsed().as_secs_f64() * 1e3;
-    let report = fleet.run(&spec)?;
+    let report = fleet.run_traced(&spec, &obs.tracer)?;
+
+    let metrics = MetricsRegistry::new();
+    if obs.wants_metrics() {
+        report.publish(&metrics);
+    }
+    obs.write(report.soc_hz, &metrics)?;
+    if json {
+        // Machine-readable report on stdout, nothing else: every field
+        // is modeled (host wall-clock excluded), so two runs of the
+        // same spec print byte-identical JSON.
+        println!("{}", report.to_json());
+        return Ok(());
+    }
 
     let ms = |cycles: u64| cycles as f64 * 1e3 / report.soc_hz as f64;
     println!(

@@ -271,6 +271,213 @@ fn rv_nvdla_stdout(args: &[&str]) -> (bool, String) {
     )
 }
 
+/// `serve --json` is the machine-readable contract: every field is
+/// modeled (host wall-clock excluded), so two runs of the same spec
+/// print byte-identical JSON, and the totals reconcile exactly like
+/// the human table's.
+#[test]
+fn serve_json_report_is_stable_and_reconciles() {
+    use rv_nvdla::prelude::Json;
+    let args = [
+        "serve",
+        "--models",
+        "lenet5",
+        "--rate",
+        "200",
+        "--duration",
+        "80",
+        "--json",
+    ];
+    let (ok, first) = rv_nvdla_stdout(&args);
+    assert!(ok, "serve --json must succeed, got:\n{first}");
+    let (ok2, second) = rv_nvdla_stdout(&args);
+    assert!(ok2);
+    assert_eq!(
+        first, second,
+        "two runs of the same spec must print byte-identical JSON"
+    );
+    let v = Json::parse(&first).expect("serve --json must print valid JSON");
+    let served = v.get("served").and_then(Json::as_u64).expect("served");
+    let dropped = v.get("dropped").and_then(Json::as_u64).expect("dropped");
+    let offered = v.get("offered").and_then(Json::as_u64).expect("offered");
+    assert!(served > 0, "nothing served:\n{first}");
+    assert_eq!(
+        served + dropped,
+        offered,
+        "books must balance in the JSON view"
+    );
+    assert_eq!(v.get("policy").and_then(Json::as_str), Some("rr"));
+    assert_eq!(
+        v.get("replay_divergence").and_then(Json::as_u64),
+        Some(0),
+        "real SoCs must match the plan"
+    );
+    let per_model = v
+        .get("per_model")
+        .and_then(Json::as_array)
+        .expect("per_model");
+    let pm: u64 = per_model
+        .iter()
+        .map(|m| {
+            m.get("served")
+                .and_then(Json::as_u64)
+                .expect("model served")
+        })
+        .sum();
+    assert_eq!(pm, served, "per-model served must sum to the total");
+}
+
+/// `fleet --json`: same contract as serve's — stable bytes, balanced
+/// books, per-pool breakdown consistent with the totals.
+#[test]
+fn fleet_json_report_is_stable_and_reconciles() {
+    use rv_nvdla::prelude::Json;
+    let args = [
+        "fleet",
+        "--models",
+        "lenet5",
+        "--pools",
+        "nv_small:workers=2",
+        "--rate",
+        "200",
+        "--duration",
+        "80",
+        "--json",
+    ];
+    let (ok, first) = rv_nvdla_stdout(&args);
+    assert!(ok, "fleet --json must succeed, got:\n{first}");
+    let (ok2, second) = rv_nvdla_stdout(&args);
+    assert!(ok2);
+    assert_eq!(
+        first, second,
+        "two runs of the same spec must print byte-identical JSON"
+    );
+    let v = Json::parse(&first).expect("fleet --json must print valid JSON");
+    let served = v.get("served").and_then(Json::as_u64).expect("served");
+    let dropped = v.get("dropped").and_then(Json::as_u64).expect("dropped");
+    let shed = v.get("shed").and_then(Json::as_u64).expect("shed");
+    let offered = v.get("offered").and_then(Json::as_u64).expect("offered");
+    assert!(served > 0, "nothing served:\n{first}");
+    assert_eq!(served + dropped + shed, offered, "fleet books must balance");
+    let per_pool = v
+        .get("per_pool")
+        .and_then(Json::as_array)
+        .expect("per_pool");
+    let routed: u64 = per_pool
+        .iter()
+        .map(|p| p.get("routed").and_then(Json::as_u64).expect("pool routed"))
+        .sum();
+    assert_eq!(routed + shed, offered, "balancer books must balance");
+}
+
+/// `serve --pipeline --trace-out/--metrics-out` writes a Perfetto-
+/// loadable trace and a metrics dump that mirror the report: well-formed
+/// JSON, a named thread per worker, ≥1 span per phase the pipelined
+/// server exercises, and registry counters equal to the `--json`
+/// report's. This is the checker behind CI's trace-smoke step.
+#[test]
+fn serve_trace_out_writes_a_checkable_perfetto_trace() {
+    use rv_nvdla::prelude::Json;
+    let dir = std::env::temp_dir();
+    let trace_path = dir.join(format!("rvnv-trace-{}.json", std::process::id()));
+    let metrics_path = dir.join(format!("rvnv-metrics-{}.json", std::process::id()));
+    let (ok, stdout) = rv_nvdla_stdout(&[
+        "serve",
+        "--models",
+        "lenet5",
+        "--pipeline",
+        "--workers",
+        "2",
+        "--rate",
+        "600",
+        "--duration",
+        "80",
+        "--json",
+        "--trace-out",
+        trace_path.to_str().expect("utf-8 temp path"),
+        "--metrics-out",
+        metrics_path.to_str().expect("utf-8 temp path"),
+    ]);
+    assert!(ok, "traced serve must succeed, got:\n{stdout}");
+    let report = Json::parse(&stdout).expect("serve --json must print valid JSON");
+
+    let trace = std::fs::read_to_string(&trace_path).expect("trace file written");
+    let v = Json::parse(&trace).expect("trace must be valid JSON");
+    let events = v
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .expect("traceEvents array");
+    // A named thread per worker.
+    for w in 0..2 {
+        let name = format!("worker {w}");
+        assert!(
+            events.iter().any(|e| {
+                e.get("name").and_then(Json::as_str) == Some("thread_name")
+                    && e.get("args")
+                        .and_then(|a| a.get("name"))
+                        .and_then(Json::as_str)
+                        == Some(name.as_str())
+            }),
+            "trace must have a thread for {name}"
+        );
+    }
+    // ≥1 span per phase the pipelined server exercises.
+    for cat in ["queue_wait", "ps_burst", "compute"] {
+        assert!(
+            events
+                .iter()
+                .any(|e| e.get("cat").and_then(Json::as_str) == Some(cat)),
+            "trace must contain at least one {cat} span"
+        );
+    }
+
+    // The metrics dump mirrors the structured report.
+    let metrics = Json::parse(&std::fs::read_to_string(&metrics_path).expect("metrics written"))
+        .expect("metrics must be valid JSON");
+    assert_eq!(
+        metrics
+            .get("counters")
+            .and_then(|c| c.get("serve.served"))
+            .and_then(Json::as_u64),
+        report.get("served").and_then(Json::as_u64),
+        "serve.served counter must equal the report's served"
+    );
+    assert_eq!(
+        metrics
+            .get("histograms")
+            .and_then(|h| h.get("serve.total_cycles"))
+            .and_then(|h| h.get("count"))
+            .and_then(Json::as_u64),
+        report.get("served").and_then(Json::as_u64),
+        "one total-latency observation per served request"
+    );
+    std::fs::remove_file(&trace_path).ok();
+    std::fs::remove_file(&metrics_path).ok();
+}
+
+/// The observability flags are strictly validated like every other
+/// flag: a value flag without a value fails loudly, and `--json` exists
+/// only where there is a structured report to print.
+#[test]
+fn observability_flags_are_strictly_validated() {
+    assert_rejects(
+        &["serve", "--models", "lenet5", "--trace-out"],
+        &["--trace-out needs a value"],
+    );
+    assert_rejects(
+        &["run", "lenet5", "--metrics-out"],
+        &["--metrics-out needs a value"],
+    );
+    assert_rejects(
+        &["run", "lenet5", "--json"],
+        &["unknown flag `--json`", "--trace-out"],
+    );
+    assert_rejects(
+        &["batch", "--models", "lenet5", "--json"],
+        &["unknown flag `--json`", "--metrics-out"],
+    );
+}
+
 /// `run --repeat` reports the decoded-block-cache counters for the
 /// warm runs: fully warm replays show hits and zero misses, and the
 /// poll firmware's status reads are folded into the MMIO read lease.

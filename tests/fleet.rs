@@ -207,6 +207,120 @@ proptest! {
     }
 }
 
+proptest! {
+    /// Arming a tracer is byte-invisible to the fleet simulation, the
+    /// emitted spans are structurally well-formed, and span accounting
+    /// reconciles per pool: worker-track cycles sum to the pool's busy
+    /// time, queue-wait spans to its served requests' waits, and the
+    /// autoscaler track carries one instant per scaling decision.
+    #[test]
+    fn traced_fleet_sim_is_invisible_and_reconciles(
+        pool_params in proptest::collection::vec(
+            (1usize..3, 1usize..6, 100_000u64..1_000_000, 0usize..3), 1..3),
+        route_ix in 0usize..3,
+        shape_ix in 0usize..4,
+        rate in 100u64..1500,
+        seed in 0u64..1000,
+    ) {
+        let models = 2;
+        let pools: Vec<PoolSpec> = pool_params.iter().map(|&(w, q, _, headroom)| PoolSpec {
+            workers: w,
+            min_workers: 1,
+            max_workers: w + headroom,
+            queue_depth: q,
+            ..PoolSpec::default()
+        }).collect();
+        let profiles: Vec<PoolProfile> = pool_params
+            .iter()
+            .map(|&(_, _, svc, _)| flat_profile(svc, (0..models).collect()))
+            .collect();
+        let spec = FleetSpec {
+            pools,
+            route: route_of(route_ix),
+            shape: shape_of(shape_ix),
+            rate_rps: rate,
+            duration_ms: 80,
+            seed,
+            slo_us: 5_000,
+            scale_window_ms: 10,
+            ..FleetSpec::default()
+        };
+        let names = model_names(models);
+        let trace = fleet::shaped_trace(
+            spec.shape, spec.rate_rps, spec.duration_cycles(HZ), models, spec.seed, HZ);
+        let tracer = Tracer::armed();
+        let traced = fleet::simulate_traced(&trace, &profiles, &spec, &names, HZ, &tracer);
+        let quiet = fleet::simulate(&trace, &profiles, &spec, &names, HZ);
+        prop_assert_eq!(&traced, &quiet, "arming the tracer must be byte-invisible");
+        let spans = tracer.snapshot();
+        let well_formed = spans.validate();
+        prop_assert!(well_formed.is_ok(), "malformed trace: {:?}", well_formed);
+        for (p, pool) in traced.per_pool.iter().enumerate() {
+            let worker_prefix = format!("pool{p} {} w", pool.class.name());
+            let busy: u64 = spans
+                .tracks
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.name.starts_with(&worker_prefix))
+                .map(|(i, _)| spans.sum_cycles(TrackId(i as u32)))
+                .sum();
+            prop_assert_eq!(busy, pool.busy_cycles, "pool {} busy time", p);
+            let queue = spans
+                .track_named(&format!("pool{p} {} queue", pool.class.name()))
+                .expect("one queue track per pool");
+            let waits: u64 = traced.records.iter().filter_map(|r| match r.outcome {
+                FleetOutcome::Served { pool: rp, queue_wait, .. } if rp == p => Some(queue_wait),
+                _ => None,
+            }).sum();
+            prop_assert_eq!(spans.sum_cycles(queue), waits, "pool {} queue waits", p);
+            let auto = spans
+                .track_named(&format!("pool{p} {} autoscaler", pool.class.name()))
+                .expect("one autoscaler track per pool");
+            prop_assert_eq!(
+                spans.spans_on(auto).count() as u64,
+                pool.scale_ups + pool.scale_downs,
+                "pool {} autoscale instants", p
+            );
+        }
+    }
+}
+
+#[test]
+fn traced_fleet_run_reconciles_and_metrics_delta_by_since() {
+    let (fleet, spec) = fleet2();
+    let tracer = Tracer::armed();
+    let mut traced = fleet.run_traced(&spec, &tracer).expect("traced run");
+    let mut plain = fleet.run(&spec).expect("plain run");
+    traced.host_seconds = 0.0;
+    plain.host_seconds = 0.0;
+    assert_eq!(traced, plain, "arming the tracer must not move the report");
+    let trace = tracer.snapshot();
+    trace.validate().expect("emitted spans are well-formed");
+    assert_eq!(
+        trace.count_kind(SpanKind::Compute) as u64,
+        traced.served,
+        "one compute span per served request"
+    );
+    // The registry view mirrors the typed report, and registry
+    // snapshots delta by `.since` like every other stats struct.
+    let registry = MetricsRegistry::new();
+    traced.publish(&registry);
+    let one = registry.snapshot();
+    assert_eq!(one.counters["fleet.offered"], traced.offered);
+    assert_eq!(one.counters["fleet.served"], traced.served);
+    assert_eq!(
+        one.histograms["fleet.total_cycles"].count, traced.served,
+        "one latency observation per served request"
+    );
+    traced.publish(&registry);
+    let two = registry.snapshot();
+    assert_eq!(
+        two.since(&one),
+        one,
+        "publishing twice and taking `.since` must recover one publish"
+    );
+}
+
 /// One compiled + calibrated heterogeneous fleet shared by the replay
 /// tests (two classes × two models of real calibration is the
 /// expensive part — do it once).

@@ -558,6 +558,95 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Observability properties (rvnv_obs): arming a tracer is byte-invisible
+// to the queueing simulation, every emitted span is structurally
+// well-formed, and span accounting reconciles with the report —
+// per-worker top-level span cycles sum to that worker's busy time, and
+// queue-wait spans sum to the served requests' waits. Exercised across
+// load, pool shape, policy, both worker modes and chaos.
+
+use rvnv_obs::{SpanKind, Tracer};
+use rvnv_soc::serve::{simulate_traced, RequestOutcome};
+
+proptest! {
+    /// The tracing honesty contract, as a property: `simulate_traced`
+    /// with an armed tracer returns a report byte-identical to
+    /// `simulate`'s, and the spans it emits are well-formed and account
+    /// for exactly the cycles the report claims.
+    #[test]
+    fn traced_serve_sim_is_invisible_well_formed_and_reconciles(
+        c0 in 1_000u64..200_000,
+        c1 in 1_000u64..200_000,
+        pre in 1u64..2_000,
+        stretch in 0u64..5_000,
+        rate in 50u64..3_000,
+        window_ms in 1u64..25,
+        workers in 1usize..4,
+        queue_depth in 1usize..10,
+        mode in 0u8..3, // serial / pipelined / serial under chaos
+        policy_pick in any::<u8>(),
+        seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+    ) {
+        let hz = 100_000_000u64;
+        let service = synthetic_profile(c0, c1, pre, stretch);
+        let spec = ServeSpec {
+            process: ArrivalProcess::Poisson,
+            rate_rps: rate,
+            duration_ms: window_ms,
+            seed,
+            workers,
+            policy: policy_from(policy_pick),
+            pipelined: mode == 1,
+            queue_depth,
+            slo_us: 5_000,
+            timeout_us: if mode == 2 { 3_000 } else { 0 },
+            retries: if mode == 2 { 2 } else { 0 },
+            faults: (mode == 2).then_some(FaultSpec {
+                seed: fault_seed,
+                flip_per_million: 50_000,
+                error_per_million: 50_000,
+                spike_per_million: 50_000,
+                spike_us: 1_000,
+                hang_per_million: 25_000,
+                crash_per_million: 25_000,
+            }),
+        };
+        spec.validate().expect("generated spec is consistent");
+        let trace = RequestTrace::generate(
+            spec.process, rate, spec.duration_cycles(hz), 2, seed, hz,
+        );
+        let names = vec!["a".to_string(), "b".to_string()];
+        let tracer = Tracer::armed();
+        let traced = simulate_traced(&trace, &service, &spec, &names, hz, &tracer);
+        let quiet = simulate(&trace, &service, &spec, &names, hz);
+        prop_assert_eq!(&traced, &quiet, "arming the tracer must be byte-invisible");
+        let spans = tracer.snapshot();
+        let well_formed = spans.validate();
+        prop_assert!(well_formed.is_ok(), "malformed trace: {:?}", well_formed);
+        for (w, stats) in traced.per_worker.iter().enumerate() {
+            let track = spans
+                .track_named(&format!("worker {w}"))
+                .expect("one track per worker");
+            prop_assert_eq!(
+                spans.sum_cycles(track),
+                stats.busy_cycles,
+                "worker {} span cycles must sum to its busy time", w
+            );
+        }
+        let waits: u64 = traced.records.iter().filter_map(|r| match r.outcome {
+            RequestOutcome::Served { queue_wait, .. } => Some(queue_wait),
+            RequestOutcome::Dropped => None,
+        }).sum();
+        prop_assert_eq!(
+            spans.sum_kind(SpanKind::QueueWait),
+            waits,
+            "queue-wait spans must sum to the report's waits"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
 // Differential properties of the fast simulator kernels. The decoded-
 // block cache and the MMIO read lease are host-side shortcuts only;
 // for random inputs and both firmware wait modes they must leave every

@@ -20,7 +20,7 @@ use std::sync::{Arc, OnceLock};
 
 use rv_nvdla::prelude::*;
 use rvnv_soc::batch;
-use rvnv_soc::serve::ArrivalProcess;
+use rvnv_soc::serve::{ArrivalProcess, RequestOutcome};
 
 /// One calibrated server shared by every test (calibration compiles
 /// both models and runs N + N² real frames — do it once).
@@ -241,6 +241,94 @@ fn trace_is_seeded_and_offered_bounds_achieved() {
     let r = server.plan(&spec).expect("plan");
     assert!(r.achieved_rate() <= r.offered_rate() + 1e-9);
     assert_eq!(r.served + r.dropped, r.offered);
+}
+
+#[test]
+fn traced_pipelined_serve_reconciles_with_the_report() {
+    let server = server();
+    let spec = ServeSpec {
+        pipelined: true,
+        rate_rps: 300,
+        duration_ms: 100,
+        workers: 2,
+        ..base_spec()
+    };
+    let tracer = Tracer::armed();
+    let mut traced = server.serve_traced(&spec, &tracer).expect("traced serve");
+    let mut plain = server.serve(&spec).expect("plain serve");
+    traced.host_seconds = 0.0;
+    plain.host_seconds = 0.0;
+    assert_eq!(traced, plain, "arming the tracer must not move the report");
+    let trace = tracer.snapshot();
+    trace.validate().expect("emitted spans are well-formed");
+    // Span accounting reconciles with the report: every worker's
+    // top-level span cycles are exactly its busy time...
+    for (w, stats) in traced.per_worker.iter().enumerate() {
+        let track = trace
+            .track_named(&format!("worker {w}"))
+            .expect("one track per worker");
+        assert_eq!(
+            trace.sum_cycles(track),
+            stats.busy_cycles,
+            "worker {w} span cycles must sum to its busy time"
+        );
+    }
+    // ...and queue-wait spans sum to the served requests' waits.
+    let waits: u64 = traced
+        .records
+        .iter()
+        .filter_map(|r| match r.outcome {
+            RequestOutcome::Served { queue_wait, .. } => Some(queue_wait),
+            RequestOutcome::Dropped => None,
+        })
+        .sum();
+    assert_eq!(
+        trace.sum_kind(SpanKind::QueueWait),
+        waits,
+        "queue-wait spans must sum to the report's waits"
+    );
+    // The pipelined story is visible: one compute span per served frame,
+    // with ps_burst fills overlapped behind them.
+    assert_eq!(trace.count_kind(SpanKind::Compute) as u64, traced.served);
+    assert!(
+        trace.count_kind(SpanKind::PsBurst) > 0,
+        "pipelined fills must show up as ps_burst spans"
+    );
+}
+
+#[test]
+fn fault_stats_since_isolates_one_runs_share() {
+    use rvnv_bus::fault::{FaultPlan, FaultStats};
+    // A worker SoC under a sustained (non-aborting) fault storm:
+    // `FaultStats::since` — the repo-wide snapshot-delta convention —
+    // isolates one frame's injector activity from the cumulative
+    // counters.
+    let mut opt = CompileOptions::int8();
+    opt.calib_inputs = 1;
+    let net = Model::LeNet5.build(1);
+    let artifacts = compile(&net, &opt).expect("compile");
+    let input = Tensor::random(net.input_shape(), 7);
+    let mut soc = Soc::new(SocConfig::zcu102_nv_small());
+    soc.arm_faults(FaultPlan {
+        seed: 9,
+        flip_per_million: 5_000,
+        spike_per_million: 5_000,
+        ..FaultPlan::default()
+    });
+    let _ = soc.run_inference(&artifacts, &input);
+    let baseline = soc.fault_stats();
+    assert!(baseline.accesses > 0, "the armed plan must observe traffic");
+    let _ = soc.run_inference(&artifacts, &input);
+    let cumulative = soc.fault_stats();
+    let delta = cumulative.since(&baseline);
+    assert!(
+        delta.accesses > 0,
+        "the second frame saw traffic of its own"
+    );
+    assert_eq!(delta.accesses, cumulative.accesses - baseline.accesses);
+    assert_eq!(delta.total(), cumulative.total() - baseline.total());
+    // A self-delta is zero — the convention's fixed point.
+    assert_eq!(cumulative.since(&cumulative), FaultStats::default());
 }
 
 #[test]
